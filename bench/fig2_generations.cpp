@@ -1,0 +1,117 @@
+/// Reproduces Fig. 2: per-generation evolution of selected villin
+/// trajectories' RMSD to native. The paper shows starting-conformation
+/// trajectories staying unfolded, an adaptively spawned trajectory
+/// reaching the first folded conformation (0.7 A), and a generation-4
+/// respawn that underlies the blind native-state prediction.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "mdlib/observables.hpp"
+#include "mdlib/units.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "villin_study.hpp"
+
+using namespace cop;
+
+int main() {
+    std::printf("=== Fig. 2: per-generation trajectory RMSD evolution ===\n");
+    std::printf("(paper: first folded conformation from a gen-1 respawn at "
+                "0.7 A; blind-\n prediction trajectory spawned in gen 4; "
+                "starting trajectories stay high)\n\n");
+
+    bench::VillinStudyConfig cfg;
+    const auto study = bench::runVillinStudy(cfg);
+    const auto& ctrl = *study.controller;
+    const auto& native = ctrl.params().model.native;
+
+    // Per-trajectory, per-segment minimum RMSD (a segment is one 50 ns
+    // command; the paper's x-axis "generation number" advances one unit
+    // per 50 ns of trajectory time).
+    const auto segFrames =
+        std::size_t(cfg.segmentSteps /
+                    ctrl.params().simulation.sampleInterval);
+    std::map<int, std::vector<double>> perSegmentMin;
+    for (const auto& [id, traj] : ctrl.trajectories()) {
+        auto& mins = perSegmentMin[id];
+        for (std::size_t f = 0; f < traj.numFrames(); ++f) {
+            const std::size_t seg = f / segFrames;
+            if (seg >= mins.size()) mins.resize(seg + 1, 1e30);
+            mins[seg] = std::min(
+                mins[seg],
+                md::toAngstrom(md::rmsd(native, traj.frame(f).positions)));
+        }
+    }
+
+    // Select the paper's cast: three starting trajectories, the
+    // best-folding trajectory, and the longest-lived late respawn.
+    int bestTraj = -1;
+    double bestRmsd = 1e30;
+    for (const auto& [id, mins] : perSegmentMin) {
+        for (double m : mins) {
+            if (m < bestRmsd) {
+                bestRmsd = m;
+                bestTraj = id;
+            }
+        }
+    }
+    const int initialCount = cfg.starts * cfg.tasksPerStart;
+    int lateTraj = -1;
+    std::size_t lateLen = 0;
+    for (const auto& [id, mins] : perSegmentMin)
+        if (id >= initialCount && mins.size() >= lateLen && id != bestTraj) {
+            lateLen = mins.size();
+            lateTraj = id;
+        }
+
+    std::vector<int> cast{0, 1, 2};
+    if (bestTraj >= 0) cast.push_back(bestTraj);
+    if (lateTraj >= 0) cast.push_back(lateTraj);
+
+    std::size_t maxSegs = 0;
+    for (int id : cast)
+        maxSegs = std::max(maxSegs, perSegmentMin[id].size());
+
+    std::vector<std::string> headers{"trajectory", "role"};
+    for (std::size_t s = 0; s < maxSegs; ++s)
+        headers.push_back("seg" + std::to_string(s));
+    Table table(headers);
+    for (int id : cast) {
+        std::vector<std::string> row;
+        row.push_back("traj " + std::to_string(id));
+        row.push_back(id == bestTraj      ? "best fold"
+                      : id == lateTraj    ? "late respawn"
+                      : id < initialCount ? "initial start"
+                                          : "respawn");
+        const auto& mins = perSegmentMin[id];
+        for (std::size_t s = 0; s < maxSegs; ++s)
+            row.push_back(s < mins.size() ? formatFixed(mins[s], 2) : "-");
+        table.addRow(std::move(row));
+    }
+    std::printf("Minimum RMSD to native (Angstrom) per 50 ns segment:\n%s\n",
+                table.render().c_str());
+
+    std::printf("Generation summary:\n");
+    Table gen({"gen", "snapshots", "clusters", "min RMSD (A)",
+               "mean RMSD (A)", "folded frac", "blind pred (A)"});
+    for (const auto& rec : ctrl.history()) {
+        gen.addRow({std::to_string(rec.generation),
+                    std::to_string(rec.totalSnapshots),
+                    std::to_string(rec.numClusters),
+                    formatFixed(rec.minRmsdAngstrom, 2),
+                    formatFixed(rec.meanRmsdAngstrom, 2),
+                    formatFixed(rec.foldedFraction, 3),
+                    formatFixed(rec.predictedRmsdAngstrom, 2)});
+    }
+    std::printf("%s\n", gen.render().c_str());
+
+    std::printf("paper: conformations 0.6-0.7 A from native after ~3 "
+                "generations;\n");
+    std::printf("measured: best %.2f A (trajectory %d), first folded in "
+                "generation %d\n",
+                bestRmsd, bestTraj, ctrl.firstFoldedGeneration());
+    std::printf("bench wall time: %.1f s\n", study.wallSeconds);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/// Reproduces Fig. 3: the first observed folded villin structure. The
+/// paper superimposes a simulation frame on the experimental native state
+/// at 0.7 A Calpha RMSD, reached ~30 h into the run (3 generations).
+
+#include <cstdio>
+
+#include "mdlib/observables.hpp"
+#include "mdlib/units.hpp"
+#include "util/string_util.hpp"
+#include "villin_study.hpp"
+
+using namespace cop;
+
+int main() {
+    std::printf("=== Fig. 3: first observed folded conformation ===\n\n");
+
+    bench::VillinStudyConfig cfg;
+    const auto study = bench::runVillinStudy(cfg);
+    const auto& ctrl = *study.controller;
+    const auto& native = ctrl.params().model.native;
+
+    // Locate the best frame and the first folded frame.
+    double best = 1e30;
+    int bestTraj = -1;
+    std::int64_t bestStep = 0;
+    double firstFoldedTime = -1.0;
+    for (const auto& [id, traj] : ctrl.trajectories()) {
+        for (std::size_t f = 0; f < traj.numFrames(); ++f) {
+            const double r = md::toAngstrom(
+                md::rmsd(native, traj.frame(f).positions));
+            if (r < best) {
+                best = r;
+                bestTraj = id;
+                bestStep = traj.frame(f).step;
+            }
+        }
+    }
+    firstFoldedTime = ctrl.firstFoldedTime();
+
+    std::printf("best frame: trajectory %d, step %lld (%.1f mapped ns)\n",
+                bestTraj, (long long)bestStep,
+                md::stepsToNs(double(bestStep)));
+    std::printf("Calpha RMSD to native: %.2f A\n", best);
+    std::printf("first frame within %.1f A: virtual wall-clock %s "
+                "(generation %d)\n",
+                md::kFoldedRmsdAngstrom,
+                formatHours(firstFoldedTime / 3600.0).c_str(),
+                ctrl.firstFoldedGeneration());
+
+    // Superposition quality check, mirroring the figure itself.
+    const auto& traj = ctrl.trajectories().at(bestTraj);
+    for (std::size_t f = 0; f < traj.numFrames(); ++f) {
+        if (traj.frame(f).step == bestStep) {
+            auto mobile = traj.frame(f).positions;
+            md::superimpose(native, mobile);
+            double maxDev = 0.0;
+            for (std::size_t i = 0; i < native.size(); ++i)
+                maxDev = std::max(maxDev,
+                                  md::toAngstrom(distance(native[i],
+                                                          mobile[i])));
+            std::printf("after superposition: max per-residue deviation "
+                        "%.2f A over %zu residues\n",
+                        maxDev, native.size());
+            break;
+        }
+    }
+
+    std::printf("\npaper: 0.7 A Calpha RMSD, first observed ~30 h into the "
+                "run\nmeasured: %.2f A, first folded after %s of simulated "
+                "project time\n",
+                best, formatHours(firstFoldedTime / 3600.0).c_str());
+    std::printf("bench wall time: %.1f s\n", study.wallSeconds);
+    return 0;
+}

@@ -1,0 +1,130 @@
+/// Reproduces Fig. 4: time evolution of microstate-MSM cluster populations
+/// via p(t + tau) = p(t) T(tau) (paper Eq. 1), starting from the nine
+/// unfolded states. The paper reports 66% of the population folded (within
+/// 3.5 A of native) by 2 us and a folding t1/2 of ~500-600 ns, against an
+/// experimental folding time of ~700 ns; it also validates Markovianity
+/// (lag >= 20 ns) on the largest connected subset.
+
+#include <cstdio>
+
+#include "mdlib/observables.hpp"
+#include "mdlib/units.hpp"
+#include "msm/pipeline.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "villin_study.hpp"
+
+using namespace cop;
+
+int main() {
+    std::printf("=== Fig. 4: MSM population dynamics ===\n\n");
+
+    bench::VillinStudyConfig cfg;
+    const auto study = bench::runVillinStudy(cfg);
+    const auto& ctrl = *study.controller;
+    const auto& msmResult = *ctrl.lastMsm();
+    const auto& model = msmResult.model;
+    const auto& native = ctrl.params().model.native;
+
+    // Folded microstates: centers within 3.5 A of native.
+    std::vector<int> foldedActive;
+    for (std::size_t a = 0; a < model.numStates(); ++a) {
+        const int micro = model.activeState(a);
+        if (md::toAngstrom(md::rmsd(native,
+                                    msmResult.centers[std::size_t(micro)])) <
+            md::kFoldedRmsdAngstrom)
+            foldedActive.push_back(int(a));
+    }
+    std::printf("microstates: %zu total, %zu in the largest connected "
+                "subset, %zu folded\n",
+                msmResult.clustering.numClusters(), model.numStates(),
+                foldedActive.size());
+
+    // Initial distribution: the nine unfolded starting conformations,
+    // assigned to their nearest microstate.
+    std::vector<double> p0(model.numStates(), 0.0);
+    {
+        // Rebuild a small conformation set of centers for assignment.
+        msm::ConformationSet centers;
+        for (const auto& c : msmResult.centers) centers.add(c);
+        std::vector<std::size_t> centerIdx(centers.size());
+        for (std::size_t i = 0; i < centers.size(); ++i) centerIdx[i] = i;
+        const auto assigned = msm::assignToCenters(
+            centers, centerIdx, ctrl.params().startingConformations);
+        double assignedWeight = 0.0;
+        for (int micro : assigned) {
+            const int a = model.toActiveIndex(micro);
+            if (a >= 0) {
+                p0[std::size_t(a)] += 1.0;
+                assignedWeight += 1.0;
+            }
+        }
+        if (assignedWeight > 0.0)
+            for (double& v : p0) v /= assignedWeight;
+    }
+
+    // Propagate. One MSM step = lag * snapshotStride * sampleInterval
+    // engine steps.
+    const double nsPerMsmStep = md::stepsToNs(
+        double(ctrl.params().pipeline.lag *
+               ctrl.params().pipeline.snapshotStride *
+               ctrl.params().simulation.sampleInterval));
+    const double horizonNs = 2000.0;
+    const auto nSteps = std::size_t(horizonNs / nsPerMsmStep);
+
+    Table table({"time (ns)", "fraction folded", "largest population"});
+    std::vector<double> times, folded;
+    auto p = p0;
+    double tHalfNs = -1.0;
+    double foldedAtEnd = 0.0;
+    double plateau = 0.0;
+    // Estimate the plateau from the stationary distribution.
+    for (int a : foldedActive)
+        plateau += model.stationaryDistribution()[std::size_t(a)];
+    for (std::size_t s = 0; s <= nSteps; ++s) {
+        const double t = double(s) * nsPerMsmStep;
+        double f = 0.0;
+        for (int a : foldedActive) f += p[std::size_t(a)];
+        double maxPop = 0.0;
+        for (double v : p) maxPop = std::max(maxPop, v);
+        times.push_back(t);
+        folded.push_back(f);
+        if (tHalfNs < 0.0 && f >= 0.5 * plateau) tHalfNs = t;
+        if (s % std::max<std::size_t>(1, nSteps / 16) == 0)
+            table.addRow({formatFixed(t, 0), formatFixed(f, 3),
+                          formatFixed(maxPop, 3)});
+        foldedAtEnd = f;
+        p = model.propagate(p);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("fraction folded vs time:\n%s\n",
+                asciiChart(times, folded, 64, 12).c_str());
+
+    // Markovianity check (paper: lag >= 20 ns; our snapshots are 1.5 ns).
+    std::printf("implied-timescale lag sensitivity (slowest timescale, in "
+                "ns):\n");
+    Table lagTable({"lag (ns)", "t1 (ns)", "CK error"});
+    for (std::size_t lag : {1, 2, 4, 8}) {
+        msm::MarkovModelParams mp;
+        mp.lag = lag;
+        const auto m = msm::MarkovStateModel::fromTrajectories(
+            msmResult.discrete, msmResult.clustering.numClusters(), mp);
+        const auto ts = m.impliedTimescales(1);
+        const double ck = msm::chapmanKolmogorovError(
+            msmResult.discrete, msmResult.clustering.numClusters(), lag, 2,
+            mp);
+        lagTable.addRow(
+            {formatFixed(double(lag) * nsPerMsmStep, 1),
+             ts.empty() ? "-" : formatFixed(ts[0] * nsPerMsmStep, 0),
+             formatFixed(ck, 3)});
+    }
+    std::printf("%s\n", lagTable.render().c_str());
+
+    std::printf("paper: 66%% folded at 2000 ns; t1/2 ~ 500-600 ns "
+                "(experiment ~700 ns)\n");
+    std::printf("measured: %.0f%% folded at %.0f ns; t1/2 = %.0f ns; "
+                "stationary folded fraction %.0f%%\n",
+                100.0 * foldedAtEnd, horizonNs, tHalfNs, 100.0 * plateau);
+    std::printf("bench wall time: %.1f s\n", study.wallSeconds);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/// Reproduces Fig. 5: time evolution of the ensemble-average Calpha RMSD
+/// from native for the villin ensemble, with standard-deviation error
+/// bars, over the paper's full 2 us window. The paper's curve relaxes from
+/// ~6-7 A towards ~4 A as a growing subpopulation folds; the error bars
+/// stay wide because the ensemble remains a folded/unfolded mixture.
+
+#include <cstdio>
+
+#include "mdlib/observables.hpp"
+#include "mdlib/proteins.hpp"
+#include "mdlib/simulation.hpp"
+#include "mdlib/units.hpp"
+#include "util/statistics.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace cop;
+
+int main() {
+    std::printf("=== Fig. 5: ensemble-average RMSD vs time ===\n\n");
+
+    const auto model = md::villinGoModel();
+    const int nTrajectories = 30;
+    const double horizonNs = 2000.0;
+    const auto steps = std::int64_t(md::nsToSteps(horizonNs));
+    const double binNs = 100.0;
+
+    const auto starts = md::makeUnfoldedConformations(model, 9, 7919);
+
+    Timer timer;
+    std::vector<RunningStats> bins(std::size_t(horizonNs / binNs) + 1);
+    std::vector<double> finalRmsds;
+    for (int t = 0; t < nTrajectories; ++t) {
+        auto cfg = md::villinSimulationConfig(1000 + std::uint64_t(t));
+        cfg.sampleInterval = 200; // one frame per 5 mapped ns is plenty
+        auto sim = md::Simulation::forGoModel(
+            model, starts[std::size_t(t) % starts.size()], cfg);
+        sim.initializeVelocities();
+        sim.run(steps);
+        for (const auto& frame : sim.trajectory().frames()) {
+            const double tNs = md::stepsToNs(double(frame.step));
+            const auto bin = std::size_t(tNs / binNs);
+            if (bin < bins.size())
+                bins[bin].add(md::toAngstrom(
+                    md::rmsd(model.native, frame.positions)));
+        }
+        finalRmsds.push_back(md::toAngstrom(
+            md::rmsd(model.native, sim.state().positions)));
+    }
+
+    Table table({"time (ns)", "n", "<RMSD> (A)", "std dev (A)",
+                 "std err (A)"});
+    std::vector<double> ts, means;
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+        if (bins[b].count() < 3) continue;
+        const double t = (double(b) + 0.5) * binNs;
+        ts.push_back(t);
+        means.push_back(bins[b].mean());
+        table.addRow({formatFixed(t, 0), std::to_string(bins[b].count()),
+                      formatFixed(bins[b].mean(), 2),
+                      formatFixed(bins[b].stddev(), 2),
+                      formatFixed(bins[b].standardError(), 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("ensemble <RMSD> vs time:\n%s\n",
+                asciiChart(ts, means, 64, 12).c_str());
+
+    std::size_t folded = 0;
+    for (double r : finalRmsds)
+        if (r < md::kFoldedRmsdAngstrom) ++folded;
+
+    std::printf("paper: average relaxes from ~6-7 A towards ~4 A over 2 us "
+                "as the folded\n       subpopulation grows; error bars "
+                "stay wide (mixed ensemble)\n");
+    if (!means.empty())
+        std::printf("measured: %.1f A at %.0f ns -> %.1f A at %.0f ns; "
+                    "%zu/%d trajectories folded at 2 us\n",
+                    means.front(), ts.front(), means.back(), ts.back(),
+                    folded, nTrajectories);
+    std::printf("bench wall time: %.1f s\n", timer.elapsedSeconds());
+    return 0;
+}

@@ -1,0 +1,75 @@
+/// Reproduces Fig. 8: total time-to-solution for folding villin as a
+/// function of total cores, one line per cores-per-simulation setting.
+/// Stop criterion: observation of the first folded conformation (~3
+/// generations); the blind prediction costs "roughly a factor 2.5 more"
+/// (8 generations). Paper: the run used 5,000 cores; with 20,000 cores the
+/// time to solution "would have been just over 10 h"; the curve plateaus
+/// once the number of workers exceeds the commands per generation.
+
+#include <cstdio>
+
+#include "perfmodel/scaling.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+using namespace cop;
+
+namespace {
+
+std::vector<int> sweepPoints(int coresPerSim) {
+    std::vector<int> out;
+    for (int mult = 1; mult <= 4096; mult *= 2) {
+        const long n = long(coresPerSim) * mult;
+        if (n > 25000 || mult > 1024) break;
+        out.push_back(int(n));
+    }
+    if (coresPerSim == 24) out.push_back(5000);  // the paper's actual run
+    if (coresPerSim == 96) out.push_back(20000); // the projected point
+    return out;
+}
+
+} // namespace
+
+int main() {
+    Logger::instance().setLevel(LogLevel::Warn);
+    std::printf("=== Fig. 8: time to solution vs total cores ===\n\n");
+
+    perf::ScalingConfig base;
+    for (int m : {1, 12, 24, 48, 96}) {
+        base.coresPerSim = m;
+        const auto results = perf::sweepTotalCores(base, sweepPoints(m));
+        Table table({"Ncores", "workers", "t first-fold (h)",
+                     "t blind x2.5 (h)", "utilization"});
+        std::vector<double> xs, ys;
+        for (const auto& r : results) {
+            table.addRow({std::to_string(r.totalCores),
+                          std::to_string(r.workers),
+                          formatFixed(r.timeToSolutionHours, 1),
+                          formatFixed(r.totalTimeHours, 1),
+                          formatFixed(r.utilization, 2)});
+            xs.push_back(double(r.totalCores));
+            ys.push_back(r.timeToSolutionHours);
+        }
+        std::printf("--- %d cores per simulation ---\n%s", m,
+                    table.render().c_str());
+        std::printf("%s\n", asciiChart(xs, ys, 60, 10, true, true).c_str());
+    }
+
+    base.coresPerSim = 96;
+    base.totalCores = 20000;
+    const auto at20k = perf::simulateRun(base);
+    base.coresPerSim = 24;
+    base.totalCores = 5000;
+    const auto at5k = perf::simulateRun(base);
+    std::printf("paper: first folded conformation ~30 h at 5,000 cores; "
+                "just over 10 h at 20,000\n");
+    std::printf("measured: %.1f h at 5,000 cores (24-core commands); "
+                "%.1f h at 20,000 (96-core)\n",
+                at5k.timeToSolutionHours, at20k.timeToSolutionHours);
+    std::printf("shape: time falls with cores until workers exceed the "
+                "225 commands per\ngeneration, then plateaus; larger "
+                "commands extend the scaling range at a small\nefficiency "
+                "cost — the paper's crossover behaviour.\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/// Engineering microbenchmarks for the MD engine: force kernels (scalar
+/// vs 4-wide blocked — the paper's SIMD tier), neighbour-list builds,
+/// integrator steps and RMSD evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "mdlib/observables.hpp"
+#include "mdlib/proteins.hpp"
+#include "mdlib/simulation.hpp"
+#include "util/random.hpp"
+
+using namespace cop;
+using namespace cop::md;
+
+namespace {
+
+struct LjFixture {
+    Topology top;
+    Box box;
+    std::vector<Vec3> positions;
+
+    explicit LjFixture(std::size_t n) : box(Box::cubic(std::cbrt(double(n)) * 1.2)) {
+        for (std::size_t i = 0; i < n; ++i) top.addParticle(1.0);
+        top.finalize();
+        Rng rng(7);
+        const int side = int(std::ceil(std::cbrt(double(n))));
+        const double a = box.lengths.x / side;
+        std::size_t placed = 0;
+        for (int x = 0; x < side && placed < n; ++x)
+            for (int y = 0; y < side && placed < n; ++y)
+                for (int z = 0; z < side && placed < n; ++z, ++placed)
+                    positions.push_back({x * a + rng.uniform(-0.05, 0.05),
+                                         y * a + rng.uniform(-0.05, 0.05),
+                                         z * a + rng.uniform(-0.05, 0.05)});
+    }
+};
+
+void BM_NonbondedKernel(benchmark::State& state) {
+    LjFixture fix(std::size_t(state.range(0)));
+    ForceFieldParams p;
+    p.kind = NonbondedKind::LennardJonesRF;
+    p.cutoff = 2.5;
+    p.flavor = state.range(1) == 0 ? KernelFlavor::Scalar
+                                   : KernelFlavor::Blocked4;
+    ForceField ff(fix.top, fix.box, p);
+    std::vector<Vec3> forces;
+    for (auto _ : state) {
+        auto e = ff.compute(fix.positions, forces);
+        benchmark::DoNotOptimize(e.nonbonded);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(ff.neighborList().pairs().size()));
+}
+BENCHMARK(BM_NonbondedKernel)
+    ->ArgsProduct({{216, 1000}, {0, 1}})
+    ->ArgNames({"atoms", "blocked"});
+
+void BM_NeighborListBuild(benchmark::State& state) {
+    LjFixture fix(std::size_t(state.range(0)));
+    NeighborList nl(2.5, 0.3);
+    for (auto _ : state) {
+        nl.build(fix.top, fix.box, fix.positions);
+        benchmark::DoNotOptimize(nl.pairs().size());
+    }
+}
+BENCHMARK(BM_NeighborListBuild)->Arg(216)->Arg(1000)->ArgNames({"atoms"});
+
+void BM_GoModelStep(benchmark::State& state) {
+    const auto model = villinGoModel();
+    auto sim = Simulation::forGoModel(model, model.native,
+                                      villinSimulationConfig(5));
+    sim.initializeVelocities();
+    for (auto _ : state) sim.run(100);
+    state.SetItemsProcessed(std::int64_t(state.iterations()) * 100);
+}
+BENCHMARK(BM_GoModelStep);
+
+void BM_Rmsd(benchmark::State& state) {
+    const auto model = villinGoModel();
+    Rng rng(9);
+    auto other = model.native;
+    for (auto& p : other) p += rng.gaussianVec3(0.3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rmsd(model.native, other));
+    }
+}
+BENCHMARK(BM_Rmsd);
+
+void BM_Checkpoint(benchmark::State& state) {
+    const auto model = villinGoModel();
+    auto sim = Simulation::forGoModel(model, model.native,
+                                      villinSimulationConfig(5));
+    sim.initializeVelocities();
+    sim.run(1000);
+    for (auto _ : state) {
+        auto blob = sim.checkpoint();
+        benchmark::DoNotOptimize(blob.size());
+    }
+}
+BENCHMARK(BM_Checkpoint);
+
+} // namespace
+
+BENCHMARK_MAIN();

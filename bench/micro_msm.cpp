@@ -1,0 +1,106 @@
+/// Engineering microbenchmarks for the MSM layer: clustering, transition
+/// counting, estimation and propagation at the scales the controller uses.
+
+#include <benchmark/benchmark.h>
+
+#include "msm/clustering.hpp"
+#include "msm/markov_model.hpp"
+#include "msm/pipeline.hpp"
+#include "util/random.hpp"
+
+using namespace cop;
+using namespace cop::msm;
+
+namespace {
+
+ConformationSet randomConformations(std::size_t count, std::size_t atoms,
+                                    std::uint64_t seed) {
+    Rng rng(seed);
+    ConformationSet set;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::vector<Vec3> conf;
+        for (std::size_t a = 0; a < atoms; ++a)
+            conf.push_back(rng.gaussianVec3(2.0));
+        set.add(std::move(conf));
+    }
+    return set;
+}
+
+void BM_KCenters(benchmark::State& state) {
+    const auto data =
+        randomConformations(std::size_t(state.range(0)), 35, 3);
+    KCentersParams p;
+    p.numClusters = std::size_t(state.range(1));
+    for (auto _ : state) {
+        auto r = kCenters(data, p);
+        benchmark::DoNotOptimize(r.centers.size());
+    }
+}
+BENCHMARK(BM_KCenters)
+    ->Args({500, 50})
+    ->Args({2000, 100})
+    ->ArgNames({"snapshots", "k"});
+
+std::vector<DiscreteTrajectory> randomDiscrete(std::size_t trajs,
+                                               std::size_t len,
+                                               std::size_t states,
+                                               std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<DiscreteTrajectory> out(trajs);
+    for (auto& t : out) {
+        int s = int(rng.uniformInt(states));
+        for (std::size_t i = 0; i < len; ++i) {
+            if (rng.uniform() < 0.2) s = int(rng.uniformInt(states));
+            t.push_back(s);
+        }
+    }
+    return out;
+}
+
+void BM_CountTransitions(benchmark::State& state) {
+    const auto trajs = randomDiscrete(225, 200, 200, 5);
+    for (auto _ : state) {
+        auto c = countTransitions(trajs, 200, 1);
+        benchmark::DoNotOptimize(c(0, 0));
+    }
+}
+BENCHMARK(BM_CountTransitions);
+
+void BM_EstimateModel(benchmark::State& state) {
+    const auto trajs = randomDiscrete(50, 200, std::size_t(state.range(0)), 7);
+    const auto counts =
+        countTransitions(trajs, std::size_t(state.range(0)), 1);
+    MarkovModelParams p;
+    for (auto _ : state) {
+        auto m = MarkovStateModel::fromCounts(counts, p);
+        benchmark::DoNotOptimize(m.numStates());
+    }
+}
+BENCHMARK(BM_EstimateModel)->Arg(100)->Arg(300)->ArgNames({"states"});
+
+void BM_StationaryDistribution(benchmark::State& state) {
+    const auto trajs = randomDiscrete(50, 500, 200, 9);
+    const auto m = MarkovStateModel::fromTrajectories(trajs, 200, {});
+    for (auto _ : state) {
+        // Propagation dominates an MSM analysis pass; stationary caches,
+        // so benchmark propagate instead.
+        std::vector<double> p(m.numStates(), 1.0 / double(m.numStates()));
+        p = m.propagate(p, 50);
+        benchmark::DoNotOptimize(p[0]);
+    }
+}
+BENCHMARK(BM_StationaryDistribution);
+
+void BM_ImpliedTimescales(benchmark::State& state) {
+    const auto trajs = randomDiscrete(50, 500, 100, 11);
+    const auto m = MarkovStateModel::fromTrajectories(trajs, 100, {});
+    for (auto _ : state) {
+        auto ts = m.impliedTimescales(5);
+        benchmark::DoNotOptimize(ts.size());
+    }
+}
+BENCHMARK(BM_ImpliedTimescales);
+
+} // namespace
+
+BENCHMARK_MAIN();

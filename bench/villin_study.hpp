@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file villin_study.hpp
+/// Shared driver for the villin folding reproductions (Figs. 2-5): runs
+/// the full Copernicus pipeline — overlay network, servers, workers, MSM
+/// adaptive-sampling controller over the Gō-model villin — at a
+/// laptop-scale version of the paper's setup and returns the controller
+/// for analysis.
+///
+/// Paper setup -> bench setup (scaled for a single machine; see
+/// EXPERIMENTS.md):
+///   9 unfolded starts            -> 9 unfolded starts
+///   25 tasks/start (225 total)   -> `tasksPerStart` tasks/start
+///   50 ns segments (2000 steps)  -> same
+///   10,000 clusters              -> `numClusters`
+///   ~8 generations               -> `generations`
+
+#include <memory>
+
+#include "core/backends.hpp"
+#include "core/copernicus.hpp"
+#include "core/msm_controller.hpp"
+#include "mdlib/proteins.hpp"
+#include "mdlib/units.hpp"
+#include "perfmodel/mdperf.hpp"
+
+namespace cop::bench {
+
+struct VillinStudyConfig {
+    int starts = 9;
+    int tasksPerStart = 5;
+    int generations = 6;
+    std::size_t numClusters = 100;
+    std::int64_t segmentSteps = md::kSegmentSteps;
+    int workers = 8;
+    std::uint64_t seed = 2011;
+};
+
+struct VillinStudy {
+    std::unique_ptr<core::Deployment> deployment;
+    core::Server* server = nullptr;
+    core::MsmController* controller = nullptr;
+    core::ProjectId projectId = 0;
+    double wallSeconds = 0.0; ///< real time the study took to run
+};
+
+/// Runs the study to completion. Deterministic in config.seed.
+VillinStudy runVillinStudy(const VillinStudyConfig& config = {});
+
+} // namespace cop::bench

@@ -1,0 +1,127 @@
+/// MSM analysis walkthrough: generate reversible-folding trajectories of
+/// the beta-hairpin at its melting temperature, build a
+/// Markov state model, coarse-grain it into metastable macrostates,
+/// compute the folding rate with transition path theory, attach Bayesian
+/// error bars, and export the folded structure as a PDB for inspection.
+///
+///   $ ./build/examples/msm_analysis [out.pdb]
+
+#include <cstdio>
+
+#include "mdlib/observables.hpp"
+#include "mdlib/pdb.hpp"
+#include "mdlib/proteins.hpp"
+#include "mdlib/simulation.hpp"
+#include "mdlib/units.hpp"
+#include "msm/pipeline.hpp"
+#include "msm/spectral.hpp"
+
+using namespace cop;
+
+int main(int argc, char** argv) {
+    // 1. Sample: hairpin trajectories at the melting temperature, where
+    //    folding is reversible and both basins interconvert repeatedly —
+    //    the regime where a two-state Markov model is textbook-clean.
+    const auto model = md::hairpinGoModel();
+    std::vector<md::Trajectory> trajs;
+    for (std::size_t s = 0; s < 6; ++s) {
+        md::SimulationConfig cfg;
+        cfg.integrator.kind = md::IntegratorKind::LangevinBAOAB;
+        cfg.integrator.temperature = 1.02; // hairpin melting point
+        cfg.integrator.friction = 0.3;
+        cfg.sampleInterval = 20;
+        cfg.seed = 500 + s;
+        auto sim = md::Simulation::forGoModel(model, model.native, cfg);
+        sim.initializeVelocities();
+        sim.run(60000);
+        trajs.push_back(sim.trajectory());
+    }
+    std::printf("sampled %zu trajectories, %zu frames each\n", trajs.size(),
+                trajs[0].numFrames());
+
+    // 2. Build the MSM (cluster -> count -> reversible MLE).
+    msm::MsmPipelineParams pp;
+    pp.numClusters = 30;
+    pp.snapshotStride = 2;
+    pp.lag = 1;
+    const auto result = msm::buildMsm(trajs, pp);
+    const auto& mm = result.model;
+    std::printf("MSM: %zu microstates (%zu in largest connected subset)\n",
+                result.clustering.numClusters(), mm.numStates());
+    const auto timescales = mm.impliedTimescales(3);
+    for (std::size_t k = 0; k < timescales.size(); ++k)
+        std::printf("  implied timescale %zu: %.1f snapshots\n", k + 1,
+                    timescales[k]);
+
+    // 3. Macrostates: coarse-grain into two metastable sets.
+    const auto macro = msm::identifyMacrostates(mm, 2, 7);
+    std::printf("macrostates: populations %.2f / %.2f, metastability "
+                "%.3f\n",
+                macro.populations[0], macro.populations[1],
+                macro.metastability);
+
+    // 4. Folded/unfolded sets by native-contact fraction Q of the
+    //    microstate centers (robust near the melting temperature, where
+    //    folded-basin fluctuations inflate RMSD).
+    std::vector<int> foldedSet, unfoldedSet;
+    for (std::size_t a = 0; a < mm.numStates(); ++a) {
+        const int micro = mm.activeState(a);
+        const double q = md::nativeContactFraction(
+            model.topology, result.centers[std::size_t(micro)]);
+        if (q > 0.8)
+            foldedSet.push_back(int(a));
+        else if (q < 0.35)
+            unfoldedSet.push_back(int(a));
+    }
+    std::printf("state sets: %zu folded, %zu unfolded microstates\n",
+                foldedSet.size(), unfoldedSet.size());
+
+    // 5. Transition path theory: folding rate and mean transit time.
+    if (!foldedSet.empty() && !unfoldedSet.empty()) {
+        const auto tpt =
+            msm::transitionPathTheory(mm, unfoldedSet, foldedSet);
+        const double nsPerLag = md::stepsToNs(
+            double(pp.lag * pp.snapshotStride * 20));
+        std::printf("TPT: rate %.3g / lag (MFPT %.0f mapped ns)\n",
+                    tpt.rate, tpt.mfpt * nsPerLag);
+    }
+
+    // 6. Bayesian error bar on the equilibrium folded population.
+    Rng rng(99);
+    const auto uncertainty = msm::transitionMatrixUncertainty(
+        mm.countMatrix(),
+        [&](const msm::DenseMatrix& t) {
+            const auto pi = msm::stationaryOf(t, 20000, 1e-10);
+            double f = 0.0;
+            for (int a : foldedSet) f += pi[std::size_t(a)];
+            return f;
+        },
+        100, rng);
+    std::printf("equilibrium folded fraction: %.2f +/- %.2f (posterior)\n",
+                uncertainty.mean, uncertainty.stddev);
+
+    // 7. Export the most populated folded microstate next to the native
+    //    structure for visual comparison.
+    if (!foldedSet.empty()) {
+        const auto& pi = mm.stationaryDistribution();
+        int best = foldedSet[0];
+        for (int a : foldedSet)
+            if (pi[std::size_t(a)] > pi[std::size_t(best)]) best = a;
+        const int micro = mm.activeState(std::size_t(best));
+        auto predicted = result.centers[std::size_t(micro)];
+        md::superimpose(model.native, predicted);
+        const std::string path = argc > 1 ? argv[1] : "msm_analysis.pdb";
+        const auto pdb = md::pdbString(
+            {model.native, predicted}, "native (model 1) vs MSM top folded "
+                                       "state (model 2)");
+        cop::writeFile(path,
+                       std::span(reinterpret_cast<const std::uint8_t*>(
+                                     pdb.data()),
+                                 pdb.size()));
+        std::printf("wrote %s (native + predicted, superimposed; RMSD "
+                    "%.2f A)\n",
+                    path.c_str(),
+                    md::toAngstrom(md::rmsd(model.native, predicted)));
+    }
+    return 0;
+}

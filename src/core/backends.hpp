@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file backends.hpp
+/// Executable implementations plugged into workers:
+///
+///  - makeMdrunExecutable: the real thing — restores an mdlib Simulation
+///    from the command's checkpoint, integrates the requested number of
+///    steps, and returns the produced trajectory segment plus a fresh
+///    checkpoint. Its *virtual* duration comes from a wall-time model so
+///    DES runs are deterministic.
+///  - makeFeSampleExecutable: draws free-energy work samples for one
+///    lambda window of the BAR controller.
+///  - makeSimulatedExecutable: no computation at all; duration and output
+///    size come entirely from a performance model. This is what the
+///    scaling study (Figs. 7-9) uses, mirroring how the paper "simulated
+///    the controller's activity".
+
+#include <functional>
+
+#include "core/executable.hpp"
+#include "fe/harmonic.hpp"
+#include "mdlib/simulation.hpp"
+
+namespace cop::core {
+
+/// Virtual seconds a command takes: f(steps, cores).
+using DurationModel = std::function<double(std::int64_t steps, int cores)>;
+
+/// A duration model with perfect scaling at `stepSecondsOneCore` per step.
+DurationModel linearDurationModel(double stepSecondsOneCore);
+
+/// Wire format helpers for mdrun payloads.
+struct MdrunOutput {
+    md::Trajectory segment;
+    std::vector<std::uint8_t> checkpoint;
+
+    std::vector<std::uint8_t> encode() const;
+    static MdrunOutput decode(std::span<const std::uint8_t> data);
+};
+
+/// Builds the "mdrun" executable: input payload must be a Simulation
+/// checkpoint blob (md::Simulation::checkpoint()).
+ExecutableHandler makeMdrunExecutable(DurationModel duration);
+
+/// Free-energy sampling window: input payload encodes the sampled and
+/// target harmonic states, sample count, beta and RNG seed; the output
+/// payload is the vector of work values.
+struct FeSampleInput {
+    fe::HarmonicState sampled;
+    fe::HarmonicState target;
+    std::uint64_t samples = 1000;
+    double beta = 1.0;
+    std::uint64_t seed = 1;
+
+    std::vector<std::uint8_t> encode() const;
+    static FeSampleInput decode(std::span<const std::uint8_t> data);
+};
+ExecutableHandler makeFeSampleExecutable(DurationModel duration);
+
+/// Virtual executable for the scaling study: produces `outputBytes` of
+/// filler output after a model-determined duration.
+ExecutableHandler makeSimulatedExecutable(DurationModel duration,
+                                          std::size_t outputBytes);
+
+} // namespace cop::core

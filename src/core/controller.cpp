@@ -1,0 +1,23 @@
+#include "core/controller.hpp"
+
+namespace cop::core {
+
+void Controller::onCommandFailed(ProjectContext& ctx,
+                                 const CommandSpec& spec) {
+    (void)ctx;
+    (void)spec;
+}
+
+std::string Controller::statusReport(const ProjectContext& ctx) const {
+    return "project " + std::to_string(ctx.projectId()) + ": " +
+           std::to_string(ctx.outstandingCommands()) +
+           " commands outstanding";
+}
+
+std::string Controller::handleClientCommand(ProjectContext& ctx,
+                                            const std::string& command) {
+    (void)ctx;
+    return "unknown command: " + command;
+}
+
+} // namespace cop::core

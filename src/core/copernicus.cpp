@@ -1,0 +1,113 @@
+#include "core/copernicus.hpp"
+
+namespace cop::core {
+
+Client::Client(net::OverlayNetwork& network, std::string name,
+               net::KeyPair keys)
+    : network_(&network), node_(network, std::move(name), keys) {
+    node_.setHandler([this](const net::Message& msg) {
+        if (msg.type != net::MessageType::ClientResponse) return;
+        BinaryReader r(msg.payload);
+        lastStatus_ = r.readString();
+        ++responses_;
+    });
+}
+
+void Client::requestStatus(net::NodeId server, ProjectId project) {
+    sendCommand(server, project, "status");
+}
+
+void Client::sendCommand(net::NodeId server, ProjectId project,
+                         const std::string& command) {
+    BinaryWriter w;
+    w.write(std::uint64_t(project));
+    w.write(command);
+    net::Message msg;
+    msg.type = net::MessageType::ClientRequest;
+    msg.source = id();
+    msg.destination = server;
+    msg.payload = w.takeBuffer();
+    network_->send(std::move(msg));
+}
+
+namespace links {
+
+net::LinkProperties intraCluster() {
+    // QDR Infiniband-class: ~2.7 GB/s, microsecond-scale latency (paper §4).
+    return net::LinkProperties{5e-6, 2.7e9};
+}
+
+net::LinkProperties dataCenter() {
+    // Head-node to head-node within a site: 10 GbE-class.
+    return net::LinkProperties{2e-4, 1.25e9};
+}
+
+net::LinkProperties wideArea() {
+    // Stockholm <-> Palo Alto (paper Fig. 6: > 100 ms latency tier).
+    return net::LinkProperties{0.12, 12.5e6};
+}
+
+} // namespace links
+
+Deployment::Deployment(std::uint64_t seed)
+    : network_(loop_), keySeed_(seed) {}
+
+Server& Deployment::addServer(const std::string& name, ServerConfig config) {
+    servers_.push_back(
+        std::make_unique<Server>(network_, name, newKeys(), config));
+    return *servers_.back();
+}
+
+void Deployment::connectServers(Server& a, Server& b,
+                                net::LinkProperties props) {
+    a.node().trust(b.node().publicKey());
+    b.node().trust(a.node().publicKey());
+    network_.connect(a.id(), b.id(), props);
+    a.addPeer(b.id());
+    b.addPeer(a.id());
+}
+
+Worker& Deployment::addWorker(const std::string& name, Server& closest,
+                              WorkerConfig config,
+                              ExecutableRegistry registry,
+                              net::LinkProperties props) {
+    workers_.push_back(std::make_unique<Worker>(
+        network_, name, newKeys(), std::move(config), std::move(registry)));
+    Worker& worker = *workers_.back();
+    worker.node().trust(closest.node().publicKey());
+    closest.node().trust(worker.node().publicKey());
+    network_.connect(worker.id(), closest.id(), props);
+    worker.start(closest.id());
+    return worker;
+}
+
+Client& Deployment::addClient(const std::string& name, Server& server,
+                              net::LinkProperties props) {
+    clients_.push_back(
+        std::make_unique<Client>(network_, name, newKeys()));
+    Client& client = *clients_.back();
+    client.node().trust(server.node().publicKey());
+    server.node().trust(client.node().publicKey());
+    network_.connect(client.id(), server.id(), props);
+    return client;
+}
+
+bool Deployment::runUntilDone(double horizonSeconds) {
+    auto allDone = [this] {
+        for (const auto& s : servers_)
+            if (!s->allProjectsDone()) return false;
+        return true;
+    };
+    if (allDone()) return true;
+    while (!loop_.empty() && loop_.now() < horizonSeconds) {
+        // Check after every event: controllers flip to done inside an
+        // event, and the next queued event may live hours later on the
+        // virtual clock (a heartbeat sweep), which would otherwise drag
+        // the reported completion time far past the real finish.
+        loop_.run(1);
+        if (allDone()) return true;
+    }
+    return allDone();
+}
+
+} // namespace cop::core

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file copernicus.hpp
+/// Top-level convenience API: builds a deployment (event loop + overlay +
+/// servers + workers + clients) like the one in the paper's Fig. 1, wires
+/// up trust and links, and drives projects to completion. Examples and
+/// benches use this instead of assembling the pieces by hand.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/server.hpp"
+#include "core/worker.hpp"
+#include "net/overlay.hpp"
+#include "util/random.hpp"
+
+namespace cop::core {
+
+/// Monitoring/control client (paper: command-line client or browser).
+class Client {
+public:
+    Client(net::OverlayNetwork& network, std::string name,
+           net::KeyPair keys);
+
+    net::Node& node() { return node_; }
+    net::NodeId id() const { return node_.id(); }
+
+    /// Asks `server` for the status of `project`; the reply lands in
+    /// lastStatus() once the event loop delivers it.
+    void requestStatus(net::NodeId server, ProjectId project);
+
+    /// Sends a control command to `project`'s controller (e.g. the MSM
+    /// controller accepts "set clusters N" and "set seeds N", realizing
+    /// the paper's dynamically adjustable sampling parameters).
+    void sendCommand(net::NodeId server, ProjectId project,
+                     const std::string& command);
+
+    const std::string& lastStatus() const { return lastStatus_; }
+    std::size_t responsesReceived() const { return responses_; }
+
+private:
+    net::OverlayNetwork* network_;
+    net::Node node_;
+    std::string lastStatus_;
+    std::size_t responses_ = 0;
+};
+
+/// Canonical link presets (order-of-magnitude values from the paper's
+/// Fig. 6 bandwidth/latency tiers).
+namespace links {
+/// Compute-node to head-node link inside a cluster (Infiniband-class).
+net::LinkProperties intraCluster();
+/// Server-to-server link inside one data centre.
+net::LinkProperties dataCenter();
+/// Wide-area link between continents (paper: Stockholm <-> Palo Alto).
+net::LinkProperties wideArea();
+} // namespace links
+
+/// Owns every piece of a simulated Copernicus deployment.
+class Deployment {
+public:
+    explicit Deployment(std::uint64_t seed = 42);
+
+    net::EventLoop& loop() { return loop_; }
+    net::OverlayNetwork& network() { return network_; }
+
+    Server& addServer(const std::string& name, ServerConfig config = {});
+
+    /// Establishes mutual trust, a link, and bidirectional peering between
+    /// two servers.
+    void connectServers(Server& a, Server& b, net::LinkProperties props);
+
+    /// Creates a worker attached to `closest` (trust + link + start).
+    Worker& addWorker(const std::string& name, Server& closest,
+                      WorkerConfig config, ExecutableRegistry registry,
+                      net::LinkProperties props);
+
+    Client& addClient(const std::string& name, Server& server,
+                      net::LinkProperties props);
+
+    /// Runs the event loop until every project on every server is done,
+    /// the virtual-time horizon passes, or the queue drains. Returns true
+    /// if all projects completed.
+    bool runUntilDone(double horizonSeconds);
+
+    const std::vector<std::unique_ptr<Server>>& servers() const {
+        return servers_;
+    }
+    const std::vector<std::unique_ptr<Worker>>& workers() const {
+        return workers_;
+    }
+
+private:
+    net::KeyPair newKeys() { return net::KeyPair::generate(keySeed_.next()); }
+
+    net::EventLoop loop_;
+    net::OverlayNetwork network_;
+    Rng keySeed_;
+    std::vector<std::unique_ptr<Server>> servers_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::unique_ptr<Client>> clients_;
+};
+
+} // namespace cop::core

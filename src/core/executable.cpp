@@ -1,0 +1,35 @@
+#include "core/executable.hpp"
+
+#include "util/error.hpp"
+
+namespace cop::core {
+
+void ExecutableRegistry::add(const std::string& name,
+                             ExecutableHandler handler) {
+    COP_REQUIRE(!name.empty(), "executable needs a name");
+    COP_REQUIRE(handler != nullptr, "null handler");
+    COP_REQUIRE(handlers_.find(name) == handlers_.end(),
+                "duplicate executable: " + name);
+    handlers_[name] = std::move(handler);
+}
+
+bool ExecutableRegistry::has(const std::string& name) const {
+    return handlers_.find(name) != handlers_.end();
+}
+
+std::vector<std::string> ExecutableRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(handlers_.size());
+    for (const auto& [name, handler] : handlers_) out.push_back(name);
+    return out;
+}
+
+Execution ExecutableRegistry::run(const CommandSpec& cmd, int cores) const {
+    auto it = handlers_.find(cmd.executable);
+    if (it == handlers_.end())
+        throw InvalidArgument("no executable installed for '" +
+                              cmd.executable + "'");
+    return it->second(cmd, cores);
+}
+
+} // namespace cop::core

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file executable.hpp
+/// Worker-side 'executables' (paper §2.3): descriptions of how to execute
+/// specific command types on this worker, registered as handlers. This is
+/// the extension point where the Gromacs-equivalent MD engine, the
+/// free-energy sampler, and the DES duration model plug in.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/command.hpp"
+
+namespace cop::core {
+
+/// Outcome of executing one command on a worker.
+struct Execution {
+    CommandResult result;
+    /// Virtual-time duration of the run on the assigned cores.
+    double simSeconds = 0.0;
+    /// Mid-run checkpoints to stream back to the server (pairs of
+    /// (fraction of run completed, checkpoint blob)); enables transparent
+    /// continuation when the worker later dies.
+    std::vector<std::pair<double, std::vector<std::uint8_t>>> checkpoints;
+};
+
+using ExecutableHandler =
+    std::function<Execution(const CommandSpec&, int cores)>;
+
+class ExecutableRegistry {
+public:
+    void add(const std::string& name, ExecutableHandler handler);
+    bool has(const std::string& name) const;
+    std::vector<std::string> names() const;
+
+    /// Runs the matching handler; throws InvalidArgument for unknown
+    /// executables.
+    Execution run(const CommandSpec& cmd, int cores) const;
+
+private:
+    std::map<std::string, ExecutableHandler> handlers_;
+};
+
+} // namespace cop::core

@@ -1,0 +1,281 @@
+#include "core/msm_controller.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/backends.hpp"
+#include "mdlib/observables.hpp"
+#include "mdlib/units.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/statistics.hpp"
+#include "util/string_util.hpp"
+
+namespace cop::core {
+
+MsmController::MsmController(MsmControllerParams params)
+    : params_(std::move(params)), rng_(params_.seed) {
+    COP_REQUIRE(!params_.startingConformations.empty(),
+                "need at least one starting conformation");
+    COP_REQUIRE(params_.tasksPerStart >= 1, "tasksPerStart must be >= 1");
+    COP_REQUIRE(params_.segmentSteps > 0, "segmentSteps must be > 0");
+    COP_REQUIRE(params_.maxGenerations >= 1, "maxGenerations must be >= 1");
+    if (params_.commandsPerGeneration <= 0)
+        params_.commandsPerGeneration =
+            int(params_.startingConformations.size()) * params_.tasksPerStart;
+}
+
+void MsmController::onProjectStart(ProjectContext& ctx) {
+    spawnInitialSwarm(ctx);
+}
+
+void MsmController::spawnInitialSwarm(ProjectContext& ctx) {
+    for (const auto& start : params_.startingConformations) {
+        COP_REQUIRE(start.size() == params_.model.numResidues(),
+                    "starting conformation size mismatch");
+        for (int t = 0; t < params_.tasksPerStart; ++t) {
+            md::SimulationConfig cfg = params_.simulation;
+            cfg.seed = rng_.next();
+            md::Simulation sim =
+                md::Simulation::forGoModel(params_.model, start, cfg);
+            sim.initializeVelocities();
+            submitSegment(ctx, nextTrajectoryId_++, sim.checkpoint());
+        }
+    }
+}
+
+void MsmController::submitSegment(ProjectContext& ctx, int trajectoryId,
+                                  std::vector<std::uint8_t> checkpoint) {
+    CommandSpec spec;
+    spec.executable = "mdrun";
+    spec.steps = params_.segmentSteps;
+    spec.preferredCores = 1;
+    spec.trajectoryId = trajectoryId;
+    spec.generation = generation_;
+    spec.input = std::move(checkpoint);
+    ctx.submitCommand(std::move(spec));
+}
+
+void MsmController::onCommandFinished(ProjectContext& ctx,
+                                      const CommandResult& result) {
+    if (done_) return;
+    const auto out = MdrunOutput::decode(result.output);
+
+    // Accumulate the segment and scan it for monitoring statistics.
+    auto& traj = trajectories_[result.trajectoryId];
+    const std::size_t firstNew = traj.numFrames() == 0 ? 0 : 1;
+    for (std::size_t f = firstNew; f < out.segment.numFrames(); ++f) {
+        const auto& frame = out.segment.frame(f);
+        const double r = md::toAngstrom(
+            md::rmsd(params_.model.native, frame.positions));
+        if (r < minRmsdAngstrom_) minRmsdAngstrom_ = r;
+        if (r < md::kFoldedRmsdAngstrom && firstFoldedTime_ < 0.0) {
+            firstFoldedTime_ = ctx.now();
+            firstFoldedGeneration_ = generation_;
+        }
+        traj.append(frame);
+    }
+
+    ++resultsSinceClustering_;
+    if (resultsSinceClustering_ >= params_.commandsPerGeneration) {
+        clusteringStep(ctx);
+    } else if (result.generation == generation_) {
+        // Current-generation trajectory: the controller extends the run by
+        // another segment (paper §3.2).
+        submitSegment(ctx, result.trajectoryId,
+                      std::vector<std::uint8_t>(out.checkpoint));
+    }
+    // Results from older generations are recorded but their trajectories
+    // were marked for termination at the last clustering step.
+}
+
+void MsmController::onCommandFailed(ProjectContext& ctx,
+                                    const CommandSpec& spec) {
+    // Failed commands are simply resubmitted from their newest checkpoint
+    // (the spec the queue hands back already carries it).
+    COP_LOG_INFO("msm") << "resubmitting failed command for trajectory "
+                        << spec.trajectoryId;
+    CommandSpec again = spec;
+    again.id = 0;
+    ctx.submitCommand(std::move(again));
+}
+
+void MsmController::clusteringStep(ProjectContext& ctx) {
+    resultsSinceClustering_ = 0;
+    ++generation_;
+
+    std::vector<md::Trajectory> trajs;
+    trajs.reserve(trajectories_.size());
+    std::vector<int> trajIds;
+    for (const auto& [id, traj] : trajectories_) {
+        if (traj.numFrames() == 0) continue;
+        trajs.push_back(traj);
+        trajIds.push_back(id);
+    }
+    COP_REQUIRE(!trajs.empty(), "clustering with no data");
+
+    msm::MsmPipelineParams pp = params_.pipeline;
+    pp.seed = rng_.next();
+    lastMsm_ = msm::buildMsm(trajs, pp);
+    const auto& msmResult = *lastMsm_;
+
+    GenerationRecord rec;
+    rec.generation = generation_;
+    rec.wallClockSimTime = ctx.now();
+    rec.numClusters = msmResult.clustering.numClusters();
+    rec.minRmsdAngstrom = minRmsdAngstrom_;
+
+    // Generation-level snapshot statistics.
+    RunningStats rmsdStats;
+    std::size_t folded = 0, total = 0;
+    for (const auto& traj : trajs) {
+        for (std::size_t f = 0; f < traj.numFrames(); f += pp.snapshotStride) {
+            const double r = md::toAngstrom(
+                md::rmsd(params_.model.native, traj.frame(f).positions));
+            rmsdStats.add(r);
+            if (r < md::kFoldedRmsdAngstrom) ++folded;
+            ++total;
+        }
+    }
+    rec.totalSnapshots = total;
+    rec.meanRmsdAngstrom = rmsdStats.mean();
+    rec.foldedFraction = total ? double(folded) / double(total) : 0.0;
+    rec.predictedRmsdAngstrom = scoreBlindPrediction(msmResult);
+
+    if (generation_ >= params_.maxGenerations) {
+        done_ = true;
+        history_.push_back(rec);
+        COP_LOG_INFO("msm") << "project finished after generation "
+                            << generation_;
+        return;
+    }
+
+    // Adaptive sampling: spawn the next generation's trajectories from
+    // cluster representatives, weighted per the configured scheme.
+    msm::AdaptiveParams ap;
+    ap.scheme = generation_ <= params_.evenGenerations
+                    ? msm::WeightingScheme::Even
+                    : params_.weighting;
+    ap.totalSeeds = params_.commandsPerGeneration;
+    ap.seed = rng_.next();
+    const auto plan =
+        msm::planAdaptiveSampling(msmResult.counts,
+                                  msmResult.observedStates(), ap);
+    rec.seedsSpawned = plan.totalSeeds();
+    history_.push_back(rec);
+
+    for (std::size_t state = 0; state < plan.seedsPerState.size(); ++state) {
+        for (int s = 0; s < plan.seedsPerState[state]; ++s) {
+            md::SimulationConfig cfg = params_.simulation;
+            cfg.seed = rng_.next();
+            md::Simulation sim = md::Simulation::forGoModel(
+                params_.model, msmResult.centers[state], cfg);
+            sim.initializeVelocities();
+            submitSegment(ctx, nextTrajectoryId_++, sim.checkpoint());
+        }
+    }
+}
+
+double MsmController::scoreBlindPrediction(
+    const msm::MsmPipelineResult& msmResult) {
+    // Highest-equilibrium-population cluster = predicted native state
+    // (paper §3.2). Score: RMSD to native averaged over the center plus
+    // up to four random member snapshots ("five random samples").
+    const auto& model = msmResult.model;
+    const auto& pi = model.stationaryDistribution();
+    std::size_t bestActive = 0;
+    for (std::size_t a = 1; a < pi.size(); ++a)
+        if (pi[a] > pi[bestActive]) bestActive = a;
+    const int micro = model.activeState(bestActive);
+
+    RunningStats score;
+    score.add(md::toAngstrom(
+        md::rmsd(params_.model.native,
+                 msmResult.centers[std::size_t(micro)])));
+
+    // Collect member snapshot indices of this microstate.
+    std::vector<std::pair<std::size_t, std::size_t>> members; // (traj, frame)
+    std::size_t flat = 0;
+    std::size_t trajIdx = 0;
+    for (const auto& dt : msmResult.discrete) {
+        for (std::size_t s = 0; s < dt.size(); ++s, ++flat) {
+            if (dt[s] == micro)
+                members.emplace_back(trajIdx, s);
+        }
+        ++trajIdx;
+    }
+    // Sample up to 4 members (deterministic).
+    Rng sampler(rng_.next());
+    for (int k = 0; k < 4 && !members.empty(); ++k) {
+        const auto& pick = members[sampler.uniformInt(members.size())];
+        // Recover the frame: snapshots were taken with the pipeline stride.
+        std::size_t count = 0;
+        for (const auto& [id, traj] : trajectories_) {
+            if (traj.numFrames() == 0) continue;
+            if (count == pick.first) {
+                const std::size_t frameIdx =
+                    pick.second * params_.pipeline.snapshotStride;
+                if (frameIdx < traj.numFrames())
+                    score.add(md::toAngstrom(md::rmsd(
+                        params_.model.native,
+                        traj.frame(frameIdx).positions)));
+                break;
+            }
+            ++count;
+        }
+    }
+    return score.mean();
+}
+
+std::string MsmController::handleClientCommand(ProjectContext& ctx,
+                                               const std::string& command) {
+    (void)ctx;
+    const auto parts = split(trim(command), ' ');
+    if (parts.size() == 3 && parts[0] == "set") {
+        if (parts[1] == "clusters") {
+            const int n = std::atoi(parts[2].c_str());
+            if (n < 2) return "clusters must be >= 2";
+            params_.pipeline.numClusters = std::size_t(n);
+            return "clusters set to " + parts[2] +
+                   " (takes effect at the next clustering step)";
+        }
+        if (parts[1] == "seeds") {
+            const int n = std::atoi(parts[2].c_str());
+            if (n < 1) return "seeds must be >= 1";
+            params_.commandsPerGeneration = n;
+            return "seeds per generation set to " + parts[2];
+        }
+        if (parts[1] == "weighting") {
+            if (parts[2] == "even")
+                params_.weighting = msm::WeightingScheme::Even;
+            else if (parts[2] == "adaptive")
+                params_.weighting = msm::WeightingScheme::Adaptive;
+            else
+                return "weighting must be 'even' or 'adaptive'";
+            return "weighting set to " + parts[2];
+        }
+    }
+    return "unknown command: " + command +
+           " (try: set clusters <n> | set seeds <n> | set weighting "
+           "even|adaptive)";
+}
+
+bool MsmController::isDone(const ProjectContext& ctx) const {
+    (void)ctx;
+    return done_;
+}
+
+std::string MsmController::statusReport(const ProjectContext& ctx) const {
+    std::ostringstream oss;
+    oss << "generation " << generation_ << "/" << params_.maxGenerations
+        << ", " << trajectories_.size() << " trajectories, "
+        << ctx.outstandingCommands() << " commands outstanding, min RMSD "
+        << minRmsdAngstrom_ << " A";
+    if (!history_.empty())
+        oss << ", predicted-state RMSD "
+            << history_.back().predictedRmsdAngstrom << " A";
+    return oss.str();
+}
+
+} // namespace cop::core

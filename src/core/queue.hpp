@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file queue.hpp
+/// Per-server command queue with claim/complete/requeue semantics and
+/// failure-recovery bookkeeping (which worker holds which command, and the
+/// freshest checkpoint the server has seen for each in-flight command).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/command.hpp"
+
+namespace cop::core {
+
+class CommandQueue {
+public:
+    /// Adds a command to the back of the queue.
+    void push(CommandSpec cmd);
+
+    std::size_t pendingCount() const { return pending_.size(); }
+    std::size_t inFlightCount() const { return inFlight_.size(); }
+    bool empty() const { return pending_.empty(); }
+
+    /// True if some pending command runs `executable`.
+    bool hasWorkFor(const std::vector<std::string>& executables) const;
+
+    /// Claims up to `maxCores` worth of commands matching the worker's
+    /// executables, marking them in-flight for `worker`. Commands whose
+    /// preferredCores exceed the remaining budget are skipped (best-fit
+    /// first-come order, as in the paper's "maximally utilizes the
+    /// available resources").
+    std::vector<CommandSpec> claim(const std::vector<std::string>& executables,
+                                   int maxCores, net::NodeId worker);
+
+    /// Marks a command finished; returns its spec if it was in flight.
+    std::optional<CommandSpec> complete(CommandId id);
+
+    /// Requeues every in-flight command held by `worker` (worker failure,
+    /// paper §2.3), substituting the newest checkpoint seen for each, and
+    /// returns their ids.
+    std::vector<CommandId> requeueWorker(net::NodeId worker);
+
+    /// Records a fresher input payload (checkpoint) for an in-flight
+    /// command so a requeue resumes from it rather than from scratch.
+    void updateCheckpoint(CommandId id, std::vector<std::uint8_t> checkpoint);
+
+    /// Worker currently holding a command, if any.
+    std::optional<net::NodeId> holderOf(CommandId id) const;
+
+private:
+    struct InFlight {
+        CommandSpec spec;
+        net::NodeId worker;
+    };
+    std::deque<CommandSpec> pending_;
+    std::map<CommandId, InFlight> inFlight_;
+};
+
+} // namespace cop::core

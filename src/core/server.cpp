@@ -1,0 +1,372 @@
+#include "core/server.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace cop::core {
+
+/// ProjectContext implementation bound to one hosted project.
+class Server::ContextImpl : public ProjectContext {
+public:
+    ContextImpl(Server& server, ProjectId id) : server_(&server), id_(id) {}
+
+    ProjectId projectId() const override { return id_; }
+
+    net::SimTime now() const override {
+        return server_->network_->loop().now();
+    }
+
+    CommandId submitCommand(CommandSpec spec) override {
+        spec.id = server_->nextCommandId();
+        spec.projectId = id_;
+        spec.projectServer = server_->id();
+        const CommandId cid = spec.id;
+        server_->projects_.at(id_).outstanding.insert(cid);
+        server_->queue_.push(std::move(spec));
+        server_->scheduleServiceWaiting();
+        return cid;
+    }
+
+    std::size_t outstandingCommands() const override {
+        return server_->projects_.at(id_).outstanding.size();
+    }
+
+private:
+    Server* server_;
+    ProjectId id_;
+};
+
+Server::Server(net::OverlayNetwork& network, std::string name,
+               net::KeyPair keys, ServerConfig config)
+    : network_(&network), node_(network, std::move(name), keys),
+      config_(config) {
+    COP_REQUIRE(config.heartbeatInterval > 0.0, "bad heartbeat interval");
+    COP_REQUIRE(config.failureMultiplier >= 1.0, "bad failure multiplier");
+    node_.setHandler([this](const net::Message& msg) { handleMessage(msg); });
+}
+
+Server::~Server() = default;
+
+void Server::addPeer(net::NodeId peer) {
+    COP_REQUIRE(peer != id(), "cannot peer with self");
+    if (std::find(peers_.begin(), peers_.end(), peer) == peers_.end())
+        peers_.push_back(peer);
+}
+
+ProjectId Server::createProject(std::string name,
+                                std::unique_ptr<Controller> controller) {
+    COP_REQUIRE(controller != nullptr, "project needs a controller");
+    const ProjectId id = nextProjectId_++;
+    ProjectEntry entry;
+    entry.name = std::move(name);
+    entry.controller = std::move(controller);
+    entry.context = std::make_unique<ContextImpl>(*this, id);
+    auto [it, inserted] = projects_.emplace(id, std::move(entry));
+    COP_ENSURE(inserted, "duplicate project id");
+    it->second.controller->onProjectStart(*it->second.context);
+    return id;
+}
+
+bool Server::projectDone(ProjectId id) const {
+    const auto& entry = projects_.at(id);
+    return entry.controller->isDone(*entry.context);
+}
+
+bool Server::allProjectsDone() const {
+    for (const auto& [id, entry] : projects_)
+        if (!entry.controller->isDone(*entry.context)) return false;
+    return true;
+}
+
+std::string Server::projectStatus(ProjectId id) const {
+    const auto& entry = projects_.at(id);
+    return entry.name + ": " + entry.controller->statusReport(*entry.context);
+}
+
+Controller& Server::projectController(ProjectId id) {
+    return *projects_.at(id).controller;
+}
+
+CommandId Server::nextCommandId() {
+    // Server id in the high bits keeps ids globally unique across project
+    // servers sharing the same worker pool.
+    return (std::uint64_t(id()) + 1) << 40 | ++commandCounter_;
+}
+
+void Server::sendMessage(net::MessageType type, net::NodeId to,
+                         std::vector<std::uint8_t> payload,
+                         std::uint64_t payloadKey) {
+    net::Message msg;
+    msg.type = type;
+    msg.source = id();
+    msg.destination = to;
+    msg.payload = std::move(payload);
+    msg.payloadKey = payloadKey;
+    network_->send(std::move(msg));
+}
+
+void Server::handleMessage(const net::Message& msg) {
+    switch (msg.type) {
+    case net::MessageType::WorkerAnnounce:
+    case net::MessageType::WorkloadRequest:
+        handleWorkloadRequest(msg);
+        break;
+    case net::MessageType::CommandOutput:
+    case net::MessageType::CommandFailed:
+    case net::MessageType::ProjectData:
+        handleCommandOutput(msg);
+        break;
+    case net::MessageType::Heartbeat:
+        handleHeartbeat(msg);
+        break;
+    case net::MessageType::CheckpointData:
+        handleCheckpoint(msg);
+        break;
+    case net::MessageType::WorkerFailed:
+        handleWorkerFailed(msg);
+        break;
+    case net::MessageType::ClientRequest:
+        handleClientRequest(msg);
+        break;
+    default:
+        COP_LOG_WARN("server") << name() << ": unexpected message type "
+                               << net::messageTypeName(msg.type);
+    }
+}
+
+void Server::handleWorkloadRequest(const net::Message& msg) {
+    ++stats_.workloadRequests;
+    auto request = WorkloadRequestPayload::decode(msg.payload);
+
+    // Track the worker if it reports to us directly (its closest server).
+    if (msg.source == request.worker) {
+        auto& rec = workers_[request.worker];
+        rec.lastHeartbeat = network_->loop().now();
+        ensureSweepScheduled();
+    }
+
+    auto claimed =
+        queue_.claim(request.executables, request.cores, request.worker);
+    if (!claimed.empty()) {
+        stats_.commandsAssigned += claimed.size();
+        WorkloadAssignPayload assign;
+        assign.commands = std::move(claimed);
+        sendMessage(net::MessageType::WorkloadAssign, request.worker,
+                    assign.encode());
+        return;
+    }
+
+    // Relay towards the first peer server not yet visited (paper §2.2:
+    // "routing of requests ... to the first server with available
+    // commands").
+    request.visited.push_back(id());
+    for (net::NodeId peer : peers_) {
+        if (std::find(request.visited.begin(), request.visited.end(), peer) !=
+            request.visited.end())
+            continue;
+        ++stats_.requestsForwarded;
+        net::Message fwd;
+        fwd.type = net::MessageType::WorkloadRequest;
+        fwd.source = id();
+        fwd.destination = peer;
+        fwd.payload = request.encode();
+        network_->send(std::move(fwd));
+        return;
+    }
+    if (config_.parkRequests && hostsUnfinishedProject()) {
+        parkedRequests_.push_back(std::move(request));
+        return;
+    }
+    sendMessage(net::MessageType::NoWorkAvailable, request.worker, {});
+}
+
+bool Server::hostsUnfinishedProject() const {
+    for (const auto& [id, entry] : projects_)
+        if (!entry.controller->isDone(*entry.context)) return true;
+    return false;
+}
+
+void Server::scheduleServiceWaiting() {
+    if (servicePending_ || parkedRequests_.empty()) return;
+    servicePending_ = true;
+    network_->loop().schedule(0.0, [this] {
+        servicePending_ = false;
+        serviceWaitingRequests();
+    });
+}
+
+void Server::serviceWaitingRequests() {
+    std::vector<WorkloadRequestPayload> stillParked;
+    for (auto& request : parkedRequests_) {
+        auto claimed =
+            queue_.claim(request.executables, request.cores, request.worker);
+        if (!claimed.empty()) {
+            stats_.commandsAssigned += claimed.size();
+            WorkloadAssignPayload assign;
+            assign.commands = std::move(claimed);
+            sendMessage(net::MessageType::WorkloadAssign, request.worker,
+                        assign.encode());
+        } else if (hostsUnfinishedProject()) {
+            stillParked.push_back(std::move(request));
+        } else {
+            sendMessage(net::MessageType::NoWorkAvailable, request.worker,
+                        {});
+        }
+    }
+    parkedRequests_ = std::move(stillParked);
+}
+
+void Server::handleCommandOutput(const net::Message& msg) {
+    BinaryReader r(msg.payload);
+    CommandResult result = CommandResult::deserialize(r);
+
+    // Drop any cached checkpoints: the command is over.
+    checkpointCache_.erase(result.commandId);
+
+    if (projects_.find(result.projectId) != projects_.end()) {
+        dispatchResult(std::move(result));
+        return;
+    }
+    // Not ours: relay towards the project server (payloadKey carries it).
+    const auto projectServer = net::NodeId(msg.payloadKey);
+    if (projectServer == net::kInvalidNode || projectServer == id()) {
+        COP_LOG_WARN("server") << name() << ": orphan command output "
+                               << result.commandId;
+        return;
+    }
+    sendMessage(net::MessageType::ProjectData, projectServer,
+                std::vector<std::uint8_t>(msg.payload), msg.payloadKey);
+}
+
+void Server::dispatchResult(CommandResult result) {
+    auto spec = queue_.complete(result.commandId);
+    auto& entry = projects_.at(result.projectId);
+    entry.outstanding.erase(result.commandId);
+    if (result.success) {
+        ++stats_.commandsCompleted;
+        entry.controller->onCommandFinished(*entry.context, result);
+    } else {
+        ++stats_.commandsFailed;
+        if (spec)
+            entry.controller->onCommandFailed(*entry.context, *spec);
+    }
+}
+
+void Server::handleHeartbeat(const net::Message& msg) {
+    ++stats_.heartbeatsReceived;
+    auto hb = HeartbeatPayload::decode(msg.payload);
+    auto& rec = workers_[hb.worker];
+    rec.lastHeartbeat = network_->loop().now();
+    rec.lastPayload = std::move(hb);
+    ensureSweepScheduled();
+}
+
+void Server::handleCheckpoint(const net::Message& msg) {
+    if (!config_.cacheCheckpoints) return;
+    auto cp = CheckpointPayload::decode(msg.payload);
+    // If we host the project ourselves, feed the checkpoint straight into
+    // the in-flight record; otherwise cache it for failure handoff.
+    if (projects_.find(cp.projectId) != projects_.end()) {
+        queue_.updateCheckpoint(cp.commandId, cp.blob);
+        return;
+    }
+    checkpointCache_[cp.commandId] = std::move(cp);
+}
+
+void Server::handleWorkerFailed(const net::Message& msg) {
+    auto payload = WorkerFailedPayload::decode(msg.payload);
+    for (std::size_t i = 0; i < payload.commands.size(); ++i) {
+        if (i < payload.checkpoints.size() && !payload.checkpoints[i].empty())
+            queue_.updateCheckpoint(payload.commands[i],
+                                    payload.checkpoints[i]);
+    }
+    const auto requeued = queue_.requeueWorker(payload.worker);
+    stats_.commandsRequeued += requeued.size();
+    COP_LOG_INFO("server") << name() << ": worker "
+                           << network_->node(payload.worker).name()
+                           << " failed; requeued " << requeued.size()
+                           << " commands";
+}
+
+void Server::handleClientRequest(const net::Message& msg) {
+    BinaryReader r(msg.payload);
+    const auto projectId = r.read<std::uint64_t>();
+    const std::string command = r.atEnd() ? std::string() : r.readString();
+    std::string reply;
+    auto it = projects_.find(projectId);
+    if (it == projects_.end()) {
+        reply = "unknown project " + std::to_string(projectId);
+    } else if (command.empty() || command == "status") {
+        reply = projectStatus(projectId);
+    } else {
+        // Control command: routed to the project's controller (dynamic
+        // parameter changes, §3.2 "future versions").
+        reply = it->second.controller->handleClientCommand(
+            *it->second.context, command);
+    }
+    BinaryWriter w;
+    w.write(reply);
+    sendMessage(net::MessageType::ClientResponse, msg.source,
+                w.takeBuffer());
+}
+
+void Server::ensureSweepScheduled() {
+    if (sweepScheduled_) return;
+    sweepScheduled_ = true;
+    network_->loop().schedule(config_.heartbeatInterval,
+                              [this] { sweepWorkers(); });
+}
+
+void Server::sweepWorkers() {
+    sweepScheduled_ = false;
+    const double now = network_->loop().now();
+    const double deadline =
+        config_.failureMultiplier * config_.heartbeatInterval;
+    for (auto it = workers_.begin(); it != workers_.end();) {
+        if (now - it->second.lastHeartbeat > deadline) {
+            ++stats_.workersFailed;
+            const auto& hb = it->second.lastPayload;
+            // Group the dead worker's commands by project server and send
+            // each one a failure signal with our cached checkpoints.
+            std::map<net::NodeId, WorkerFailedPayload> perServer;
+            for (std::size_t i = 0; i < hb.running.size(); ++i) {
+                const net::NodeId ps = i < hb.projectServers.size()
+                                           ? hb.projectServers[i]
+                                           : net::kInvalidNode;
+                if (ps == net::kInvalidNode) continue;
+                auto& p = perServer[ps];
+                p.worker = it->first;
+                p.commands.push_back(hb.running[i]);
+                auto cpIt = checkpointCache_.find(hb.running[i]);
+                p.checkpoints.push_back(cpIt != checkpointCache_.end()
+                                            ? cpIt->second.blob
+                                            : std::vector<std::uint8_t>{});
+            }
+            for (auto& [ps, payload] : perServer) {
+                if (ps == id()) {
+                    // We host the project: requeue directly.
+                    for (std::size_t i = 0; i < payload.commands.size(); ++i)
+                        if (!payload.checkpoints[i].empty())
+                            queue_.updateCheckpoint(payload.commands[i],
+                                                    payload.checkpoints[i]);
+                    const auto requeued = queue_.requeueWorker(it->first);
+                    stats_.commandsRequeued += requeued.size();
+                } else {
+                    sendMessage(net::MessageType::WorkerFailed, ps,
+                                payload.encode());
+                }
+            }
+            // If the worker ran commands we host but never heartbeated them
+            // (edge case), requeue those too.
+            const auto extra = queue_.requeueWorker(it->first);
+            stats_.commandsRequeued += extra.size();
+            it = workers_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    if (!workers_.empty()) ensureSweepScheduled();
+}
+
+} // namespace cop::core

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file server.hpp
+/// A Copernicus server (paper §2): all servers run identical code; their
+/// role (project server vs. network relay) is determined solely by their
+/// connectivity and whether they hold projects. A server:
+///   - maintains a command queue for the projects it hosts,
+///   - matches workload requests against that queue, forwarding requests
+///     it cannot satisfy to peer servers ("first server with available
+///     commands"),
+///   - monitors worker heartbeats and signals failures to project servers,
+///   - caches worker checkpoints so commands can transparently continue on
+///     another worker after a failure,
+///   - dispatches controller plugin events as command output arrives.
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/queue.hpp"
+#include "core/wire.hpp"
+#include "net/overlay.hpp"
+
+namespace cop::core {
+
+struct ServerConfig {
+    /// Expected worker heartbeat interval (paper default: 120 s).
+    double heartbeatInterval = 120.0;
+    /// A worker is declared dead after this many missed intervals.
+    double failureMultiplier = 2.0;
+    /// Cache worker checkpoints for failure handoff.
+    bool cacheCheckpoints = true;
+    /// Park unsatisfiable workload requests and answer them as soon as new
+    /// commands are queued (long polling), instead of bouncing
+    /// NoWorkAvailable and having the worker poll. Requests are parked only
+    /// on servers hosting unfinished projects; elsewhere the worker falls
+    /// back to polling.
+    bool parkRequests = true;
+};
+
+struct ServerStats {
+    std::uint64_t workloadRequests = 0;
+    std::uint64_t requestsForwarded = 0;
+    std::uint64_t commandsAssigned = 0;
+    std::uint64_t commandsCompleted = 0;
+    std::uint64_t commandsFailed = 0;
+    std::uint64_t workersFailed = 0;
+    std::uint64_t commandsRequeued = 0;
+    std::uint64_t heartbeatsReceived = 0;
+};
+
+class Server {
+public:
+    Server(net::OverlayNetwork& network, std::string name,
+           net::KeyPair keys, ServerConfig config = {});
+    ~Server(); // out-of-line: ProjectEntry holds an incomplete ContextImpl
+
+    net::Node& node() { return node_; }
+    net::NodeId id() const { return node_.id(); }
+    const std::string& name() const { return node_.name(); }
+
+    /// Declares another server a peer for workload-request forwarding.
+    /// (Connectivity itself is established via OverlayNetwork::connect.)
+    void addPeer(net::NodeId peer);
+
+    /// Creates a project hosted on this server. The controller's
+    /// onProjectStart fires immediately.
+    ProjectId createProject(std::string name,
+                            std::unique_ptr<Controller> controller);
+
+    bool projectDone(ProjectId id) const;
+    /// True when every hosted project is done.
+    bool allProjectsDone() const;
+    std::string projectStatus(ProjectId id) const;
+    Controller& projectController(ProjectId id);
+
+    const CommandQueue& queue() const { return queue_; }
+    const ServerStats& stats() const { return stats_; }
+    const ServerConfig& config() const { return config_; }
+
+private:
+    class ContextImpl;
+
+    struct ProjectEntry {
+        std::string name;
+        std::unique_ptr<Controller> controller;
+        std::unique_ptr<ContextImpl> context;
+        std::set<CommandId> outstanding;
+    };
+
+    struct WorkerRecord {
+        double lastHeartbeat = 0.0;
+        HeartbeatPayload lastPayload;
+    };
+
+    void handleMessage(const net::Message& msg);
+    void handleWorkloadRequest(const net::Message& msg);
+    void handleCommandOutput(const net::Message& msg);
+    void handleHeartbeat(const net::Message& msg);
+    void handleCheckpoint(const net::Message& msg);
+    void handleWorkerFailed(const net::Message& msg);
+    void handleClientRequest(const net::Message& msg);
+
+    /// Routes a decoded result to the local project controller.
+    void dispatchResult(CommandResult result);
+
+    void ensureSweepScheduled();
+    void sweepWorkers();
+    bool hostsUnfinishedProject() const;
+    /// Called after commands are queued: answers parked requests.
+    void scheduleServiceWaiting();
+    void serviceWaitingRequests();
+
+    void sendMessage(net::MessageType type, net::NodeId to,
+                     std::vector<std::uint8_t> payload,
+                     std::uint64_t payloadKey = 0);
+
+    CommandId nextCommandId();
+
+    net::OverlayNetwork* network_;
+    net::Node node_;
+    ServerConfig config_;
+    CommandQueue queue_;
+    std::vector<net::NodeId> peers_;
+    std::map<ProjectId, ProjectEntry> projects_;
+    std::map<net::NodeId, WorkerRecord> workers_;
+    /// commandId -> newest checkpoint blob seen from a local worker.
+    std::map<CommandId, CheckpointPayload> checkpointCache_;
+    ServerStats stats_;
+    std::vector<WorkloadRequestPayload> parkedRequests_;
+    ProjectId nextProjectId_ = 1;
+    std::uint64_t commandCounter_ = 0;
+    bool sweepScheduled_ = false;
+    bool servicePending_ = false;
+};
+
+} // namespace cop::core

@@ -1,0 +1,117 @@
+#include "core/wire.hpp"
+
+namespace cop::core {
+
+std::vector<std::uint8_t> WorkloadRequestPayload::encode() const {
+    BinaryWriter w;
+    w.write(std::int32_t(worker));
+    w.write(platform);
+    w.write(std::int32_t(cores));
+    w.write(std::uint64_t(executables.size()));
+    for (const auto& e : executables) w.write(e);
+    w.write(std::uint64_t(visited.size()));
+    for (auto v : visited) w.write(std::int32_t(v));
+    return w.takeBuffer();
+}
+
+WorkloadRequestPayload WorkloadRequestPayload::decode(
+    std::span<const std::uint8_t> data) {
+    BinaryReader r(data);
+    WorkloadRequestPayload p;
+    p.worker = r.read<std::int32_t>();
+    p.platform = r.readString();
+    p.cores = r.read<std::int32_t>();
+    const auto ne = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < ne; ++i)
+        p.executables.push_back(r.readString());
+    const auto nv = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < nv; ++i)
+        p.visited.push_back(r.read<std::int32_t>());
+    return p;
+}
+
+std::vector<std::uint8_t> WorkloadAssignPayload::encode() const {
+    BinaryWriter w;
+    w.write(std::uint64_t(commands.size()));
+    for (const auto& c : commands) c.serialize(w);
+    return w.takeBuffer();
+}
+
+WorkloadAssignPayload WorkloadAssignPayload::decode(
+    std::span<const std::uint8_t> data) {
+    BinaryReader r(data);
+    WorkloadAssignPayload p;
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i)
+        p.commands.push_back(CommandSpec::deserialize(r));
+    return p;
+}
+
+std::vector<std::uint8_t> HeartbeatPayload::encode() const {
+    BinaryWriter w;
+    w.write(std::int32_t(worker));
+    w.write(std::uint64_t(running.size()));
+    for (auto id : running) w.write(id);
+    w.write(std::uint64_t(projectServers.size()));
+    for (auto s : projectServers) w.write(std::int32_t(s));
+    return w.takeBuffer();
+}
+
+HeartbeatPayload HeartbeatPayload::decode(std::span<const std::uint8_t> data) {
+    BinaryReader r(data);
+    HeartbeatPayload p;
+    p.worker = r.read<std::int32_t>();
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i)
+        p.running.push_back(r.read<std::uint64_t>());
+    const auto m = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < m; ++i)
+        p.projectServers.push_back(r.read<std::int32_t>());
+    return p;
+}
+
+std::vector<std::uint8_t> CheckpointPayload::encode() const {
+    BinaryWriter w;
+    w.write(commandId);
+    w.write(projectId);
+    w.write(std::int32_t(projectServer));
+    w.writeBytes(blob);
+    return w.takeBuffer();
+}
+
+CheckpointPayload CheckpointPayload::decode(
+    std::span<const std::uint8_t> data) {
+    BinaryReader r(data);
+    CheckpointPayload p;
+    p.commandId = r.read<std::uint64_t>();
+    p.projectId = r.read<std::uint64_t>();
+    p.projectServer = r.read<std::int32_t>();
+    p.blob = r.readBytes();
+    return p;
+}
+
+std::vector<std::uint8_t> WorkerFailedPayload::encode() const {
+    BinaryWriter w;
+    w.write(std::int32_t(worker));
+    w.write(std::uint64_t(commands.size()));
+    for (auto id : commands) w.write(id);
+    w.write(std::uint64_t(checkpoints.size()));
+    for (const auto& c : checkpoints) w.writeBytes(c);
+    return w.takeBuffer();
+}
+
+WorkerFailedPayload WorkerFailedPayload::decode(
+    std::span<const std::uint8_t> data) {
+    BinaryReader r(data);
+    WorkerFailedPayload p;
+    p.worker = r.read<std::int32_t>();
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i)
+        p.commands.push_back(r.read<std::uint64_t>());
+    const auto m = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < m; ++i)
+        p.checkpoints.push_back(r.readBytes());
+    return p;
+}
+
+} // namespace cop::core

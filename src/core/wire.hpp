@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file wire.hpp
+/// Wire formats of the framework-level message payloads exchanged between
+/// workers, relay servers and project servers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/command.hpp"
+#include "net/message.hpp"
+#include "util/serialize.hpp"
+
+namespace cop::core {
+
+/// Worker capability announcement / workload request (paper §2.3). Also
+/// carries the list of servers already visited so relaying cannot loop.
+struct WorkloadRequestPayload {
+    net::NodeId worker = net::kInvalidNode;
+    std::string platform;
+    int cores = 0;
+    std::vector<std::string> executables;
+    std::vector<net::NodeId> visited;
+
+    std::vector<std::uint8_t> encode() const;
+    static WorkloadRequestPayload decode(std::span<const std::uint8_t> data);
+};
+
+struct WorkloadAssignPayload {
+    std::vector<CommandSpec> commands;
+
+    std::vector<std::uint8_t> encode() const;
+    static WorkloadAssignPayload decode(std::span<const std::uint8_t> data);
+};
+
+/// Heartbeat status: which commands this worker is running and where their
+/// project servers live. Intentionally tiny (paper: < 200 bytes).
+struct HeartbeatPayload {
+    net::NodeId worker = net::kInvalidNode;
+    std::vector<CommandId> running;
+    std::vector<net::NodeId> projectServers; ///< parallel to `running`
+
+    std::vector<std::uint8_t> encode() const;
+    static HeartbeatPayload decode(std::span<const std::uint8_t> data);
+};
+
+/// Mid-run checkpoint streamed to the worker's closest server.
+struct CheckpointPayload {
+    CommandId commandId = 0;
+    ProjectId projectId = 0;
+    net::NodeId projectServer = net::kInvalidNode;
+    std::vector<std::uint8_t> blob;
+
+    std::vector<std::uint8_t> encode() const;
+    static CheckpointPayload decode(std::span<const std::uint8_t> data);
+};
+
+/// Failure signal from a worker's server to a project server, carrying the
+/// newest cached checkpoints so commands restart from them (paper §2.3).
+struct WorkerFailedPayload {
+    net::NodeId worker = net::kInvalidNode;
+    std::vector<CommandId> commands;
+    std::vector<std::vector<std::uint8_t>> checkpoints; ///< may hold empties
+
+    std::vector<std::uint8_t> encode() const;
+    static WorkerFailedPayload decode(std::span<const std::uint8_t> data);
+};
+
+} // namespace cop::core

@@ -1,0 +1,172 @@
+#include "core/worker.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace cop::core {
+
+Worker::Worker(net::OverlayNetwork& network, std::string name,
+               net::KeyPair keys, WorkerConfig config,
+               ExecutableRegistry registry)
+    : network_(&network), node_(network, std::move(name), keys),
+      config_(std::move(config)), registry_(std::move(registry)) {
+    COP_REQUIRE(config_.cores >= 1, "worker needs at least one core");
+    COP_REQUIRE(config_.heartbeatInterval > 0.0, "bad heartbeat interval");
+    node_.setHandler([this](const net::Message& msg) { handleMessage(msg); });
+}
+
+void Worker::start(net::NodeId closestServer) {
+    COP_REQUIRE(network_->connected(id(), closestServer) ||
+                    network_->nextHop(id(), closestServer) !=
+                        net::kInvalidNode,
+                "worker has no route to its server");
+    server_ = closestServer;
+    requestWork();
+}
+
+void Worker::failAfter(double delay) {
+    network_->loop().schedule(delay, [this] {
+        alive_ = false;
+        running_.clear();
+        COP_LOG_INFO("worker") << node_.name() << ": injected failure";
+    });
+}
+
+void Worker::sendMessage(net::MessageType type,
+                         std::vector<std::uint8_t> payload,
+                         std::uint64_t payloadKey) {
+    net::Message msg;
+    msg.type = type;
+    msg.source = id();
+    msg.destination = server_;
+    msg.payload = std::move(payload);
+    msg.payloadKey = payloadKey;
+    network_->send(std::move(msg));
+}
+
+void Worker::requestWork() {
+    if (!alive_ || draining_ || requestPending_) return;
+    requestPending_ = true;
+    ++stats_.workloadRequestsSent;
+    WorkloadRequestPayload req;
+    req.worker = id();
+    req.platform = config_.platform;
+    req.cores = config_.cores;
+    req.executables = registry_.names();
+    sendMessage(net::MessageType::WorkloadRequest, req.encode());
+}
+
+void Worker::handleMessage(const net::Message& msg) {
+    if (!alive_) return;
+    switch (msg.type) {
+    case net::MessageType::WorkloadAssign:
+        requestPending_ = false;
+        handleAssignment(msg);
+        break;
+    case net::MessageType::NoWorkAvailable:
+        requestPending_ = false;
+        // The queue was empty everywhere; retry after a delay (this is the
+        // "no more than 30 seconds per day" wait of §4).
+        network_->loop().schedule(config_.retryDelay,
+                                  [this] { requestWork(); });
+        break;
+    default:
+        COP_LOG_WARN("worker") << node_.name() << ": unexpected message "
+                               << net::messageTypeName(msg.type);
+    }
+}
+
+void Worker::handleAssignment(const net::Message& msg) {
+    auto assign = WorkloadAssignPayload::decode(msg.payload);
+    if (assign.commands.empty()) return;
+
+    for (auto& cmd : assign.commands) {
+        const int cores = std::min(cmd.preferredCores, config_.cores);
+        Execution exec;
+        try {
+            exec = registry_.run(cmd, cores);
+        } catch (const Error& e) {
+            exec.result.commandId = cmd.id;
+            exec.result.projectId = cmd.projectId;
+            exec.result.trajectoryId = cmd.trajectoryId;
+            exec.result.generation = cmd.generation;
+            exec.result.success = false;
+            exec.result.error = e.what();
+            exec.simSeconds = 0.0;
+        }
+        exec.result.simSeconds = exec.simSeconds;
+        stats_.busySeconds += exec.simSeconds;
+
+        // Stream mid-run checkpoints to the closest server.
+        for (auto& [fraction, blob] : exec.checkpoints) {
+            CheckpointPayload cp;
+            cp.commandId = cmd.id;
+            cp.projectId = cmd.projectId;
+            cp.projectServer = cmd.projectServer;
+            cp.blob = std::move(blob);
+            network_->loop().schedule(
+                fraction * exec.simSeconds,
+                [this, cp = std::move(cp)]() mutable {
+                    if (!alive_) return;
+                    ++stats_.checkpointsSent;
+                    sendMessage(net::MessageType::CheckpointData,
+                                cp.encode());
+                });
+        }
+
+        // Deliver the result when the (virtual) run completes.
+        const CommandId cid = cmd.id;
+        const auto projectServer = std::uint64_t(cmd.projectServer);
+        const double duration = exec.simSeconds;
+        const bool ok = exec.result.success;
+        running_[cid] = Running{std::move(cmd)};
+        network_->loop().schedule(
+            duration,
+            [this, cid, projectServer, ok,
+             result = std::move(exec.result)]() mutable {
+                if (!alive_) return;
+                running_.erase(cid);
+                if (ok)
+                    ++stats_.commandsCompleted;
+                else
+                    ++stats_.commandsFailed;
+                BinaryWriter w;
+                result.serialize(w);
+                sendMessage(ok ? net::MessageType::CommandOutput
+                               : net::MessageType::CommandFailed,
+                            w.takeBuffer(), projectServer);
+                if (running_.empty()) requestWork();
+            });
+    }
+    // Report status right away so the closest server knows which commands
+    // we hold (needed for failure handoff), then keep beating.
+    sendHeartbeat();
+    ensureHeartbeatScheduled();
+}
+
+void Worker::ensureHeartbeatScheduled() {
+    if (heartbeatScheduled_ || running_.empty()) return;
+    heartbeatScheduled_ = true;
+    network_->loop().schedule(config_.heartbeatInterval, [this] {
+        heartbeatScheduled_ = false;
+        if (!alive_) return;
+        if (!running_.empty()) {
+            sendHeartbeat();
+            ensureHeartbeatScheduled();
+        }
+    });
+}
+
+void Worker::sendHeartbeat() {
+    ++stats_.heartbeatsSent;
+    HeartbeatPayload hb;
+    hb.worker = id();
+    for (const auto& [cid, run] : running_) {
+        hb.running.push_back(cid);
+        hb.projectServers.push_back(run.spec.projectServer);
+    }
+    sendMessage(net::MessageType::Heartbeat, hb.encode());
+}
+
+} // namespace cop::core

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file worker.hpp
+/// A Copernicus worker (paper §2.3): presents its platform, core count and
+/// installed executables to its closest server, receives a workload,
+/// executes the commands (really, via the MD engine, or virtually, via a
+/// duration model), streams checkpoints and heartbeats, returns output,
+/// and asks for more work. Supports failure injection for the §2.3
+/// transparent-continuation experiments.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/executable.hpp"
+#include "core/wire.hpp"
+#include "net/overlay.hpp"
+
+namespace cop::core {
+
+struct WorkerConfig {
+    std::string platform = "smp"; ///< e.g. "OpenMPI", "SMP" (paper §2.3)
+    int cores = 1;
+    double heartbeatInterval = 120.0; ///< seconds (paper default)
+    double retryDelay = 30.0;         ///< wait after NoWorkAvailable
+};
+
+struct WorkerStats {
+    std::uint64_t commandsCompleted = 0;
+    std::uint64_t commandsFailed = 0;
+    std::uint64_t workloadRequestsSent = 0;
+    std::uint64_t heartbeatsSent = 0;
+    std::uint64_t checkpointsSent = 0;
+    double busySeconds = 0.0; ///< virtual seconds of command execution
+};
+
+class Worker {
+public:
+    Worker(net::OverlayNetwork& network, std::string name,
+           net::KeyPair keys, WorkerConfig config,
+           ExecutableRegistry registry);
+
+    net::Node& node() { return node_; }
+    net::NodeId id() const { return node_.id(); }
+    const WorkerConfig& config() const { return config_; }
+    const WorkerStats& stats() const { return stats_; }
+
+    /// Sets the closest server (must already be connected in the overlay)
+    /// and sends the first announcement/work request.
+    void start(net::NodeId closestServer);
+
+    /// Stops requesting new work after the current commands complete.
+    void drain() { draining_ = true; }
+
+    /// Injects a crash `delay` seconds from now: the worker stops dead —
+    /// no more heartbeats, checkpoints or results.
+    void failAfter(double delay);
+
+    bool alive() const { return alive_; }
+    std::size_t runningCommands() const { return running_.size(); }
+
+private:
+    void handleMessage(const net::Message& msg);
+    void handleAssignment(const net::Message& msg);
+    void requestWork();
+    void sendHeartbeat();
+    void ensureHeartbeatScheduled();
+    void sendMessage(net::MessageType type, std::vector<std::uint8_t> payload,
+                     std::uint64_t payloadKey = 0);
+
+    struct Running {
+        CommandSpec spec;
+    };
+
+    net::OverlayNetwork* network_;
+    net::Node node_;
+    WorkerConfig config_;
+    ExecutableRegistry registry_;
+    net::NodeId server_ = net::kInvalidNode;
+    std::map<CommandId, Running> running_;
+    WorkerStats stats_;
+    bool alive_ = true;
+    bool draining_ = false;
+    bool heartbeatScheduled_ = false;
+    bool requestPending_ = false;
+};
+
+} // namespace cop::core

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file bar.hpp
+/// Bennett Acceptance Ratio free-energy estimation. The paper (§5) lists a
+/// BAR free-energy-perturbation controller as the second plugin shipped
+/// with Copernicus; this module provides the estimator the plugin drives.
+///
+/// Conventions: reduced units with kB T = 1/beta; work values are energy
+/// differences U_target - U_sampled evaluated on configurations drawn in
+/// the sampled state.
+
+#include <cstddef>
+#include <vector>
+
+namespace cop::fe {
+
+struct BarResult {
+    double deltaF = 0.0;       ///< free energy F1 - F0 (units of kT if beta=1)
+    double standardError = 0.0;///< asymptotic standard error
+    int iterations = 0;        ///< self-consistency iterations used
+    bool converged = false;
+};
+
+struct BarParams {
+    double beta = 1.0;
+    double tolerance = 1e-10;
+    int maxIterations = 200;
+};
+
+/// Bennett acceptance ratio from forward work samples (drawn in state 0:
+/// W = U1 - U0) and reverse work samples (drawn in state 1: W = U0 - U1).
+/// Solves the implicit BAR equation by damped fixed-point iteration and
+/// reports the asymptotic variance estimate of Bennett (1976).
+BarResult bar(const std::vector<double>& forwardWork,
+              const std::vector<double>& reverseWork,
+              const BarParams& params = {});
+
+/// Zwanzig exponential averaging (one-sided FEP):
+/// deltaF = -1/beta * ln < exp(-beta W) >.
+double exponentialAveraging(const std::vector<double>& work,
+                            double beta = 1.0);
+
+/// Free energy along a chain of lambda windows: sums per-window BAR
+/// results; errors add in quadrature.
+struct LambdaChainResult {
+    std::vector<BarResult> windows;
+    double totalDeltaF = 0.0;
+    double totalError = 0.0;
+};
+LambdaChainResult barChain(
+    const std::vector<std::vector<double>>& forwardWorkPerWindow,
+    const std::vector<std::vector<double>>& reverseWorkPerWindow,
+    const BarParams& params = {});
+
+} // namespace cop::fe

@@ -1,0 +1,47 @@
+#include "fe/harmonic.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cop::fe {
+
+double harmonicDeltaF(const HarmonicState& s0, const HarmonicState& s1,
+                      double beta) {
+    COP_REQUIRE(s0.k > 0.0 && s1.k > 0.0, "spring constants must be positive");
+    COP_REQUIRE(beta > 0.0, "beta must be positive");
+    // F = -(1/beta) ln sqrt(2 pi / (beta k)); centers cancel.
+    return 0.5 / beta * std::log(s1.k / s0.k);
+}
+
+std::vector<double> harmonicWorkSamples(const HarmonicState& sampled,
+                                        const HarmonicState& target,
+                                        std::size_t n, double beta, Rng& rng) {
+    COP_REQUIRE(n > 0, "need at least one sample");
+    COP_REQUIRE(sampled.k > 0.0 && beta > 0.0, "invalid parameters");
+    const double sigma = 1.0 / std::sqrt(beta * sampled.k);
+    std::vector<double> work;
+    work.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = rng.gaussian(sampled.x0, sigma);
+        work.push_back(target.energy(x) - sampled.energy(x));
+    }
+    return work;
+}
+
+std::vector<HarmonicState> harmonicLambdaChain(const HarmonicState& first,
+                                               const HarmonicState& last,
+                                               std::size_t nWindows) {
+    COP_REQUIRE(nWindows >= 1, "need at least one window");
+    std::vector<HarmonicState> states;
+    states.reserve(nWindows + 1);
+    for (std::size_t w = 0; w <= nWindows; ++w) {
+        const double lambda = double(w) / double(nWindows);
+        states.push_back(HarmonicState{
+            first.k + lambda * (last.k - first.k),
+            first.x0 + lambda * (last.x0 - first.x0)});
+    }
+    return states;
+}
+
+} // namespace cop::fe

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file harmonic.hpp
+/// Analytic harmonic test system for the free-energy module: two 1D
+/// harmonic potentials U_s(x) = 0.5 k_s (x - x0_s)^2. The exact free-energy
+/// difference is deltaF = (1/(2 beta)) ln(k1/k0), independent of the
+/// centers. Samplers draw exact Boltzmann configurations and evaluate work
+/// values, so estimator tests have no MD noise floor.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace cop::fe {
+
+struct HarmonicState {
+    double k = 1.0;  ///< spring constant
+    double x0 = 0.0; ///< center
+
+    double energy(double x) const { return 0.5 * k * (x - x0) * (x - x0); }
+};
+
+/// Exact deltaF = F1 - F0 at inverse temperature beta.
+double harmonicDeltaF(const HarmonicState& s0, const HarmonicState& s1,
+                      double beta);
+
+/// Draws `n` exact Boltzmann samples in `sampled` and returns the work
+/// values U_target(x) - U_sampled(x).
+std::vector<double> harmonicWorkSamples(const HarmonicState& sampled,
+                                        const HarmonicState& target,
+                                        std::size_t n, double beta, Rng& rng);
+
+/// A chain of `nWindows+1` states interpolating linearly in both k and x0
+/// between `first` and `last`.
+std::vector<HarmonicState> harmonicLambdaChain(const HarmonicState& first,
+                                               const HarmonicState& last,
+                                               std::size_t nWindows);
+
+} // namespace cop::fe

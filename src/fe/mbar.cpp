@@ -1,0 +1,100 @@
+#include "fe/mbar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cop::fe {
+
+MbarResult mbar(const MbarInput& input, const MbarParams& params) {
+    const std::size_t k = input.numStates();
+    const std::size_t n = input.totalSamples();
+    COP_REQUIRE(k >= 2, "MBAR needs at least two states");
+    COP_REQUIRE(n >= k, "MBAR needs samples");
+    std::size_t expected = 0;
+    for (auto c : input.samplesPerState) {
+        COP_REQUIRE(c > 0, "every state needs samples");
+        expected += c;
+    }
+    COP_REQUIRE(expected == n, "samplesPerState does not match samples");
+    for (const auto& row : input.reducedEnergies)
+        COP_REQUIRE(row.size() == k, "energy row size mismatch");
+
+    std::vector<double> logN(k);
+    for (std::size_t s = 0; s < k; ++s)
+        logN[s] = std::log(double(input.samplesPerState[s]));
+
+    std::vector<double> f(k, 0.0);
+    MbarResult result;
+
+    // Self-consistent iteration:
+    //   f_l <- -ln sum_n exp(-u_ln - ln D_n),
+    //   D_n  = sum_m exp(logN_m + f_m - u_mn),
+    // all in log space for stability.
+    std::vector<double> logDenom(n);
+    std::vector<double> fNew(k);
+    for (int iter = 0; iter < params.maxIterations; ++iter) {
+        for (std::size_t s = 0; s < n; ++s) {
+            double m = -1e300;
+            for (std::size_t l = 0; l < k; ++l)
+                m = std::max(m,
+                             logN[l] + f[l] - input.reducedEnergies[s][l]);
+            double sum = 0.0;
+            for (std::size_t l = 0; l < k; ++l)
+                sum += std::exp(logN[l] + f[l] -
+                                input.reducedEnergies[s][l] - m);
+            logDenom[s] = m + std::log(sum);
+        }
+        for (std::size_t l = 0; l < k; ++l) {
+            double m = -1e300;
+            for (std::size_t s = 0; s < n; ++s)
+                m = std::max(m, -input.reducedEnergies[s][l] - logDenom[s]);
+            double sum = 0.0;
+            for (std::size_t s = 0; s < n; ++s)
+                sum += std::exp(-input.reducedEnergies[s][l] -
+                                logDenom[s] - m);
+            fNew[l] = -(m + std::log(sum));
+        }
+        // Gauge: f_0 = 0.
+        const double f0 = fNew[0];
+        for (double& v : fNew) v -= f0;
+        double delta = 0.0;
+        for (std::size_t l = 0; l < k; ++l)
+            delta = std::max(delta, std::abs(fNew[l] - f[l]));
+        f = fNew;
+        result.iterations = iter + 1;
+        result.residual = delta;
+        if (delta < params.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+    result.freeEnergies = std::move(f);
+    return result;
+}
+
+MbarInput harmonicMbarInput(const std::vector<HarmonicState>& states,
+                            std::size_t samplesPerState, double beta,
+                            Rng& rng) {
+    COP_REQUIRE(states.size() >= 2, "need at least two states");
+    COP_REQUIRE(samplesPerState > 0, "need samples");
+    COP_REQUIRE(beta > 0.0, "beta must be positive");
+    MbarInput input;
+    input.samplesPerState.assign(states.size(), samplesPerState);
+    input.reducedEnergies.reserve(states.size() * samplesPerState);
+    for (const auto& s : states) {
+        const double sigma = 1.0 / std::sqrt(beta * s.k);
+        for (std::size_t i = 0; i < samplesPerState; ++i) {
+            const double x = rng.gaussian(s.x0, sigma);
+            std::vector<double> row;
+            row.reserve(states.size());
+            for (const auto& target : states)
+                row.push_back(beta * target.energy(x));
+            input.reducedEnergies.push_back(std::move(row));
+        }
+    }
+    return input;
+}
+
+} // namespace cop::fe

@@ -1,0 +1,115 @@
+#include "mdlib/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mdlib/observables.hpp"
+#include "util/error.hpp"
+
+namespace cop::md {
+
+RdfResult radialDistribution(const Trajectory& trajectory, const Box& box,
+                             double rMax, std::size_t nBins) {
+    COP_REQUIRE(!trajectory.empty(), "empty trajectory");
+    COP_REQUIRE(box.periodic, "RDF needs a periodic box");
+    COP_REQUIRE(rMax > 0.0 && nBins > 0, "bad binning");
+    const double minHalf =
+        0.5 * std::min({box.lengths.x, box.lengths.y, box.lengths.z});
+    COP_REQUIRE(rMax <= minHalf, "rMax beyond the minimum-image radius");
+
+    const std::size_t n = trajectory.frame(0).positions.size();
+    const double binWidth = rMax / double(nBins);
+    std::vector<double> counts(nBins, 0.0);
+
+    for (const auto& frame : trajectory.frames()) {
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) {
+                const double r = norm(box.minimumImage(frame.positions[i],
+                                                       frame.positions[j]));
+                if (r < rMax) counts[std::size_t(r / binWidth)] += 2.0;
+            }
+        }
+    }
+
+    const double rho = double(n) / box.volume();
+    const double framesCount = double(trajectory.numFrames());
+    RdfResult out;
+    out.r.resize(nBins);
+    out.g.resize(nBins);
+    for (std::size_t b = 0; b < nBins; ++b) {
+        const double rLo = double(b) * binWidth;
+        const double rHi = rLo + binWidth;
+        const double shell =
+            4.0 / 3.0 * M_PI * (rHi * rHi * rHi - rLo * rLo * rLo);
+        out.r[b] = rLo + 0.5 * binWidth;
+        out.g[b] =
+            counts[b] / (framesCount * double(n) * rho * shell);
+    }
+    return out;
+}
+
+std::vector<double> meanSquaredDisplacement(const Trajectory& trajectory,
+                                            std::size_t maxLag) {
+    COP_REQUIRE(trajectory.numFrames() > maxLag, "trajectory too short");
+    const std::size_t n = trajectory.frame(0).positions.size();
+    std::vector<double> msd(maxLag + 1, 0.0);
+    for (std::size_t k = 1; k <= maxLag; ++k) {
+        double sum = 0.0;
+        std::size_t samples = 0;
+        for (std::size_t t = 0; t + k < trajectory.numFrames(); ++t) {
+            const auto& a = trajectory.frame(t).positions;
+            const auto& b = trajectory.frame(t + k).positions;
+            for (std::size_t i = 0; i < n; ++i) sum += distance2(a[i], b[i]);
+            ++samples;
+        }
+        msd[k] = sum / (double(samples) * double(n));
+    }
+    return msd;
+}
+
+double diffusionCoefficient(const Trajectory& trajectory,
+                            std::size_t maxLag, double timePerFrame,
+                            std::size_t fitBegin) {
+    COP_REQUIRE(timePerFrame > 0.0, "timePerFrame must be positive");
+    COP_REQUIRE(fitBegin >= 1 && fitBegin < maxLag, "bad fit range");
+    const auto msd = meanSquaredDisplacement(trajectory, maxLag);
+    // Least-squares slope of MSD vs t through the origin.
+    double num = 0.0, den = 0.0;
+    for (std::size_t k = fitBegin; k <= maxLag; ++k) {
+        const double t = double(k) * timePerFrame;
+        num += t * msd[k];
+        den += t * t;
+    }
+    return num / den / 6.0;
+}
+
+std::vector<double> rmsf(const Trajectory& trajectory) {
+    COP_REQUIRE(trajectory.numFrames() >= 2, "need at least two frames");
+    const std::size_t n = trajectory.frame(0).positions.size();
+
+    // Two-pass: align everything onto the first frame, compute the mean,
+    // then align onto the mean and accumulate fluctuations.
+    std::vector<std::vector<Vec3>> aligned;
+    aligned.reserve(trajectory.numFrames());
+    const auto& ref = trajectory.frame(0).positions;
+    for (const auto& frame : trajectory.frames()) {
+        auto pos = frame.positions;
+        superimpose(ref, pos);
+        aligned.push_back(std::move(pos));
+    }
+    std::vector<Vec3> mean(n);
+    for (const auto& pos : aligned)
+        for (std::size_t i = 0; i < n; ++i) mean[i] += pos[i];
+    for (auto& m : mean) m /= double(aligned.size());
+
+    std::vector<double> out(n, 0.0);
+    for (auto& pos : aligned) {
+        superimpose(mean, pos);
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] += distance2(pos[i], mean[i]);
+    }
+    for (auto& v : out) v = std::sqrt(v / double(aligned.size()));
+    return out;
+}
+
+} // namespace cop::md

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file analysis.hpp
+/// Trajectory-level physical analyses: radial distribution functions,
+/// mean-squared displacement / diffusion coefficients, and per-residue
+/// RMSF. These are the standard validation instruments for the generic
+/// (LJ fluid) engine and useful structure diagnostics for the Gō model.
+
+#include <vector>
+
+#include "mdlib/pbc.hpp"
+#include "mdlib/trajectory.hpp"
+#include "util/vec3.hpp"
+
+namespace cop::md {
+
+/// Radial distribution function g(r) of a homogeneous fluid, averaged
+/// over the given frames, binned to `nBins` bins over [0, rMax].
+/// Returns (binCenters, g).
+struct RdfResult {
+    std::vector<double> r;
+    std::vector<double> g;
+};
+RdfResult radialDistribution(const Trajectory& trajectory, const Box& box,
+                             double rMax, std::size_t nBins);
+
+/// Mean-squared displacement vs frame lag (no periodic unwrapping —
+/// supply an unwrapped/open-boundary trajectory). msd[k] is the average
+/// over particles and time origins of |x(t+k) - x(t)|^2.
+std::vector<double> meanSquaredDisplacement(const Trajectory& trajectory,
+                                            std::size_t maxLag);
+
+/// Self-diffusion coefficient from the Einstein relation, fitting
+/// MSD(t) = 6 D t over lags [fitBegin, maxLag] (frame units converted via
+/// `timePerFrame`).
+double diffusionCoefficient(const Trajectory& trajectory,
+                            std::size_t maxLag, double timePerFrame,
+                            std::size_t fitBegin = 1);
+
+/// Root-mean-square fluctuation per particle, after superimposing every
+/// frame onto the trajectory's mean structure.
+std::vector<double> rmsf(const Trajectory& trajectory);
+
+} // namespace cop::md

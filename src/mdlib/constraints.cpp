@@ -1,0 +1,99 @@
+#include "mdlib/constraints.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cop::md {
+
+ShakeConstraints::ShakeConstraints(std::vector<Constraint> constraints,
+                                   double tolerance, int maxIterations)
+    : constraints_(std::move(constraints)), tolerance_(tolerance),
+      maxIterations_(maxIterations) {
+    COP_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+    COP_REQUIRE(maxIterations >= 1, "need at least one iteration");
+    for (const auto& c : constraints_) {
+        COP_REQUIRE(c.i != c.j, "constraint endpoints must differ");
+        COP_REQUIRE(c.length > 0.0, "constraint length must be positive");
+    }
+}
+
+ShakeConstraints ShakeConstraints::fromBonds(const Topology& topology,
+                                             double tolerance) {
+    std::vector<Constraint> cs;
+    cs.reserve(topology.bonds().size());
+    for (const auto& b : topology.bonds())
+        cs.push_back({b.i, b.j, b.r0});
+    return ShakeConstraints(std::move(cs), tolerance);
+}
+
+void ShakeConstraints::apply(const Topology& topology,
+                             const std::vector<Vec3>& reference,
+                             std::vector<Vec3>& positions) const {
+    COP_REQUIRE(reference.size() == positions.size(), "size mismatch");
+    for (int iter = 0; iter < maxIterations_; ++iter) {
+        double worst = 0.0;
+        for (const auto& c : constraints_) {
+            const auto i = std::size_t(c.i);
+            const auto j = std::size_t(c.j);
+            const Vec3 d = positions[i] - positions[j];
+            const double d2 = norm2(d);
+            const double target2 = c.length * c.length;
+            const double diff = d2 - target2;
+            worst = std::max(worst, std::abs(diff) / target2);
+            if (std::abs(diff) <= tolerance_ * target2) continue;
+            // Standard SHAKE update along the pre-move bond vector.
+            const Vec3 dRef = reference[i] - reference[j];
+            const double invMi = 1.0 / topology.mass(i);
+            const double invMj = 1.0 / topology.mass(j);
+            const double denom =
+                2.0 * (invMi + invMj) * dot(d, dRef);
+            if (std::abs(denom) < 1e-300) continue;
+            const double g = diff / denom;
+            positions[i] -= dRef * (g * invMi);
+            positions[j] += dRef * (g * invMj);
+        }
+        if (worst <= tolerance_) return;
+    }
+    // Final check: if we exit the loop unconverged, report it.
+    if (maxViolation(positions) > tolerance_)
+        throw NumericalError("SHAKE failed to converge");
+}
+
+void ShakeConstraints::applyVelocities(const Topology& topology,
+                                       const std::vector<Vec3>& positions,
+                                       std::vector<Vec3>& velocities) const {
+    COP_REQUIRE(positions.size() == velocities.size(), "size mismatch");
+    for (int iter = 0; iter < maxIterations_; ++iter) {
+        double worst = 0.0;
+        for (const auto& c : constraints_) {
+            const auto i = std::size_t(c.i);
+            const auto j = std::size_t(c.j);
+            const Vec3 d = positions[i] - positions[j];
+            const Vec3 dv = velocities[i] - velocities[j];
+            const double rv = dot(d, dv);
+            worst = std::max(worst,
+                             std::abs(rv) / (c.length * c.length));
+            const double invMi = 1.0 / topology.mass(i);
+            const double invMj = 1.0 / topology.mass(j);
+            const double k = rv / (norm2(d) * (invMi + invMj));
+            velocities[i] -= d * (k * invMi);
+            velocities[j] += d * (k * invMj);
+        }
+        if (worst <= tolerance_) return;
+    }
+}
+
+double ShakeConstraints::maxViolation(
+    const std::vector<Vec3>& positions) const {
+    double worst = 0.0;
+    for (const auto& c : constraints_) {
+        const double d2 = distance2(positions[std::size_t(c.i)],
+                                    positions[std::size_t(c.j)]);
+        const double target2 = c.length * c.length;
+        worst = std::max(worst, std::abs(d2 - target2) / target2);
+    }
+    return worst;
+}
+
+} // namespace cop::md

@@ -1,0 +1,317 @@
+#include "mdlib/forcefield.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cop::md {
+
+namespace {
+
+/// Signed dihedral angle for positions a-b-c-d, plus the four gradient
+/// vectors, using the standard textbook formulation (Blondel & Karplus).
+struct DihedralGeometry {
+    double phi;
+    Vec3 fi, fj, fk, fl; ///< -dphi/dr scaled later by dE/dphi
+};
+
+DihedralGeometry dihedralGeometry(const Vec3& ri, const Vec3& rj,
+                                  const Vec3& rk, const Vec3& rl) {
+    const Vec3 b1 = rj - ri;
+    const Vec3 b2 = rk - rj;
+    const Vec3 b3 = rl - rk;
+    const Vec3 n1 = cross(b1, b2);
+    const Vec3 n2 = cross(b2, b3);
+    const double n1sq = norm2(n1);
+    const double n2sq = norm2(n2);
+    const double b2len = norm(b2);
+
+    DihedralGeometry g{};
+    if (n1sq < 1e-12 || n2sq < 1e-12 || b2len < 1e-12) {
+        // Degenerate (collinear) geometry: zero force, zero angle.
+        g.phi = 0.0;
+        return g;
+    }
+    g.phi = std::atan2(dot(cross(n1, n2), b2) / b2len, dot(n1, n2));
+
+    // dphi/dri = -(b2len / n1sq) * n1 ; dphi/drl = (b2len / n2sq) * n2.
+    // The middle-atom projections use s12 = -(b1.b2)/|b2|^2 and
+    // s32 = -(b3.b2)/|b2|^2 with our bond-vector convention b1 = rj - ri,
+    // b2 = rk - rj, b3 = rl - rk (verified against finite differences).
+    const Vec3 dphi_dri = n1 * (-b2len / n1sq);
+    const Vec3 dphi_drl = n2 * (b2len / n2sq);
+    const double s12 = -dot(b1, b2) / (b2len * b2len);
+    const double s32 = -dot(b3, b2) / (b2len * b2len);
+    const Vec3 dphi_drj = dphi_dri * (s12 - 1.0) - dphi_drl * s32;
+    const Vec3 dphi_drk = dphi_drl * (s32 - 1.0) - dphi_dri * s12;
+
+    g.fi = dphi_dri;
+    g.fj = dphi_drj;
+    g.fk = dphi_drk;
+    g.fl = dphi_drl;
+    return g;
+}
+
+} // namespace
+
+ForceField::ForceField(const Topology& top, const Box& box,
+                       ForceFieldParams params, ThreadPool* pool)
+    : top_(top), box_(box), params_(params), pool_(pool),
+      neighborList_(params.cutoff, params.neighborSkin) {
+    COP_REQUIRE(top.finalized(), "topology must be finalized");
+    COP_REQUIRE(params.cutoff > 0.0, "cutoff must be positive");
+}
+
+Energies ForceField::compute(const std::vector<Vec3>& positions,
+                             std::vector<Vec3>& forces) {
+    COP_REQUIRE(positions.size() == top_.numParticles(),
+                "positions size mismatch");
+    forces.assign(positions.size(), Vec3{});
+    neighborList_.update(top_, box_, positions);
+
+    Energies e = computeBonded(positions, forces);
+    e.contact = computeContacts(positions, forces, e.pairVirial);
+    computeNonbonded(positions, forces, e);
+    return e;
+}
+
+Energies ForceField::computeBonded(const std::vector<Vec3>& positions,
+                                   std::vector<Vec3>& forces) const {
+    Energies e;
+
+    for (const auto& b : top_.bonds()) {
+        const Vec3 d = box_.minimumImage(positions[std::size_t(b.i)],
+                                         positions[std::size_t(b.j)]);
+        const double r = norm(d);
+        const double dr = r - b.r0;
+        e.bond += 0.5 * b.k * dr * dr;
+        if (r > 1e-12) {
+            const Vec3 f = d * (-b.k * dr / r);
+            forces[std::size_t(b.i)] += f;
+            forces[std::size_t(b.j)] -= f;
+            e.pairVirial += dot(d, f);
+        }
+    }
+
+    for (const auto& a : top_.angles()) {
+        const Vec3 rij = box_.minimumImage(positions[std::size_t(a.i)],
+                                           positions[std::size_t(a.j)]);
+        const Vec3 rkj = box_.minimumImage(positions[std::size_t(a.k)],
+                                           positions[std::size_t(a.j)]);
+        const double nij = norm(rij);
+        const double nkj = norm(rkj);
+        if (nij < 1e-12 || nkj < 1e-12) continue;
+        double cosTheta = dot(rij, rkj) / (nij * nkj);
+        cosTheta = std::clamp(cosTheta, -1.0, 1.0);
+        const double theta = std::acos(cosTheta);
+        const double dTheta = theta - a.theta0;
+        e.angle += 0.5 * a.forceK * dTheta * dTheta;
+
+        const double sinTheta = std::sqrt(std::max(1e-12, 1.0 - cosTheta * cosTheta));
+        // F_i = -dE/dri = -(k dTheta)(dTheta/dcos)(dcos/dri); dTheta/dcos =
+        // -1/sin(theta), so the prefactor is +k dTheta / sin(theta).
+        const double coeff = a.forceK * dTheta / sinTheta;
+        // dcos/dri and dcos/drk
+        const Vec3 dcos_dri = (rkj / (nij * nkj)) - rij * (cosTheta / (nij * nij));
+        const Vec3 dcos_drk = (rij / (nij * nkj)) - rkj * (cosTheta / (nkj * nkj));
+        const Vec3 fi = dcos_dri * coeff;
+        const Vec3 fk = dcos_drk * coeff;
+        forces[std::size_t(a.i)] += fi;
+        forces[std::size_t(a.k)] += fk;
+        forces[std::size_t(a.j)] -= fi + fk;
+    }
+
+    for (const auto& d : top_.dihedrals()) {
+        const auto g = dihedralGeometry(positions[std::size_t(d.i)],
+                                        positions[std::size_t(d.j)],
+                                        positions[std::size_t(d.k)],
+                                        positions[std::size_t(d.l)]);
+        const double dphi = g.phi - d.phi0;
+        e.dihedral += d.k1 * (1.0 - std::cos(dphi)) +
+                      d.k3 * (1.0 - std::cos(3.0 * dphi));
+        const double dEdPhi =
+            d.k1 * std::sin(dphi) + 3.0 * d.k3 * std::sin(3.0 * dphi);
+        forces[std::size_t(d.i)] -= g.fi * dEdPhi;
+        forces[std::size_t(d.j)] -= g.fj * dEdPhi;
+        forces[std::size_t(d.k)] -= g.fk * dEdPhi;
+        forces[std::size_t(d.l)] -= g.fl * dEdPhi;
+    }
+
+    return e;
+}
+
+double ForceField::computeContacts(const std::vector<Vec3>& positions,
+                                   std::vector<Vec3>& forces,
+                                   double& virial) const {
+    // 12-10 potential: E = eps * (5 (r0/r)^12 - 6 (r0/r)^10)
+    // dE/dr = eps * (-60 r0^12 / r^13 + 60 r0^10 / r^11)
+    //       = (60 eps / r) * ((r0/r)^10 - (r0/r)^12)
+    double energy = 0.0;
+    for (const auto& c : top_.contacts()) {
+        const Vec3 d = box_.minimumImage(positions[std::size_t(c.i)],
+                                         positions[std::size_t(c.j)]);
+        const double r2 = norm2(d);
+        if (r2 < 1e-12) continue;
+        const double inv2 = (c.r0 * c.r0) / r2;
+        const double inv10 = inv2 * inv2 * inv2 * inv2 * inv2;
+        const double inv12 = inv10 * inv2;
+        energy += c.eps * (5.0 * inv12 - 6.0 * inv10);
+        const double fOverR = 60.0 * c.eps * (inv12 - inv10) / r2;
+        const Vec3 f = d * fOverR;
+        forces[std::size_t(c.i)] += f;
+        forces[std::size_t(c.j)] -= f;
+        virial += fOverR * r2;
+    }
+    return energy;
+}
+
+void ForceField::computeNonbonded(const std::vector<Vec3>& positions,
+                                  std::vector<Vec3>& forces,
+                                  Energies& e) const {
+    const auto& pairs = neighborList_.pairs();
+    const double cut2 = params_.cutoff * params_.cutoff;
+
+    // Reaction-field constants (Tironi et al.): with epsilon_RF -> eps_rf,
+    // E = q_i q_j * pref * (1/r + k_rf r^2 - c_rf), k_rf and c_rf chosen so
+    // the force is continuous at the cutoff.
+    const double rc = params_.cutoff;
+    const double epsRF = params_.rfDielectric;
+    const double kRF = (epsRF - 1.0) / ((2.0 * epsRF + 1.0) * rc * rc * rc);
+    const double cRF = 1.0 / rc + kRF * rc * rc;
+
+    // LJ shift so that E(cutoff) == 0 when requested.
+    double ljShift = 0.0;
+    if (params_.kind == NonbondedKind::LennardJonesRF && params_.shiftLJ) {
+        const double s2 = params_.ljSigma * params_.ljSigma / cut2;
+        const double s6 = s2 * s2 * s2;
+        ljShift = 4.0 * params_.ljEpsilon * (s6 * s6 - s6);
+    }
+
+    auto pairTerm = [&](int i, int j, double& enb, double& ecoul,
+                        double& evir) {
+        const Vec3 d = box_.minimumImage(positions[std::size_t(i)],
+                                         positions[std::size_t(j)]);
+        const double r2 = norm2(d);
+        if (r2 > cut2 || r2 < 1e-12) return Vec3{};
+        double fOverR = 0.0;
+        if (params_.kind == NonbondedKind::GoRepulsive) {
+            const double s2 = params_.repSigma * params_.repSigma / r2;
+            const double s6 = s2 * s2 * s2;
+            const double s12 = s6 * s6;
+            enb += params_.repEpsilon * s12;
+            fOverR += 12.0 * params_.repEpsilon * s12 / r2;
+        } else {
+            const double s2 = params_.ljSigma * params_.ljSigma / r2;
+            const double s6 = s2 * s2 * s2;
+            const double s12 = s6 * s6;
+            enb += 4.0 * params_.ljEpsilon * (s12 - s6) - ljShift;
+            fOverR += 24.0 * params_.ljEpsilon * (2.0 * s12 - s6) / r2;
+            if (params_.useCoulombRF) {
+                const double qq = params_.coulombPrefactor *
+                                  top_.charge(std::size_t(i)) *
+                                  top_.charge(std::size_t(j));
+                if (qq != 0.0) {
+                    const double r = std::sqrt(r2);
+                    ecoul += qq * (1.0 / r + kRF * r2 - cRF);
+                    fOverR += qq * (1.0 / (r2 * r) - 2.0 * kRF);
+                }
+            }
+        }
+        evir += fOverR * r2;
+        return d * fOverR;
+    };
+
+    // The Blocked4 flavor processes the pair list in blocks of 4,
+    // accumulating into small fixed arrays the compiler can keep in vector
+    // registers; the Scalar flavor is the obvious loop. Results agree to
+    // rounding. With a thread pool, the pair range is chunked with
+    // per-thread force buffers and reduced (the paper's "thread" tier).
+    auto processRange = [&](std::size_t lo, std::size_t hi,
+                            std::vector<Vec3>& fbuf, double& enb,
+                            double& ecoul, double& evir) {
+        if (params_.flavor == KernelFlavor::Blocked4) {
+            std::size_t p = lo;
+            for (; p + 4 <= hi; p += 4) {
+                Vec3 fs[4];
+                for (int u = 0; u < 4; ++u)
+                    fs[u] = pairTerm(pairs[p + std::size_t(u)].i,
+                                     pairs[p + std::size_t(u)].j, enb, ecoul,
+                                     evir);
+                for (int u = 0; u < 4; ++u) {
+                    fbuf[std::size_t(pairs[p + std::size_t(u)].i)] += fs[u];
+                    fbuf[std::size_t(pairs[p + std::size_t(u)].j)] -= fs[u];
+                }
+            }
+            for (; p < hi; ++p) {
+                const Vec3 f =
+                    pairTerm(pairs[p].i, pairs[p].j, enb, ecoul, evir);
+                fbuf[std::size_t(pairs[p].i)] += f;
+                fbuf[std::size_t(pairs[p].j)] -= f;
+            }
+        } else {
+            for (std::size_t p = lo; p < hi; ++p) {
+                const Vec3 f =
+                    pairTerm(pairs[p].i, pairs[p].j, enb, ecoul, evir);
+                fbuf[std::size_t(pairs[p].i)] += f;
+                fbuf[std::size_t(pairs[p].j)] -= f;
+            }
+        }
+    };
+
+    if (pool_ != nullptr && pairs.size() >= 1024 && pool_->size() > 1) {
+        const std::size_t nChunks = pool_->size();
+        const std::size_t chunk = (pairs.size() + nChunks - 1) / nChunks;
+        std::vector<std::vector<Vec3>> fbufs(
+            nChunks, std::vector<Vec3>(positions.size()));
+        std::vector<double> enbs(nChunks, 0.0), ecouls(nChunks, 0.0),
+            evirs(nChunks, 0.0);
+        pool_->parallelFor(0, nChunks, [&](std::size_t c) {
+            const std::size_t lo = c * chunk;
+            const std::size_t hi = std::min(lo + chunk, pairs.size());
+            if (lo < hi)
+                processRange(lo, hi, fbufs[c], enbs[c], ecouls[c],
+                             evirs[c]);
+        });
+        for (std::size_t c = 0; c < nChunks; ++c) {
+            for (std::size_t i = 0; i < forces.size(); ++i)
+                forces[i] += fbufs[c][i];
+            e.nonbonded += enbs[c];
+            e.coulomb += ecouls[c];
+            e.pairVirial += evirs[c];
+        }
+    } else {
+        processRange(0, pairs.size(), forces, e.nonbonded, e.coulomb,
+                     e.pairVirial);
+    }
+}
+
+double pairPressure(const Energies& energies, double kineticEnergy,
+                    double volume) {
+    COP_REQUIRE(volume > 0.0, "volume must be positive");
+    return (2.0 * kineticEnergy + energies.pairVirial) / (3.0 * volume);
+}
+
+double maxForceError(ForceField& ff, std::vector<Vec3> positions, double h) {
+    std::vector<Vec3> analytic;
+    ff.compute(positions, analytic);
+
+    double maxErr = 0.0;
+    std::vector<Vec3> scratch;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        for (int d = 0; d < 3; ++d) {
+            const double orig = positions[i][d];
+            positions[i][d] = orig + h;
+            const double ep = ff.compute(positions, scratch).potential();
+            positions[i][d] = orig - h;
+            const double em = ff.compute(positions, scratch).potential();
+            positions[i][d] = orig;
+            const double numeric = -(ep - em) / (2.0 * h);
+            maxErr = std::max(maxErr, std::abs(numeric - analytic[i][d]));
+        }
+    }
+    return maxErr;
+}
+
+} // namespace cop::md

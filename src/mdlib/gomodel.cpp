@@ -1,0 +1,85 @@
+#include "mdlib/gomodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cop::md {
+
+namespace {
+
+double angleBetween(const Vec3& a, const Vec3& b, const Vec3& c) {
+    const Vec3 u = a - b;
+    const Vec3 v = c - b;
+    const double d = dot(u, v) / (norm(u) * norm(v));
+    return std::acos(std::clamp(d, -1.0, 1.0));
+}
+
+double dihedralAngle(const Vec3& a, const Vec3& b, const Vec3& c,
+                     const Vec3& d) {
+    const Vec3 b1 = b - a;
+    const Vec3 b2 = c - b;
+    const Vec3 b3 = d - c;
+    const Vec3 n1 = cross(b1, b2);
+    const Vec3 n2 = cross(b2, b3);
+    const double b2len = norm(b2);
+    if (norm2(n1) < 1e-12 || norm2(n2) < 1e-12 || b2len < 1e-12) return 0.0;
+    return std::atan2(dot(cross(n1, n2), b2) / b2len, dot(n1, n2));
+}
+
+} // namespace
+
+ForceFieldParams GoModel::forceFieldParams() const {
+    ForceFieldParams p;
+    p.kind = NonbondedKind::GoRepulsive;
+    p.cutoff = params.nonbondedCutoff;
+    p.repEpsilon = params.repulsiveEpsilon;
+    p.repSigma = params.repulsiveSigma;
+    return p;
+}
+
+GoModel buildGoModel(const std::vector<Vec3>& native,
+                     const GoModelParams& params) {
+    COP_REQUIRE(native.size() >= 4, "Gō model needs at least 4 residues");
+    GoModel model;
+    model.native = native;
+    model.params = params;
+
+    Topology top;
+    for (std::size_t i = 0; i < native.size(); ++i)
+        top.addParticle(params.mass);
+
+    const int n = int(native.size());
+    for (int i = 0; i + 1 < n; ++i) {
+        const double r0 = distance(native[std::size_t(i)],
+                                   native[std::size_t(i + 1)]);
+        top.addBond({i, i + 1, r0, params.bondK});
+    }
+    for (int i = 0; i + 2 < n; ++i) {
+        const double theta0 =
+            angleBetween(native[std::size_t(i)], native[std::size_t(i + 1)],
+                         native[std::size_t(i + 2)]);
+        top.addAngle({i, i + 1, i + 2, theta0, params.angleK});
+    }
+    for (int i = 0; i + 3 < n; ++i) {
+        const double phi0 = dihedralAngle(
+            native[std::size_t(i)], native[std::size_t(i + 1)],
+            native[std::size_t(i + 2)], native[std::size_t(i + 3)]);
+        top.addDihedral(
+            {i, i + 1, i + 2, i + 3, phi0, params.dihedralK1, params.dihedralK3});
+    }
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + params.minSequenceSeparation; j < n; ++j) {
+            const double r0 = distance(native[std::size_t(i)],
+                                       native[std::size_t(j)]);
+            if (r0 < params.contactCutoff)
+                top.addContact({i, j, r0, params.contactEpsilon});
+        }
+    }
+    top.finalize();
+    model.topology = std::move(top);
+    return model;
+}
+
+} // namespace cop::md

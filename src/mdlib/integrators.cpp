@@ -1,0 +1,229 @@
+#include "mdlib/integrators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cop::md {
+
+double kineticEnergy(const Topology& top, const State& state) {
+    double k = 0.0;
+    for (std::size_t i = 0; i < state.numParticles(); ++i)
+        k += 0.5 * top.mass(i) * norm2(state.velocities[i]);
+    return k;
+}
+
+double instantaneousTemperature(const Topology& top, const State& state,
+                                int removedDof) {
+    const auto n = state.numParticles();
+    if (n < 2) return 0.0;
+    const double nf = 3.0 * double(n) - double(removedDof);
+    COP_REQUIRE(nf > 0.0, "no degrees of freedom left");
+    return 2.0 * kineticEnergy(top, state) / nf;
+}
+
+void removeCenterOfMassMotion(const Topology& top, State& state) {
+    Vec3 p{};
+    double m = 0.0;
+    for (std::size_t i = 0; i < state.numParticles(); ++i) {
+        p += state.velocities[i] * top.mass(i);
+        m += top.mass(i);
+    }
+    const Vec3 vcom = p / m;
+    for (auto& v : state.velocities) v -= vcom;
+}
+
+void assignVelocities(const Topology& top, State& state, double temperature,
+                      Rng& rng) {
+    for (std::size_t i = 0; i < state.numParticles(); ++i)
+        state.velocities[i] =
+            maxwellBoltzmannVelocity(rng, top.mass(i), temperature);
+    removeCenterOfMassMotion(top, state);
+}
+
+Integrator::Integrator(ForceField& ff, IntegratorParams params, Rng rng)
+    : ff_(ff), params_(params), rng_(rng) {
+    COP_REQUIRE(params.dt > 0.0, "timestep must be positive");
+    COP_REQUIRE(params.temperature >= 0.0, "temperature must be >= 0");
+    COP_REQUIRE(params.tauT > 0.0, "tauT must be positive");
+    COP_REQUIRE(params.friction >= 0.0, "friction must be >= 0");
+}
+
+void Integrator::run(State& state, std::int64_t nSteps) {
+    COP_REQUIRE(state.numParticles() == ff_.topology().numParticles(),
+                "state does not match topology");
+    if (!forcesValid_) {
+        lastEnergies_ = ff_.compute(state.positions, state.forces);
+        forcesValid_ = true;
+    }
+    for (std::int64_t s = 0; s < nSteps; ++s) {
+        switch (params_.kind) {
+        case IntegratorKind::VelocityVerlet: stepVelocityVerlet(state); break;
+        case IntegratorKind::Leapfrog: stepLeapfrog(state); break;
+        case IntegratorKind::LangevinBAOAB: stepLangevinBAOAB(state); break;
+        }
+        if (params_.barostat == BarostatKind::Berendsen)
+            applyBerendsenBarostat(state);
+        ++state.step;
+        state.time += params_.dt;
+    }
+}
+
+void Integrator::stepVelocityVerlet(State& state) {
+    const double dt = params_.dt;
+    const auto& top = ff_.topology();
+
+    if (params_.thermostat == ThermostatKind::NoseHoover)
+        applyNoseHooverHalf(state, 0.5 * dt);
+
+    for (std::size_t i = 0; i < state.numParticles(); ++i) {
+        state.velocities[i] += state.forces[i] * (0.5 * dt / top.mass(i));
+        state.positions[i] += state.velocities[i] * dt;
+    }
+    lastEnergies_ = ff_.compute(state.positions, state.forces);
+    for (std::size_t i = 0; i < state.numParticles(); ++i)
+        state.velocities[i] += state.forces[i] * (0.5 * dt / top.mass(i));
+
+    switch (params_.thermostat) {
+    case ThermostatKind::NoseHoover: applyNoseHooverHalf(state, 0.5 * dt); break;
+    case ThermostatKind::VRescale: applyVRescale(state); break;
+    case ThermostatKind::Berendsen: applyBerendsen(state); break;
+    case ThermostatKind::None: break;
+    }
+}
+
+void Integrator::stepLeapfrog(State& state) {
+    // Gromacs-style leapfrog: v(t+dt/2) = v(t-dt/2) + f(t)/m dt;
+    // x(t+dt) = x(t) + v(t+dt/2) dt. Velocities in State are the half-step
+    // velocities, which is also what Gromacs stores.
+    const double dt = params_.dt;
+    const auto& top = ff_.topology();
+    for (std::size_t i = 0; i < state.numParticles(); ++i) {
+        state.velocities[i] += state.forces[i] * (dt / top.mass(i));
+        state.positions[i] += state.velocities[i] * dt;
+    }
+    lastEnergies_ = ff_.compute(state.positions, state.forces);
+    switch (params_.thermostat) {
+    case ThermostatKind::VRescale: applyVRescale(state); break;
+    case ThermostatKind::Berendsen: applyBerendsen(state); break;
+    case ThermostatKind::NoseHoover:
+        // Leapfrog + NH needs an implicit solve; we support NH only with
+        // velocity Verlet, matching how tests use it.
+        throw InvalidArgument("Nosé-Hoover requires VelocityVerlet");
+    case ThermostatKind::None: break;
+    }
+}
+
+void Integrator::stepLangevinBAOAB(State& state) {
+    const double dt = params_.dt;
+    const auto& top = ff_.topology();
+    const double c1 = std::exp(-params_.friction * dt);
+    const double c2 = std::sqrt(std::max(0.0, 1.0 - c1 * c1));
+
+    // B: half kick
+    for (std::size_t i = 0; i < state.numParticles(); ++i)
+        state.velocities[i] += state.forces[i] * (0.5 * dt / top.mass(i));
+    // A: half drift
+    for (std::size_t i = 0; i < state.numParticles(); ++i)
+        state.positions[i] += state.velocities[i] * (0.5 * dt);
+    // O: Ornstein-Uhlenbeck
+    for (std::size_t i = 0; i < state.numParticles(); ++i) {
+        const double sigma =
+            std::sqrt(params_.temperature / top.mass(i));
+        state.velocities[i] =
+            state.velocities[i] * c1 + rng_.gaussianVec3(sigma * c2);
+    }
+    // A: half drift
+    for (std::size_t i = 0; i < state.numParticles(); ++i)
+        state.positions[i] += state.velocities[i] * (0.5 * dt);
+    // B: half kick with new forces
+    lastEnergies_ = ff_.compute(state.positions, state.forces);
+    for (std::size_t i = 0; i < state.numParticles(); ++i)
+        state.velocities[i] += state.forces[i] * (0.5 * dt / top.mass(i));
+}
+
+void Integrator::applyNoseHooverHalf(State& state, double halfDt) {
+    // Single Nosé-Hoover thermostat, Trotterized (Martyna-Tuckerman NHC with
+    // chain length 1). Q = Nf T tau^2.
+    const auto& top = ff_.topology();
+    const double nf = 3.0 * double(state.numParticles()) - 3.0;
+    const double t0 = params_.temperature;
+    const double q = nf * t0 * params_.tauT * params_.tauT;
+
+    double twoK = 2.0 * kineticEnergy(top, state);
+    double g = (twoK - nf * t0) / q;
+    state.nhXi += g * 0.5 * halfDt;
+    const double scale = std::exp(-state.nhXi * halfDt);
+    for (auto& v : state.velocities) v *= scale;
+    state.nhEta += state.nhXi * halfDt;
+    twoK *= scale * scale;
+    g = (twoK - nf * t0) / q;
+    state.nhXi += g * 0.5 * halfDt;
+}
+
+void Integrator::applyVRescale(State& state) {
+    // Bussi-Donadio-Parrinello stochastic velocity rescaling.
+    const auto& top = ff_.topology();
+    const double nf = 3.0 * double(state.numParticles()) - 3.0;
+    const double kCur = kineticEnergy(top, state);
+    if (kCur <= 0.0) return;
+    const double kBar = 0.5 * nf * params_.temperature;
+    const double c = std::exp(-params_.dt / params_.tauT);
+    const double r1 = rng_.gaussian();
+    double sumSq = 0.0;
+    for (int i = 1; i < int(nf); ++i) {
+        const double r = rng_.gaussian();
+        sumSq += r * r;
+    }
+    const double kNew =
+        kCur * c + kBar / nf * (1.0 - c) * (r1 * r1 + sumSq) +
+        2.0 * r1 * std::sqrt(c * (1.0 - c) * kCur * kBar / nf);
+    const double lambda = std::sqrt(std::max(0.0, kNew / kCur));
+    for (auto& v : state.velocities) v *= lambda;
+}
+
+void Integrator::applyBerendsen(State& state) {
+    const auto& top = ff_.topology();
+    const double tCur = instantaneousTemperature(top, state);
+    if (tCur <= 0.0) return;
+    const double lambda = std::sqrt(
+        1.0 + params_.dt / params_.tauT * (params_.temperature / tCur - 1.0));
+    for (auto& v : state.velocities) v *= lambda;
+}
+
+void Integrator::applyBerendsenBarostat(State& state) {
+    const Box& box = ff_.box();
+    COP_REQUIRE(box.periodic, "barostat needs a periodic box");
+    const double p = pressure(state);
+    // Berendsen weak coupling: mu = [1 - kappa dt/tauP (P0 - P)]^(1/3).
+    const double arg = 1.0 - params_.compressibility * params_.dt /
+                                 params_.tauP * (params_.pressure - p);
+    const double mu = std::cbrt(std::clamp(arg, 0.9, 1.1));
+    if (mu == 1.0) return;
+    Box scaled = box;
+    scaled.lengths *= mu;
+    ff_.setBox(scaled);
+    for (auto& x : state.positions) x *= mu;
+}
+
+double Integrator::pressure(const State& state) const {
+    COP_REQUIRE(ff_.box().periodic, "pressure needs a periodic box");
+    return pairPressure(lastEnergies_,
+                        kineticEnergy(ff_.topology(), state),
+                        ff_.box().volume());
+}
+
+double Integrator::conservedQuantity(const State& state) const {
+    const auto& top = ff_.topology();
+    double e = kineticEnergy(top, state) + lastEnergies_.potential();
+    if (params_.thermostat == ThermostatKind::NoseHoover) {
+        const double nf = 3.0 * double(state.numParticles()) - 3.0;
+        const double q = nf * params_.temperature * params_.tauT * params_.tauT;
+        e += 0.5 * q * state.nhXi * state.nhXi +
+             nf * params_.temperature * state.nhEta;
+    }
+    return e;
+}
+
+} // namespace cop::md

@@ -1,0 +1,159 @@
+#include "mdlib/neighborlist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cop::md {
+
+NeighborList::NeighborList(double cutoff, double skin)
+    : cutoff_(cutoff), skin_(skin) {
+    COP_REQUIRE(cutoff > 0.0, "cutoff must be positive");
+    COP_REQUIRE(skin >= 0.0, "skin must be non-negative");
+}
+
+void NeighborList::build(const Topology& top, const Box& box,
+                         const std::vector<Vec3>& positions) {
+    COP_REQUIRE(top.finalized(), "topology must be finalized");
+    COP_REQUIRE(positions.size() == top.numParticles(),
+                "positions size mismatch");
+    pairs_.clear();
+
+    const double listCut = cutoff_ + skin_;
+    // A cell grid only pays off when the box supports >= 3 cells per
+    // dimension; otherwise fall back to the O(N^2) build (fine for the
+    // 35-bead protein).
+    bool useCells = box.periodic;
+    if (useCells) {
+        for (int d = 0; d < 3; ++d)
+            if (box.lengths[d] < 3.0 * listCut) useCells = false;
+    }
+    if (useCells)
+        buildCellList(top, box, positions);
+    else
+        buildBruteForce(top, box, positions);
+
+    referencePositions_ = positions;
+    ++numBuilds_;
+}
+
+bool NeighborList::update(const Topology& top, const Box& box,
+                          const std::vector<Vec3>& positions) {
+    if (referencePositions_.size() != positions.size()) {
+        build(top, box, positions);
+        return true;
+    }
+    const double limit2 = 0.25 * skin_ * skin_;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+        const Vec3 d = box.minimumImage(positions[i], referencePositions_[i]);
+        if (norm2(d) > limit2) {
+            build(top, box, positions);
+            return true;
+        }
+    }
+    return false;
+}
+
+void NeighborList::buildBruteForce(const Topology& top, const Box& box,
+                                   const std::vector<Vec3>& positions) {
+    const int n = int(positions.size());
+    const double cut2 = (cutoff_ + skin_) * (cutoff_ + skin_);
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+            if (top.isExcluded(i, j)) continue;
+            const Vec3 d =
+                box.minimumImage(positions[std::size_t(i)],
+                                 positions[std::size_t(j)]);
+            if (norm2(d) <= cut2) pairs_.push_back({i, j});
+        }
+    }
+}
+
+void NeighborList::buildCellList(const Topology& top, const Box& box,
+                                 const std::vector<Vec3>& positions) {
+    const double listCut = cutoff_ + skin_;
+    const double cut2 = listCut * listCut;
+    int nc[3];
+    double cellLen[3];
+    for (int d = 0; d < 3; ++d) {
+        nc[d] = std::max(3, int(box.lengths[d] / listCut));
+        cellLen[d] = box.lengths[d] / nc[d];
+    }
+    const int totalCells = nc[0] * nc[1] * nc[2];
+    std::vector<std::vector<int>> cells(static_cast<std::size_t>(totalCells));
+
+    auto cellIndex = [&](const Vec3& p) {
+        const Vec3 w = box.wrap(p);
+        int ix = std::min(nc[0] - 1, int(w.x / cellLen[0]));
+        int iy = std::min(nc[1] - 1, int(w.y / cellLen[1]));
+        int iz = std::min(nc[2] - 1, int(w.z / cellLen[2]));
+        return (ix * nc[1] + iy) * nc[2] + iz;
+    };
+
+    for (std::size_t i = 0; i < positions.size(); ++i)
+        cells[std::size_t(cellIndex(positions[i]))].push_back(int(i));
+
+    auto wrapIdx = [](int v, int n) { return ((v % n) + n) % n; };
+
+    for (int ix = 0; ix < nc[0]; ++ix) {
+        for (int iy = 0; iy < nc[1]; ++iy) {
+            for (int iz = 0; iz < nc[2]; ++iz) {
+                const int home = (ix * nc[1] + iy) * nc[2] + iz;
+                const auto& homeList = cells[std::size_t(home)];
+                // Half-shell: visit each neighbour cell pair once.
+                for (int dx = -1; dx <= 1; ++dx) {
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dz = -1; dz <= 1; ++dz) {
+                            const int code = (dx + 1) * 9 + (dy + 1) * 3 + (dz + 1);
+                            if (code < 13) continue; // skip mirrored half
+                            const int other =
+                                (wrapIdx(ix + dx, nc[0]) * nc[1] +
+                                 wrapIdx(iy + dy, nc[1])) * nc[2] +
+                                wrapIdx(iz + dz, nc[2]);
+                            const auto& otherList = cells[std::size_t(other)];
+                            if (code == 13) {
+                                // Same cell: i<j pairs.
+                                for (std::size_t a = 0; a < homeList.size(); ++a) {
+                                    for (std::size_t b = a + 1; b < homeList.size(); ++b) {
+                                        const int i = homeList[a], j = homeList[b];
+                                        if (top.isExcluded(i, j)) continue;
+                                        const Vec3 d = box.minimumImage(
+                                            positions[std::size_t(i)],
+                                            positions[std::size_t(j)]);
+                                        if (norm2(d) <= cut2)
+                                            pairs_.push_back({std::min(i, j), std::max(i, j)});
+                                    }
+                                }
+                            } else if (other != home) {
+                                for (int i : homeList) {
+                                    for (int j : otherList) {
+                                        if (top.isExcluded(i, j)) continue;
+                                        const Vec3 d = box.minimumImage(
+                                            positions[std::size_t(i)],
+                                            positions[std::size_t(j)]);
+                                        if (norm2(d) <= cut2)
+                                            pairs_.push_back({std::min(i, j), std::max(i, j)});
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Deterministic order independent of cell traversal (useful for tests
+    // and for bitwise-reproducible force summation).
+    std::sort(pairs_.begin(), pairs_.end(),
+              [](const NeighborPair& a, const NeighborPair& b) {
+                  return a.i != b.i ? a.i < b.i : a.j < b.j;
+              });
+    pairs_.erase(std::unique(pairs_.begin(), pairs_.end(),
+                             [](const NeighborPair& a, const NeighborPair& b) {
+                                 return a.i == b.i && a.j == b.j;
+                             }),
+                 pairs_.end());
+}
+
+} // namespace cop::md

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file neighborlist.hpp
+/// Verlet pair list with a cell-list build path, mirroring the Gromacs
+/// buffered pair-list scheme: pairs within cutoff + skin are listed and the
+/// list is rebuilt only when some particle has moved more than skin/2 since
+/// the last build.
+
+#include <cstddef>
+#include <vector>
+
+#include "mdlib/pbc.hpp"
+#include "mdlib/topology.hpp"
+#include "util/vec3.hpp"
+
+namespace cop::md {
+
+struct NeighborPair {
+    int i;
+    int j;
+};
+
+class NeighborList {
+public:
+    /// `cutoff` is the interaction cutoff; `skin` the Verlet buffer. Pairs
+    /// excluded by the topology never appear in the list.
+    NeighborList(double cutoff, double skin);
+
+    double cutoff() const { return cutoff_; }
+    double skin() const { return skin_; }
+
+    /// Unconditionally rebuilds from scratch.
+    void build(const Topology& top, const Box& box,
+               const std::vector<Vec3>& positions);
+
+    /// Rebuilds only if some particle moved more than skin/2 since the last
+    /// build. Returns true if a rebuild happened.
+    bool update(const Topology& top, const Box& box,
+                const std::vector<Vec3>& positions);
+
+    const std::vector<NeighborPair>& pairs() const { return pairs_; }
+    std::size_t numBuilds() const { return numBuilds_; }
+
+    /// Forces the next update() to rebuild (e.g. after a box rescale).
+    void invalidate() { referencePositions_.clear(); }
+
+private:
+    void buildCellList(const Topology& top, const Box& box,
+                       const std::vector<Vec3>& positions);
+    void buildBruteForce(const Topology& top, const Box& box,
+                         const std::vector<Vec3>& positions);
+
+    double cutoff_;
+    double skin_;
+    std::vector<NeighborPair> pairs_;
+    std::vector<Vec3> referencePositions_;
+    std::size_t numBuilds_ = 0;
+};
+
+} // namespace cop::md

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file observables.hpp
+/// Structural observables: optimal-superposition RMSD (quaternion/Kabsch),
+/// radius of gyration, and fraction of native contacts Q. RMSD in this
+/// engine's reduced length units can be converted to the paper's Angstrom
+/// scale with md::toAngstrom().
+
+#include <span>
+#include <vector>
+
+#include "mdlib/topology.hpp"
+#include "util/vec3.hpp"
+
+namespace cop::md {
+
+/// Centers `xs` on its centroid (in place) and returns the centroid.
+Vec3 centerCoordinates(std::vector<Vec3>& xs);
+
+/// Minimal RMSD between two equal-length coordinate sets after optimal
+/// translation + rotation (Horn's quaternion method, equivalent to Kabsch).
+/// Does not modify its inputs.
+double rmsd(std::span<const Vec3> a, std::span<const Vec3> b);
+
+/// Optimal rotation matrix that superimposes centered `b` onto centered
+/// `a` (i.e. minimizes |a - R b|). Inputs must already be centered.
+Mat3 optimalRotation(std::span<const Vec3> a, std::span<const Vec3> b);
+
+/// Superimposes `mobile` onto `target` in place (translate + rotate).
+void superimpose(std::span<const Vec3> target, std::vector<Vec3>& mobile);
+
+/// Radius of gyration (mass-weighted if masses given, else uniform).
+double radiusOfGyration(std::span<const Vec3> xs,
+                        std::span<const double> masses = {});
+
+/// Fraction of native contacts formed: a contact (i,j,r0) counts as formed
+/// when r_ij < factor * r0 (default 1.2, the conventional choice).
+double nativeContactFraction(const Topology& top, std::span<const Vec3> xs,
+                             double factor = 1.2);
+
+} // namespace cop::md

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file pbc.hpp
+/// Periodic boundary conditions. The Gō-model protein runs in vacuum (no
+/// box); the generic Lennard-Jones engine used for validating integrators,
+/// thermostats and neighbour lists runs in a rectangular periodic box.
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/vec3.hpp"
+
+namespace cop::md {
+
+/// Rectangular simulation box. `periodic == false` means open boundaries
+/// (vacuum); the lengths are then ignored for imaging but still used to size
+/// cell grids.
+struct Box {
+    Vec3 lengths{0.0, 0.0, 0.0};
+    bool periodic = false;
+
+    static Box open() { return Box{}; }
+
+    static Box cubic(double l) {
+        COP_REQUIRE(l > 0.0, "box length must be positive");
+        return Box{{l, l, l}, true};
+    }
+
+    static Box rectangular(double lx, double ly, double lz) {
+        COP_REQUIRE(lx > 0.0 && ly > 0.0 && lz > 0.0,
+                    "box lengths must be positive");
+        return Box{{lx, ly, lz}, true};
+    }
+
+    double volume() const {
+        return lengths.x * lengths.y * lengths.z;
+    }
+
+    /// Minimum-image displacement a - b.
+    Vec3 minimumImage(const Vec3& a, const Vec3& b) const {
+        Vec3 d = a - b;
+        if (periodic) {
+            d.x -= lengths.x * std::round(d.x / lengths.x);
+            d.y -= lengths.y * std::round(d.y / lengths.y);
+            d.z -= lengths.z * std::round(d.z / lengths.z);
+        }
+        return d;
+    }
+
+    /// Wraps a position into the primary cell [0, L) per dimension.
+    Vec3 wrap(const Vec3& p) const {
+        if (!periodic) return p;
+        Vec3 w = p;
+        w.x -= lengths.x * std::floor(w.x / lengths.x);
+        w.y -= lengths.y * std::floor(w.y / lengths.y);
+        w.z -= lengths.z * std::floor(w.z / lengths.z);
+        return w;
+    }
+};
+
+} // namespace cop::md

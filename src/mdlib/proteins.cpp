@@ -1,0 +1,204 @@
+#include "mdlib/proteins.hpp"
+
+#include <cmath>
+
+#include "mdlib/integrators.hpp"
+#include "util/error.hpp"
+
+namespace cop::md {
+
+namespace {
+
+constexpr double kHelixRise = 1.5 / 3.8;    // sigma per residue
+constexpr double kHelixRadius = 2.3 / 3.8;  // sigma
+constexpr double kHelixTwist = 100.0 * M_PI / 180.0;
+
+/// Builds an orthonormal frame (e1, e2) perpendicular to unit vector u.
+void perpendicularFrame(const Vec3& u, Vec3& e1, Vec3& e2) {
+    const Vec3 trial = std::abs(u.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+    e1 = normalized(cross(u, trial));
+    e2 = cross(u, e1);
+}
+
+/// Points on a circular arc from a to b whose length makes consecutive
+/// spacing approximately `spacing`; the arc bulges along `bulgeDir`.
+/// Returns only the `nIntermediate` interior points.
+std::vector<Vec3> arcPoints(const Vec3& a, const Vec3& b, int nIntermediate,
+                            double spacing, const Vec3& bulgeDir) {
+    const int gaps = nIntermediate + 1;
+    const double chord = distance(a, b);
+    const double targetLength = gaps * spacing;
+    std::vector<Vec3> pts;
+    if (targetLength <= chord * 1.001) {
+        // Endpoints too far apart for an arc of the requested length:
+        // fall back to uniform straight-line placement.
+        for (int k = 1; k <= nIntermediate; ++k)
+            pts.push_back(a + (b - a) * (double(k) / gaps));
+        return pts;
+    }
+    // Solve sin(alpha)/alpha = chord / targetLength for the half-angle.
+    const double ratio = chord / targetLength;
+    double lo = 1e-6, hi = M_PI - 1e-6;
+    for (int it = 0; it < 200; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (std::sin(mid) / mid > ratio)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    const double alpha = 0.5 * (lo + hi);
+    const double radius = chord / (2.0 * std::sin(alpha));
+
+    const Vec3 mid = (a + b) * 0.5;
+    const Vec3 chordDir = normalized(b - a);
+    // Bulge direction orthogonalized against the chord.
+    Vec3 up = bulgeDir - chordDir * dot(bulgeDir, chordDir);
+    if (norm(up) < 1e-9) {
+        Vec3 e1, e2;
+        perpendicularFrame(chordDir, e1, e2);
+        up = e1;
+    }
+    up = normalized(up);
+    const Vec3 center = mid - up * (radius * std::cos(alpha));
+    // Sweep from a to b through angles -alpha..alpha about the center in
+    // the (up, chordDir) plane.
+    for (int k = 1; k <= nIntermediate; ++k) {
+        const double t = -alpha + 2.0 * alpha * double(k) / gaps;
+        pts.push_back(center + up * (radius * std::cos(t)) +
+                      chordDir * (radius * std::sin(t)));
+    }
+    return pts;
+}
+
+} // namespace
+
+std::vector<Vec3> idealHelix(int n, const Vec3& origin, const Vec3& axis,
+                             double phase) {
+    COP_REQUIRE(n >= 1, "helix needs at least one residue");
+    const Vec3 u = normalized(axis);
+    Vec3 e1, e2;
+    perpendicularFrame(u, e1, e2);
+    std::vector<Vec3> pts;
+    pts.reserve(std::size_t(n));
+    for (int k = 0; k < n; ++k) {
+        const double ang = phase + k * kHelixTwist;
+        pts.push_back(origin + u * (kHelixRise * k) +
+                      e1 * (kHelixRadius * std::cos(ang)) +
+                      e2 * (kHelixRadius * std::sin(ang)));
+    }
+    return pts;
+}
+
+std::vector<Vec3> villinNativeStructure() {
+    // Three-helix bundle, helix axes at the corners of a triangle with
+    // ~10 Angstrom (2.6 sigma) sides; helix 2 is antiparallel.
+    const double sep = 10.0 / 3.8;
+    const Vec3 c1{0.0, 0.0, 0.0};
+    const Vec3 c2{sep, 0.0, 0.0};
+    const Vec3 c3{0.5 * sep, 0.87 * sep, 0.0};
+
+    const auto h1 = idealHelix(10, c1, {0, 0, 1}, 0.0);
+    // Helix 2 runs downward; its origin is at the top.
+    const auto h2 = idealHelix(9, c2 + Vec3{0, 0, 10 * kHelixRise},
+                               {0, 0, -1}, 1.2);
+    const auto h3 = idealHelix(10, c3, {0, 0, 1}, 2.4);
+
+    const Vec3 bundleCenter = (c1 + c2 + c3) / 3.0 + Vec3{0, 0, 5 * kHelixRise};
+
+    std::vector<Vec3> native;
+    native.insert(native.end(), h1.begin(), h1.end()); // residues 0-9
+    {
+        // Turn 1 (residues 10-12) bridges the top of helix 1 to the top of
+        // helix 2, bulging up and away from the bundle center.
+        const Vec3 a = h1.back();
+        const Vec3 b = h2.front();
+        Vec3 bulge = normalized((a + b) * 0.5 - bundleCenter) + Vec3{0, 0, 1.0};
+        const auto turn = arcPoints(a, b, 3, 1.0, normalized(bulge));
+        native.insert(native.end(), turn.begin(), turn.end());
+    }
+    native.insert(native.end(), h2.begin(), h2.end()); // residues 13-21
+    {
+        // Turn 2 (residues 22-24) bridges the bottom of helix 2 to the
+        // bottom of helix 3, bulging down and outward.
+        const Vec3 a = h2.back();
+        const Vec3 b = h3.front();
+        Vec3 bulge = normalized((a + b) * 0.5 - bundleCenter) + Vec3{0, 0, -1.0};
+        const auto turn = arcPoints(a, b, 3, 1.0, normalized(bulge));
+        native.insert(native.end(), turn.begin(), turn.end());
+    }
+    native.insert(native.end(), h3.begin(), h3.end()); // residues 25-34
+
+    COP_ENSURE(native.size() == 35, "villin bundle must have 35 residues");
+    return native;
+}
+
+std::vector<Vec3> hairpinNativeStructure() {
+    // Two antiparallel 7-residue strands 5 Angstrom apart joined by a
+    // 2-residue turn: 16 residues total.
+    const double step = 0.95;        // along-strand spacing (sigma)
+    const double pleat = 0.20;       // zigzag amplitude
+    const double strandSep = 5.0 / 3.8;
+    std::vector<Vec3> pts;
+    for (int i = 0; i < 7; ++i)
+        pts.push_back({i * step, (i % 2 == 0) ? pleat : -pleat, 0.0});
+    // Turn residues arc over at the far end.
+    pts.push_back({7 * step - 0.2, 0.35, 0.3 * strandSep});
+    pts.push_back({7 * step - 0.2, -0.35, 0.7 * strandSep});
+    for (int i = 0; i < 7; ++i)
+        pts.push_back({(6 - i) * step, (i % 2 == 0) ? -pleat : pleat,
+                       strandSep});
+    COP_ENSURE(pts.size() == 16, "hairpin must have 16 residues");
+    return pts;
+}
+
+GoModel villinGoModel() { return buildGoModel(villinNativeStructure()); }
+
+SimulationConfig villinSimulationConfig(std::uint64_t seed) {
+    SimulationConfig cfg;
+    cfg.integrator.kind = IntegratorKind::LangevinBAOAB;
+    cfg.integrator.dt = 0.01;
+    cfg.integrator.temperature = 0.60;
+    cfg.integrator.friction = 0.2;
+    cfg.sampleInterval = 20; // one frame per 0.5 mapped ns
+    cfg.seed = seed;
+    return cfg;
+}
+
+GoModel hairpinGoModel() { return buildGoModel(hairpinNativeStructure()); }
+
+std::vector<Vec3> extendedChain(std::size_t nResidues) {
+    std::vector<Vec3> pts;
+    pts.reserve(nResidues);
+    for (std::size_t i = 0; i < nResidues; ++i)
+        pts.push_back({double(i) * 0.95, (i % 2 == 0) ? 0.25 : -0.25, 0.0});
+    return pts;
+}
+
+std::vector<std::vector<Vec3>> makeUnfoldedConformations(const GoModel& model,
+                                                         std::size_t count,
+                                                         std::uint64_t seed) {
+    std::vector<std::vector<Vec3>> out;
+    out.reserve(count);
+    Rng master(seed);
+    for (std::size_t c = 0; c < count; ++c) {
+        ForceField ff(model.topology, Box::open(), model.forceFieldParams());
+        State state;
+        state.positions = extendedChain(model.numResidues());
+        state.resize(model.numResidues());
+        state.positions = extendedChain(model.numResidues());
+
+        Rng rng = master.split(c);
+        IntegratorParams ip;
+        ip.kind = IntegratorKind::LangevinBAOAB;
+        ip.dt = 0.005;
+        ip.temperature = 2.5; // well above the folding temperature
+        ip.friction = 1.0;
+        Integrator integrator(ff, ip, rng.split(1));
+        assignVelocities(model.topology, state, ip.temperature, rng);
+        integrator.run(state, 4000);
+        out.push_back(state.positions);
+    }
+    return out;
+}
+
+} // namespace cop::md

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file proteins.hpp
+/// Built-in model proteins. The flagship is a 35-residue three-helix bundle
+/// with villin's secondary-structure layout (helix 1: residues 1-10, turn,
+/// helix 2: 14-22, turn, helix 3: 26-35), constructed from ideal alpha-helix
+/// geometry and packed into a compact bundle. A 16-residue beta-hairpin is
+/// provided as a fast integration-test system.
+///
+/// All coordinates are in reduced units (1 sigma = 3.8 Angstrom).
+
+#include <vector>
+
+#include "mdlib/gomodel.hpp"
+#include "mdlib/simulation.hpp"
+#include "util/random.hpp"
+#include "util/vec3.hpp"
+
+namespace cop::md {
+
+/// Ideal alpha-helix Calpha trace: `n` residues, starting near `origin`,
+/// winding about the +z axis then rotated so the helix axis points along
+/// `axis`. Rise 1.5 A (0.395 sigma) per residue, radius 2.3 A, 100 deg per
+/// residue — giving the canonical ~3.8 A consecutive-Calpha distance.
+std::vector<Vec3> idealHelix(int n, const Vec3& origin, const Vec3& axis,
+                             double phase = 0.0);
+
+/// The villin-like 35-residue three-helix bundle native structure.
+std::vector<Vec3> villinNativeStructure();
+
+/// 16-residue beta-hairpin native structure (two strands, 5 A apart).
+std::vector<Vec3> hairpinNativeStructure();
+
+/// Gō model for the villin-like bundle with default parameters.
+GoModel villinGoModel();
+
+/// Production run settings for the villin folding study, calibrated so the
+/// native state is stable (T well below the melting temperature ~0.7) yet
+/// folding from unfolded starts happens within a few 50 ns generations:
+/// Langevin BAOAB, dt = 0.01 tau, T = 0.60, friction = 0.2/tau, one frame
+/// every 20 steps (0.5 mapped ns).
+SimulationConfig villinSimulationConfig(std::uint64_t seed = 1);
+
+/// The paper's per-command segment length (50 ns) in engine steps.
+constexpr std::int64_t kSegmentSteps = 2000;
+
+/// Paper's folded-state definition: within 3.5 Angstrom Calpha RMSD of
+/// native.
+constexpr double kFoldedRmsdAngstrom = 3.5;
+
+/// Gō model for the hairpin.
+GoModel hairpinGoModel();
+
+/// Fully extended zigzag chain with the same residue count as `model`,
+/// far from the native basin (RMSD >> folded cutoff).
+std::vector<Vec3> extendedChain(std::size_t nResidues);
+
+/// Generates `count` distinct unfolded conformations by running short
+/// high-temperature Langevin trajectories from the extended chain, one per
+/// conformation (deterministic in `seed`). Mirrors the paper's nine
+/// unfolded villin starting conformations.
+std::vector<std::vector<Vec3>> makeUnfoldedConformations(const GoModel& model,
+                                                         std::size_t count,
+                                                         std::uint64_t seed);
+
+} // namespace cop::md

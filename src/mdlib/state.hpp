@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file state.hpp
+/// Dynamic state of a simulation: positions, velocities, forces, step count
+/// and integrator extras (thermostat variables). Serializable — this is the
+/// checkpoint payload that Copernicus workers hand back to servers so a
+/// different worker can transparently continue a command (paper §2.3).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/serialize.hpp"
+#include "util/vec3.hpp"
+
+namespace cop::md {
+
+struct State {
+    std::vector<Vec3> positions;
+    std::vector<Vec3> velocities;
+    std::vector<Vec3> forces;
+    std::int64_t step = 0;
+    double time = 0.0;
+    /// Nosé-Hoover extended variable (xi) and its conjugate; unused by other
+    /// integrators but checkpointed so restarts are exact.
+    double nhXi = 0.0;
+    double nhEta = 0.0;
+
+    std::size_t numParticles() const { return positions.size(); }
+
+    /// Resizes all arrays to n, zero-filling velocities and forces.
+    void resize(std::size_t n);
+
+    void serialize(BinaryWriter& w) const;
+    static State deserialize(BinaryReader& r);
+
+    bool operator==(const State& other) const;
+};
+
+} // namespace cop::md

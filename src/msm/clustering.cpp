@@ -1,0 +1,136 @@
+#include "msm/clustering.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mdlib/observables.hpp"
+#include "util/error.hpp"
+
+namespace cop::msm {
+
+void ConformationSet::add(std::vector<Vec3> conformation) {
+    COP_REQUIRE(!conformation.empty(), "empty conformation");
+    if (!conformations_.empty())
+        COP_REQUIRE(conformation.size() == conformations_.front().size(),
+                    "conformation size mismatch");
+    conformations_.push_back(std::move(conformation));
+}
+
+double ConformationSet::distance(std::size_t i, std::size_t j) const {
+    return md::rmsd(conformations_[i], conformations_[j]);
+}
+
+double ConformationSet::distanceTo(std::size_t i,
+                                   const std::vector<Vec3>& x) const {
+    return md::rmsd(conformations_[i], x);
+}
+
+std::vector<std::size_t> ClusteringResult::clusterSizes() const {
+    std::vector<std::size_t> sizes(centers.size(), 0);
+    for (int a : assignments) ++sizes[std::size_t(a)];
+    return sizes;
+}
+
+ClusteringResult kCenters(const ConformationSet& data,
+                          const KCentersParams& params) {
+    COP_REQUIRE(!data.empty(), "cannot cluster an empty set");
+    COP_REQUIRE(params.numClusters >= 1, "need at least one cluster");
+    const std::size_t n = data.size();
+    const std::size_t k = std::min(params.numClusters, n);
+
+    ClusteringResult result;
+    result.assignments.assign(n, 0);
+    result.distances.assign(n, std::numeric_limits<double>::max());
+
+    Rng rng(params.seed);
+    std::size_t nextCenter = rng.uniformInt(n);
+    for (std::size_t c = 0; c < k; ++c) {
+        result.centers.push_back(nextCenter);
+        // Relax assignments against the new center and find the farthest
+        // point, which becomes the next center.
+        double maxDist = -1.0;
+        std::size_t farthest = nextCenter;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double d = data.distance(i, nextCenter);
+            if (d < result.distances[i]) {
+                result.distances[i] = d;
+                result.assignments[i] = int(c);
+            }
+            if (result.distances[i] > maxDist) {
+                maxDist = result.distances[i];
+                farthest = i;
+            }
+        }
+        if (params.stopRadius > 0.0 && maxDist < params.stopRadius) break;
+        nextCenter = farthest;
+    }
+    return result;
+}
+
+ClusteringResult kMedoidsRefine(const ConformationSet& data,
+                                ClusteringResult initial, int sweeps,
+                                std::uint64_t seed) {
+    COP_REQUIRE(!initial.centers.empty(), "no initial clustering");
+    const std::size_t n = data.size();
+    const std::size_t k = initial.centers.size();
+    Rng rng(seed);
+
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+        // Medoid update: for each cluster, try a random member as the new
+        // medoid and keep it if it lowers the within-cluster distance sum.
+        std::vector<std::vector<std::size_t>> members(k);
+        for (std::size_t i = 0; i < n; ++i)
+            members[std::size_t(initial.assignments[i])].push_back(i);
+        for (std::size_t c = 0; c < k; ++c) {
+            if (members[c].size() < 2) continue;
+            const std::size_t cur = initial.centers[c];
+            const std::size_t cand =
+                members[c][rng.uniformInt(members[c].size())];
+            if (cand == cur) continue;
+            double curCost = 0.0, candCost = 0.0;
+            for (std::size_t m : members[c]) {
+                curCost += data.distance(m, cur);
+                candCost += data.distance(m, cand);
+            }
+            if (candCost < curCost) initial.centers[c] = cand;
+        }
+        // Reassignment pass.
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::max();
+            int bestC = initial.assignments[i];
+            for (std::size_t c = 0; c < k; ++c) {
+                const double d = data.distance(i, initial.centers[c]);
+                if (d < best) {
+                    best = d;
+                    bestC = int(c);
+                }
+            }
+            initial.assignments[i] = bestC;
+            initial.distances[i] = best;
+        }
+    }
+    return initial;
+}
+
+std::vector<int> assignToCenters(const ConformationSet& data,
+                                 const std::vector<std::size_t>& centers,
+                                 const std::vector<std::vector<Vec3>>& xs) {
+    COP_REQUIRE(!centers.empty(), "no centers");
+    std::vector<int> out;
+    out.reserve(xs.size());
+    for (const auto& x : xs) {
+        double best = std::numeric_limits<double>::max();
+        int bestC = 0;
+        for (std::size_t c = 0; c < centers.size(); ++c) {
+            const double d = data.distanceTo(centers[c], x);
+            if (d < best) {
+                best = d;
+                bestC = int(c);
+            }
+        }
+        out.push_back(bestC);
+    }
+    return out;
+}
+
+} // namespace cop::msm

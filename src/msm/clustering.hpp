@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file clustering.hpp
+/// Conformational clustering for Markov state models. The paper's MSM
+/// plugin performs "kinetic clustering" into microstates using structural
+/// similarity; the standard algorithm (used by MSMBuilder, which grew out
+/// of the same group) is k-centers on the pairwise RMSD metric, optionally
+/// refined by a few k-medoids sweeps. Both are implemented here.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/vec3.hpp"
+
+namespace cop::msm {
+
+/// A set of conformations (each a Calpha coordinate vector) with the
+/// optimal-superposition RMSD metric.
+class ConformationSet {
+public:
+    void add(std::vector<Vec3> conformation);
+    std::size_t size() const { return conformations_.size(); }
+    bool empty() const { return conformations_.empty(); }
+    const std::vector<Vec3>& operator[](std::size_t i) const {
+        return conformations_[i];
+    }
+
+    /// RMSD between members i and j.
+    double distance(std::size_t i, std::size_t j) const;
+
+    /// RMSD between member i and an external conformation.
+    double distanceTo(std::size_t i, const std::vector<Vec3>& x) const;
+
+private:
+    std::vector<std::vector<Vec3>> conformations_;
+};
+
+struct ClusteringResult {
+    /// Index of each input conformation's cluster (size = input size).
+    std::vector<int> assignments;
+    /// Indices (into the input set) of the cluster representatives.
+    std::vector<std::size_t> centers;
+    /// Distance from each conformation to its assigned center.
+    std::vector<double> distances;
+
+    std::size_t numClusters() const { return centers.size(); }
+
+    /// Number of members per cluster.
+    std::vector<std::size_t> clusterSizes() const;
+};
+
+struct KCentersParams {
+    std::size_t numClusters = 100;
+    /// Stop early once the maximum point-to-center distance falls below
+    /// this radius (0 disables the radius criterion).
+    double stopRadius = 0.0;
+    std::uint64_t seed = 0; ///< selects the first center
+};
+
+/// Gonzalez k-centers: repeatedly promote the point farthest from all
+/// existing centers. Guarantees max-radius within 2x of optimal; O(k N)
+/// metric evaluations.
+ClusteringResult kCenters(const ConformationSet& data,
+                          const KCentersParams& params);
+
+/// K-medoids refinement: alternately recompute each cluster's medoid and
+/// reassign, for `sweeps` passes over the data. Improves cluster
+/// compactness after k-centers.
+ClusteringResult kMedoidsRefine(const ConformationSet& data,
+                                ClusteringResult initial, int sweeps = 2,
+                                std::uint64_t seed = 0);
+
+/// Assigns external conformations to the nearest existing center.
+std::vector<int> assignToCenters(const ConformationSet& data,
+                                 const std::vector<std::size_t>& centers,
+                                 const std::vector<std::vector<Vec3>>& xs);
+
+} // namespace cop::msm

@@ -1,0 +1,149 @@
+#include "msm/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cop::msm {
+
+std::vector<double> DenseMatrix::multiply(const std::vector<double>& x) const {
+    COP_REQUIRE(x.size() == cols_, "dimension mismatch");
+    std::vector<double> y(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j) s += (*this)(i, j) * x[j];
+        y[i] = s;
+    }
+    return y;
+}
+
+std::vector<double> DenseMatrix::leftMultiply(
+    const std::vector<double>& x) const {
+    COP_REQUIRE(x.size() == rows_, "dimension mismatch");
+    std::vector<double> y(cols_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double xi = x[i];
+        if (xi == 0.0) continue;
+        for (std::size_t j = 0; j < cols_; ++j)
+            y[j] += xi * (*this)(i, j);
+    }
+    return y;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+    COP_REQUIRE(cols_ == other.rows_, "dimension mismatch");
+    DenseMatrix out(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double aik = (*this)(i, k);
+            if (aik == 0.0) continue;
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                out(i, j) += aik * other(k, j);
+        }
+    return out;
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+    DenseMatrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    return out;
+}
+
+double DenseMatrix::maxAbsDiff(const DenseMatrix& other) const {
+    COP_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                "dimension mismatch");
+    double m = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::abs(data_[i] - other.data_[i]));
+    return m;
+}
+
+std::vector<double> solveLinearSystem(DenseMatrix a, std::vector<double> b) {
+    const std::size_t n = a.rows();
+    COP_REQUIRE(a.cols() == n && b.size() == n, "dimension mismatch");
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+        if (std::abs(a(pivot, col)) < 1e-14)
+            throw NumericalError("singular linear system");
+        if (pivot != col) {
+            for (std::size_t j = 0; j < n; ++j)
+                std::swap(a(col, j), a(pivot, j));
+            std::swap(b[col], b[pivot]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a(r, col) / a(col, col);
+            if (f == 0.0) continue;
+            for (std::size_t j = col; j < n; ++j) a(r, j) -= f * a(col, j);
+            b[r] -= f * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        double s = b[i];
+        for (std::size_t j = i + 1; j < n; ++j) s -= a(i, j) * x[j];
+        x[i] = s / a(i, i);
+    }
+    return x;
+}
+
+SymmetricEigen symmetricEigen(DenseMatrix a, int maxSweeps) {
+    const std::size_t n = a.rows();
+    COP_REQUIRE(a.cols() == n, "matrix must be square");
+    DenseMatrix v = DenseMatrix::identity(n);
+
+    for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+        double off = 0.0;
+        for (std::size_t p = 0; p < n; ++p)
+            for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+        if (off < 1e-22) break;
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                if (std::abs(a(p, q)) < 1e-16) continue;
+                const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                                 (std::abs(theta) +
+                                  std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p), akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k), aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p), vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return a(x, x) > a(y, y);
+    });
+    SymmetricEigen out;
+    out.values.resize(n);
+    out.vectors = DenseMatrix(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        out.values[k] = a(order[k], order[k]);
+        for (std::size_t i = 0; i < n; ++i)
+            out.vectors(i, k) = v(i, order[k]);
+    }
+    return out;
+}
+
+} // namespace cop::msm

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file linalg.hpp
+/// Small dense linear algebra for MSM analysis: row-major matrix, Gaussian
+/// elimination, and a symmetric Jacobi eigensolver. MSMs in this repo use
+/// a few hundred microstates, where straightforward dense O(n^3) methods
+/// are both fast enough and dependency-free.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cop::msm {
+
+class DenseMatrix {
+public:
+    DenseMatrix() = default;
+    DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    static DenseMatrix identity(std::size_t n) {
+        DenseMatrix m(n, n);
+        for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+        return m;
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double& operator()(std::size_t i, std::size_t j) {
+        return data_[i * cols_ + j];
+    }
+    double operator()(std::size_t i, std::size_t j) const {
+        return data_[i * cols_ + j];
+    }
+
+    const std::vector<double>& data() const { return data_; }
+
+    /// Matrix-vector product y = A x.
+    std::vector<double> multiply(const std::vector<double>& x) const;
+
+    /// Row-vector product y = x A (the natural direction for propagating
+    /// probability distributions through a row-stochastic matrix).
+    std::vector<double> leftMultiply(const std::vector<double>& x) const;
+
+    DenseMatrix multiply(const DenseMatrix& other) const;
+
+    DenseMatrix transposed() const;
+
+    /// Max |A_ij - B_ij|.
+    double maxAbsDiff(const DenseMatrix& other) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. Throws
+/// NumericalError on (near-)singular systems.
+std::vector<double> solveLinearSystem(DenseMatrix a, std::vector<double> b);
+
+/// Eigen decomposition of a symmetric matrix by cyclic Jacobi rotation.
+/// Returns eigenvalues sorted descending with matching eigenvectors
+/// (columns of `vectors`).
+struct SymmetricEigen {
+    std::vector<double> values;
+    DenseMatrix vectors; ///< vectors(i, k) = component i of eigenvector k
+};
+SymmetricEigen symmetricEigen(DenseMatrix a, int maxSweeps = 100);
+
+} // namespace cop::msm

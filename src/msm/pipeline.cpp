@@ -1,0 +1,90 @@
+#include "msm/pipeline.hpp"
+
+#include "util/error.hpp"
+
+namespace cop::msm {
+
+std::vector<bool> MsmPipelineResult::observedStates() const {
+    std::vector<bool> obs(populations.size());
+    for (std::size_t i = 0; i < populations.size(); ++i)
+        obs[i] = populations[i] > 0;
+    return obs;
+}
+
+MsmPipelineResult buildMsm(const std::vector<md::Trajectory>& trajectories,
+                           const MsmPipelineParams& params) {
+    COP_REQUIRE(params.snapshotStride >= 1, "snapshotStride must be >= 1");
+    COP_REQUIRE(params.numClusters >= 2, "need at least 2 clusters");
+
+    // Gather snapshots, remembering which trajectory each came from.
+    ConformationSet snapshots;
+    std::vector<std::size_t> trajOf;
+    std::vector<std::size_t> snapshotsPerTraj(trajectories.size(), 0);
+    for (std::size_t t = 0; t < trajectories.size(); ++t) {
+        const auto& traj = trajectories[t];
+        for (std::size_t f = 0; f < traj.numFrames();
+             f += params.snapshotStride) {
+            snapshots.add(traj.frame(f).positions);
+            trajOf.push_back(t);
+            ++snapshotsPerTraj[t];
+        }
+    }
+    COP_REQUIRE(!snapshots.empty(), "no snapshots to cluster");
+
+    MsmPipelineResult result;
+    KCentersParams kc;
+    kc.numClusters = params.numClusters;
+    kc.seed = params.seed;
+    result.clustering = kCenters(snapshots, kc);
+    if (params.medoidSweeps > 0)
+        result.clustering = kMedoidsRefine(snapshots,
+                                           std::move(result.clustering),
+                                           params.medoidSweeps, params.seed);
+
+    const std::size_t k = result.clustering.numClusters();
+
+    // Split the flat assignment list back into per-trajectory discrete
+    // trajectories (snapshots were appended trajectory-major).
+    result.discrete.assign(trajectories.size(), {});
+    for (std::size_t t = 0; t < trajectories.size(); ++t)
+        result.discrete[t].reserve(snapshotsPerTraj[t]);
+    for (std::size_t s = 0; s < snapshots.size(); ++s)
+        result.discrete[trajOf[s]].push_back(result.clustering.assignments[s]);
+
+    result.counts = countTransitions(result.discrete, k, params.lag);
+
+    MarkovModelParams mp;
+    mp.lag = params.lag;
+    mp.estimator = params.estimator;
+    mp.pseudocount = params.pseudocount;
+    result.model = MarkovStateModel::fromCounts(result.counts, mp);
+
+    result.centers.reserve(k);
+    for (std::size_t c = 0; c < k; ++c)
+        result.centers.push_back(snapshots[result.clustering.centers[c]]);
+
+    result.populations.assign(k, 0);
+    for (int a : result.clustering.assignments)
+        ++result.populations[std::size_t(a)];
+
+    return result;
+}
+
+std::vector<std::vector<double>> impliedTimescaleSweep(
+    const std::vector<DiscreteTrajectory>& discrete, std::size_t numStates,
+    const std::vector<std::size_t>& lags, std::size_t nTimescales,
+    EstimatorKind estimator) {
+    std::vector<std::vector<double>> out;
+    out.reserve(lags.size());
+    for (std::size_t lag : lags) {
+        MarkovModelParams mp;
+        mp.lag = lag;
+        mp.estimator = estimator;
+        const auto model =
+            MarkovStateModel::fromTrajectories(discrete, numStates, mp);
+        out.push_back(model.impliedTimescales(nTimescales));
+    }
+    return out;
+}
+
+} // namespace cop::msm

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// End-to-end MSM construction from raw trajectories, as performed by the
+/// paper's MSM controller at each clustering step: subsample snapshots
+/// (paper: every 1.5 ns), cluster (k-centers [+ k-medoids refinement]),
+/// assign, count transitions, estimate the transition matrix on the largest
+/// connected subset.
+
+#include <vector>
+
+#include "mdlib/trajectory.hpp"
+#include "msm/clustering.hpp"
+#include "msm/markov_model.hpp"
+
+namespace cop::msm {
+
+struct MsmPipelineParams {
+    std::size_t numClusters = 200;
+    /// Frames of the input trajectories between clustering snapshots
+    /// (paper: snapshots every 1.5 ns).
+    std::size_t snapshotStride = 3;
+    /// MSM lag time in snapshot intervals.
+    std::size_t lag = 1;
+    EstimatorKind estimator = EstimatorKind::ReversibleMle;
+    double pseudocount = 0.0;
+    int medoidSweeps = 1;
+    std::uint64_t seed = 0;
+};
+
+struct MsmPipelineResult {
+    ClusteringResult clustering;
+    /// One discrete trajectory per input trajectory, over microstates.
+    std::vector<DiscreteTrajectory> discrete;
+    /// Count matrix over all microstates (before SCC restriction).
+    DenseMatrix counts;
+    MarkovStateModel model;
+    /// Representative conformation of each microstate.
+    std::vector<std::vector<Vec3>> centers;
+    /// Total snapshots per microstate.
+    std::vector<std::size_t> populations;
+
+    /// Microstates with at least one snapshot (all of them, by
+    /// construction) — convenience for adaptive planning.
+    std::vector<bool> observedStates() const;
+};
+
+/// Runs the full pipeline. Requires at least lag+1 snapshots in some
+/// trajectory and at least one non-empty trajectory.
+MsmPipelineResult buildMsm(const std::vector<md::Trajectory>& trajectories,
+                           const MsmPipelineParams& params);
+
+/// Implied-timescale sensitivity analysis (paper §3.2: "the system became
+/// Markovian for lag times of 20 ns or greater"): slowest `nTimescales`
+/// implied timescales for each lag in `lags` (snapshot-interval units).
+std::vector<std::vector<double>> impliedTimescaleSweep(
+    const std::vector<DiscreteTrajectory>& discrete, std::size_t numStates,
+    const std::vector<std::size_t>& lags, std::size_t nTimescales,
+    EstimatorKind estimator = EstimatorKind::ReversibleMle);
+
+} // namespace cop::msm

@@ -1,0 +1,290 @@
+#include "msm/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace cop::msm {
+
+DenseMatrix slowEigenvectors(const MarkovStateModel& model,
+                             std::size_t count) {
+    const std::size_t n = model.numStates();
+    COP_REQUIRE(count >= 1, "need at least one eigenvector");
+    count = std::min(count, n > 1 ? n - 1 : 1);
+    const auto& pi = model.stationaryDistribution();
+
+    // Symmetrize S = D^{1/2} T D^{-1/2}; right eigenvectors of T are
+    // psi = D^{-1/2} v for eigenvectors v of S.
+    DenseMatrix s(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            s(i, j) = std::sqrt(std::max(pi[i], 1e-300)) *
+                      model.transitionMatrix()(i, j) /
+                      std::sqrt(std::max(pi[j], 1e-300));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double v = 0.5 * (s(i, j) + s(j, i));
+            s(i, j) = s(j, i) = v;
+        }
+    const auto eig = symmetricEigen(std::move(s));
+
+    DenseMatrix psi(n, count);
+    for (std::size_t k = 0; k < count; ++k)
+        for (std::size_t i = 0; i < n; ++i)
+            psi(i, k) = eig.vectors(i, k + 1) /
+                        std::sqrt(std::max(pi[i], 1e-300));
+    return psi;
+}
+
+namespace {
+
+/// Plain k-means in R^d with deterministic k-means++-style seeding.
+std::vector<int> kMeansRows(const DenseMatrix& points, std::size_t k,
+                            std::uint64_t seed) {
+    const std::size_t n = points.rows();
+    const std::size_t d = points.cols();
+    COP_REQUIRE(k >= 1 && k <= n, "bad macrostate count");
+
+    auto dist2 = [&](std::size_t i, const std::vector<double>& c) {
+        double s = 0.0;
+        for (std::size_t x = 0; x < d; ++x) {
+            const double diff = points(i, x) - c[x];
+            s += diff * diff;
+        }
+        return s;
+    };
+
+    // Seeding: farthest-point (deterministic given the RNG's first pick).
+    Rng rng(seed);
+    std::vector<std::vector<double>> centers;
+    std::size_t first = rng.uniformInt(n);
+    centers.push_back(std::vector<double>(d));
+    for (std::size_t x = 0; x < d; ++x) centers[0][x] = points(first, x);
+    while (centers.size() < k) {
+        std::size_t farthest = 0;
+        double best = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double nearest = std::numeric_limits<double>::max();
+            for (const auto& c : centers)
+                nearest = std::min(nearest, dist2(i, c));
+            if (nearest > best) {
+                best = nearest;
+                farthest = i;
+            }
+        }
+        centers.push_back(std::vector<double>(d));
+        for (std::size_t x = 0; x < d; ++x)
+            centers.back()[x] = points(farthest, x);
+    }
+
+    std::vector<int> assign(n, 0);
+    for (int iter = 0; iter < 100; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            int bestC = assign[i];
+            double bestD = std::numeric_limits<double>::max();
+            for (std::size_t c = 0; c < centers.size(); ++c) {
+                const double dd = dist2(i, centers[c]);
+                if (dd < bestD) {
+                    bestD = dd;
+                    bestC = int(c);
+                }
+            }
+            if (bestC != assign[i]) {
+                assign[i] = bestC;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0) break;
+        for (std::size_t c = 0; c < centers.size(); ++c) {
+            std::vector<double> sum(d, 0.0);
+            std::size_t cnt = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (assign[i] != int(c)) continue;
+                ++cnt;
+                for (std::size_t x = 0; x < d; ++x) sum[x] += points(i, x);
+            }
+            if (cnt > 0)
+                for (std::size_t x = 0; x < d; ++x)
+                    centers[c][x] = sum[x] / double(cnt);
+        }
+    }
+    return assign;
+}
+
+} // namespace
+
+MacrostateResult identifyMacrostates(const MarkovStateModel& model,
+                                     std::size_t numMacrostates,
+                                     std::uint64_t seed) {
+    const std::size_t n = model.numStates();
+    COP_REQUIRE(numMacrostates >= 2, "need at least two macrostates");
+    numMacrostates = std::min(numMacrostates, n);
+
+    MacrostateResult result;
+    result.numMacrostates = numMacrostates;
+    if (numMacrostates == n) {
+        result.assignment.resize(n);
+        for (std::size_t i = 0; i < n; ++i) result.assignment[i] = int(i);
+    } else {
+        const auto psi = slowEigenvectors(model, numMacrostates - 1);
+        result.assignment = kMeansRows(psi, numMacrostates, seed);
+    }
+
+    const auto& pi = model.stationaryDistribution();
+    result.populations.assign(numMacrostates, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        result.populations[std::size_t(result.assignment[i])] += pi[i];
+
+    // Metastability: average over macrostates of the within-set
+    // conditional self-transition probability.
+    double meta = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t m = 0; m < numMacrostates; ++m) {
+        if (result.populations[m] <= 0.0) continue;
+        double stay = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (result.assignment[i] != int(m)) continue;
+            for (std::size_t j = 0; j < n; ++j)
+                if (result.assignment[j] == int(m))
+                    stay += pi[i] * model.transitionMatrix()(i, j);
+        }
+        meta += stay / result.populations[m];
+        ++counted;
+    }
+    result.metastability = counted ? meta / double(counted) : 0.0;
+    return result;
+}
+
+TptResult transitionPathTheory(const MarkovStateModel& model,
+                               const std::vector<int>& sourceA,
+                               const std::vector<int>& sinkB) {
+    const std::size_t n = model.numStates();
+    TptResult tpt;
+    tpt.forwardCommittor = model.committor(sourceA, sinkB);
+    tpt.backwardCommittor.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        tpt.backwardCommittor[i] = 1.0 - tpt.forwardCommittor[i];
+
+    const auto& pi = model.stationaryDistribution();
+    const auto& t = model.transitionMatrix();
+    const auto& qp = tpt.forwardCommittor;
+    const auto& qm = tpt.backwardCommittor;
+
+    // Gross reactive flux f_ij = pi_i q-_i T_ij q+_j (i != j), then the
+    // net flux f+_ij = max(0, f_ij - f_ji).
+    DenseMatrix gross(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            if (i != j) gross(i, j) = pi[i] * qm[i] * t(i, j) * qp[j];
+    tpt.netFlux = DenseMatrix(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            tpt.netFlux(i, j) = std::max(0.0, gross(i, j) - gross(j, i));
+
+    // Total flux out of A.
+    std::vector<bool> inA(n, false);
+    for (int a : sourceA) inA[std::size_t(a)] = true;
+    for (int a : sourceA)
+        for (std::size_t j = 0; j < n; ++j)
+            if (!inA[j]) tpt.totalFlux += tpt.netFlux(std::size_t(a), j);
+
+    double denom = 0.0;
+    for (std::size_t i = 0; i < n; ++i) denom += pi[i] * qm[i];
+    tpt.rate = denom > 0.0 ? tpt.totalFlux / denom : 0.0;
+    tpt.mfpt = tpt.rate > 0.0 ? 1.0 / tpt.rate
+                              : std::numeric_limits<double>::infinity();
+    return tpt;
+}
+
+DenseMatrix sampleTransitionMatrix(const DenseMatrix& counts, Rng& rng,
+                                   double prior) {
+    const std::size_t n = counts.rows();
+    COP_REQUIRE(counts.cols() == n, "counts must be square");
+    COP_REQUIRE(prior > 0.0, "prior must be positive");
+    DenseMatrix t(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Dirichlet via normalized Gamma draws; alpha_j = c_ij + prior for
+        // observed transitions, 0 (excluded) otherwise.
+        double rowSum = 0.0;
+        std::vector<double> g(n, 0.0);
+        bool any = false;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (counts(i, j) <= 0.0 && i != j) continue;
+            const double alpha = counts(i, j) + prior;
+            // Marsaglia-Tsang for alpha >= 1; boost for alpha < 1.
+            double a = alpha < 1.0 ? alpha + 1.0 : alpha;
+            const double d = a - 1.0 / 3.0;
+            const double c = 1.0 / std::sqrt(9.0 * d);
+            double sample = 0.0;
+            for (;;) {
+                const double x = rng.gaussian();
+                double v = 1.0 + c * x;
+                if (v <= 0.0) continue;
+                v = v * v * v;
+                const double u = rng.uniform();
+                if (u < 1.0 - 0.0331 * x * x * x * x ||
+                    std::log(std::max(u, 1e-300)) <
+                        0.5 * x * x + d * (1.0 - v + std::log(v))) {
+                    sample = d * v;
+                    break;
+                }
+            }
+            if (alpha < 1.0)
+                sample *= std::pow(rng.uniform(), 1.0 / alpha);
+            g[j] = sample;
+            rowSum += sample;
+            any = true;
+        }
+        if (!any || rowSum <= 0.0) {
+            t(i, i) = 1.0;
+            continue;
+        }
+        for (std::size_t j = 0; j < n; ++j) t(i, j) = g[j] / rowSum;
+    }
+    return t;
+}
+
+UncertaintyResult transitionMatrixUncertainty(
+    const DenseMatrix& counts,
+    const std::function<double(const DenseMatrix&)>& observable,
+    std::size_t nSamples, Rng& rng, double prior) {
+    COP_REQUIRE(nSamples >= 2, "need at least two samples");
+    UncertaintyResult out;
+    out.samples.reserve(nSamples);
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t s = 0; s < nSamples; ++s) {
+        const auto t = sampleTransitionMatrix(counts, rng, prior);
+        const double v = observable(t);
+        out.samples.push_back(v);
+        sum += v;
+        sum2 += v * v;
+    }
+    out.mean = sum / double(nSamples);
+    out.stddev = std::sqrt(
+        std::max(0.0, sum2 / double(nSamples) - out.mean * out.mean));
+    return out;
+}
+
+std::vector<double> stationaryOf(const DenseMatrix& transition,
+                                 int maxIterations, double tolerance) {
+    const std::size_t n = transition.rows();
+    COP_REQUIRE(transition.cols() == n, "matrix must be square");
+    std::vector<double> p(n, 1.0 / double(n));
+    for (int iter = 0; iter < maxIterations; ++iter) {
+        auto next = transition.leftMultiply(p);
+        double sum = 0.0;
+        for (double v : next) sum += v;
+        for (double& v : next) v /= sum;
+        double delta = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            delta = std::max(delta, std::abs(next[i] - p[i]));
+        p = std::move(next);
+        if (delta < tolerance) break;
+    }
+    return p;
+}
+
+} // namespace cop::msm

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file spectral.hpp
+/// Higher-level MSM analyses built on the spectral structure of the
+/// transition matrix:
+///
+///  - macrostate identification (spectral/PCCA-style clustering of
+///    microstates in the space of the slow right eigenvectors) — the
+///    paper's "division of the high-dimensional free energy landscape into
+///    metastable states";
+///  - transition path theory (reactive flux and folding rates between a
+///    source and sink set), the quantitative form of the paper's "folding
+///    rates and mechanism";
+///  - Bayesian uncertainty quantification by sampling transition matrices
+///    from the per-row Dirichlet posterior of the counts — the statistical
+///    basis of adaptive sampling's "uncertainty in the transitions".
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "msm/markov_model.hpp"
+#include "util/random.hpp"
+
+namespace cop::msm {
+
+/// Right eigenvectors psi_2..psi_{m} of the transition matrix (computed
+/// through the pi-symmetrized form), one column per eigenvector, rows =
+/// active states. Column k corresponds to eigenvalue lambda_{k+1}.
+DenseMatrix slowEigenvectors(const MarkovStateModel& model,
+                             std::size_t count);
+
+struct MacrostateResult {
+    /// Macrostate index per active microstate.
+    std::vector<int> assignment;
+    std::size_t numMacrostates = 0;
+    /// Aggregate stationary probability per macrostate.
+    std::vector<double> populations;
+    /// Metastability: sum of within-macrostate self-transition
+    /// probability, averaged over macrostates (1 = perfectly metastable).
+    double metastability = 0.0;
+};
+
+/// Groups microstates into `numMacrostates` metastable sets by k-means in
+/// the slow-eigenvector embedding (spectral clustering; PCCA-like).
+/// Deterministic in `seed`.
+MacrostateResult identifyMacrostates(const MarkovStateModel& model,
+                                     std::size_t numMacrostates,
+                                     std::uint64_t seed = 0);
+
+struct TptResult {
+    std::vector<double> forwardCommittor;  ///< q+ per active state
+    std::vector<double> backwardCommittor; ///< q- (reversible: 1 - q+)
+    /// Net reactive flux matrix f+_ij (non-negative, antisymmetrized).
+    DenseMatrix netFlux;
+    /// Total reactive A->B flux (probability per lag time).
+    double totalFlux = 0.0;
+    /// A->B rate constant: flux / (sum_i pi_i q-_i), per lag time.
+    double rate = 0.0;
+    /// Expected A->B transit time in lag units (1 / rate).
+    double mfpt = 0.0;
+};
+
+/// Transition path theory between `sourceA` and `sinkB` (active indices).
+/// Assumes the model satisfies detailed balance (use ReversibleMle or
+/// Symmetrized estimators).
+TptResult transitionPathTheory(const MarkovStateModel& model,
+                               const std::vector<int>& sourceA,
+                               const std::vector<int>& sinkB);
+
+/// One posterior sample of a transition matrix: each row drawn from
+/// Dirichlet(counts_row + prior). Rows with no counts stay identity.
+DenseMatrix sampleTransitionMatrix(const DenseMatrix& counts, Rng& rng,
+                                   double prior = 0.5);
+
+struct UncertaintyResult {
+    double mean = 0.0;
+    double stddev = 0.0;
+    std::vector<double> samples;
+};
+
+/// Posterior uncertainty of a scalar observable of the transition matrix,
+/// estimated over `nSamples` Dirichlet draws from the count posterior.
+UncertaintyResult transitionMatrixUncertainty(
+    const DenseMatrix& counts,
+    const std::function<double(const DenseMatrix&)>& observable,
+    std::size_t nSamples, Rng& rng, double prior = 0.5);
+
+/// Stationary distribution of an arbitrary row-stochastic matrix by power
+/// iteration (free function counterpart of the model method).
+std::vector<double> stationaryOf(const DenseMatrix& transition,
+                                 int maxIterations = 100000,
+                                 double tolerance = 1e-14);
+
+} // namespace cop::msm

@@ -1,0 +1,149 @@
+#include "msm/transition_counts.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace cop::msm {
+
+DenseMatrix countTransitions(const std::vector<DiscreteTrajectory>& trajs,
+                             std::size_t numStates, std::size_t lag) {
+    COP_REQUIRE(lag >= 1, "lag must be >= 1");
+    DenseMatrix counts(numStates, numStates);
+    for (const auto& traj : trajs) {
+        for (std::size_t t = 0; t + lag < traj.size(); ++t) {
+            const int from = traj[t];
+            const int to = traj[t + lag];
+            COP_REQUIRE(from >= 0 && std::size_t(from) < numStates &&
+                            to >= 0 && std::size_t(to) < numStates,
+                        "state index out of range");
+            counts(std::size_t(from), std::size_t(to)) += 1.0;
+        }
+    }
+    return counts;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC (explicit stack to avoid recursion-depth limits).
+class TarjanScc {
+public:
+    explicit TarjanScc(const DenseMatrix& counts)
+        : n_(counts.rows()), counts_(counts) {
+        index_.assign(n_, -1);
+        lowlink_.assign(n_, 0);
+        onStack_.assign(n_, false);
+        component_.assign(n_, -1);
+    }
+
+    std::vector<int> run() {
+        for (std::size_t v = 0; v < n_; ++v)
+            if (index_[v] < 0) strongConnect(v);
+        return component_;
+    }
+
+    int numComponents() const { return nextComponent_; }
+
+private:
+    struct Frame {
+        std::size_t v;
+        std::size_t nextChild;
+    };
+
+    void strongConnect(std::size_t root) {
+        std::vector<Frame> callStack{{root, 0}};
+        while (!callStack.empty()) {
+            Frame& f = callStack.back();
+            const std::size_t v = f.v;
+            if (f.nextChild == 0) {
+                index_[v] = lowlink_[v] = counter_++;
+                stack_.push_back(v);
+                onStack_[v] = true;
+            }
+            bool descended = false;
+            while (f.nextChild < n_) {
+                const std::size_t w = f.nextChild++;
+                if (counts_(v, w) <= 0.0 || v == w) continue;
+                if (index_[w] < 0) {
+                    callStack.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (onStack_[w])
+                    lowlink_[v] = std::min(lowlink_[v], index_[w]);
+            }
+            if (descended) continue;
+            if (lowlink_[v] == index_[v]) {
+                for (;;) {
+                    const std::size_t w = stack_.back();
+                    stack_.pop_back();
+                    onStack_[w] = false;
+                    component_[w] = nextComponent_;
+                    if (w == v) break;
+                }
+                ++nextComponent_;
+            }
+            callStack.pop_back();
+            if (!callStack.empty()) {
+                const std::size_t parent = callStack.back().v;
+                lowlink_[parent] = std::min(lowlink_[parent], lowlink_[v]);
+            }
+        }
+    }
+
+    std::size_t n_;
+    const DenseMatrix& counts_;
+    std::vector<int> index_;
+    std::vector<int> lowlink_;
+    std::vector<bool> onStack_;
+    std::vector<int> component_;
+    std::vector<std::size_t> stack_;
+    int counter_ = 0;
+    int nextComponent_ = 0;
+};
+
+} // namespace
+
+std::vector<int> stronglyConnectedComponents(const DenseMatrix& counts) {
+    COP_REQUIRE(counts.rows() == counts.cols(), "counts must be square");
+    TarjanScc scc(counts);
+    return scc.run();
+}
+
+std::vector<int> largestConnectedSet(const DenseMatrix& counts) {
+    const auto comp = stronglyConnectedComponents(counts);
+    const std::size_t n = counts.rows();
+    int nComp = 0;
+    for (int c : comp) nComp = std::max(nComp, c + 1);
+
+    // Score components by (member count, total transition counts).
+    std::vector<std::size_t> sizes(std::size_t(nComp), 0);
+    std::vector<double> weight(std::size_t(nComp), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        ++sizes[std::size_t(comp[i])];
+        for (std::size_t j = 0; j < n; ++j)
+            weight[std::size_t(comp[i])] += counts(i, j);
+    }
+    int best = 0;
+    for (int c = 1; c < nComp; ++c) {
+        if (sizes[std::size_t(c)] > sizes[std::size_t(best)] ||
+            (sizes[std::size_t(c)] == sizes[std::size_t(best)] &&
+             weight[std::size_t(c)] > weight[std::size_t(best)]))
+            best = c;
+    }
+    std::vector<int> states;
+    for (std::size_t i = 0; i < n; ++i)
+        if (comp[i] == best) states.push_back(int(i));
+    return states;
+}
+
+DenseMatrix restrictToStates(const DenseMatrix& counts,
+                             const std::vector<int>& states) {
+    DenseMatrix out(states.size(), states.size());
+    for (std::size_t a = 0; a < states.size(); ++a)
+        for (std::size_t b = 0; b < states.size(); ++b)
+            out(a, b) = counts(std::size_t(states[a]), std::size_t(states[b]));
+    return out;
+}
+
+} // namespace cop::msm

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file transition_counts.hpp
+/// Lagged transition counting over discrete (state-assigned) trajectories,
+/// plus strongly-connected-component analysis used to restrict the model to
+/// its largest communicating subset (paper §3.2: "analysis was performed on
+/// the largest connected subset of the Markovian transition matrix").
+
+#include <cstddef>
+#include <vector>
+
+#include "msm/linalg.hpp"
+
+namespace cop::msm {
+
+/// A discrete trajectory: the microstate index of each stored snapshot, in
+/// temporal order with a uniform snapshot spacing.
+using DiscreteTrajectory = std::vector<int>;
+
+/// Counts transitions i -> j separated by `lag` snapshots, using the
+/// sliding-window convention (every snapshot starts a transition).
+DenseMatrix countTransitions(const std::vector<DiscreteTrajectory>& trajs,
+                             std::size_t numStates, std::size_t lag);
+
+/// Tarjan strongly connected components of the directed graph with an edge
+/// i -> j wherever counts(i, j) > 0. Returns the component id per state.
+std::vector<int> stronglyConnectedComponents(const DenseMatrix& counts);
+
+/// States in the largest SCC (ties broken by total counts), ascending.
+std::vector<int> largestConnectedSet(const DenseMatrix& counts);
+
+/// Restricts a count matrix to `states` (in their given order).
+DenseMatrix restrictToStates(const DenseMatrix& counts,
+                             const std::vector<int>& states);
+
+} // namespace cop::msm

@@ -1,0 +1,47 @@
+#include "net/event_loop.hpp"
+
+#include <utility>
+
+namespace cop::net {
+
+void EventLoop::schedule(SimTime delay, Callback fn) {
+    COP_REQUIRE(delay >= 0.0, "cannot schedule in the past");
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void EventLoop::scheduleAt(SimTime when, Callback fn) {
+    COP_REQUIRE(when >= now_, "cannot schedule in the past");
+    COP_REQUIRE(fn != nullptr, "null callback");
+    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+void EventLoop::popAndRun() {
+    // Move the callback out before popping so the event can safely
+    // schedule new events (which mutate the queue).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+}
+
+std::size_t EventLoop::run(std::size_t limit) {
+    std::size_t processed = 0;
+    while (!queue_.empty() && processed < limit) {
+        popAndRun();
+        ++processed;
+    }
+    return processed;
+}
+
+std::size_t EventLoop::runUntil(SimTime until) {
+    COP_REQUIRE(until >= now_, "cannot run backwards");
+    std::size_t processed = 0;
+    while (!queue_.empty() && queue_.top().time <= until) {
+        popAndRun();
+        ++processed;
+    }
+    now_ = until;
+    return processed;
+}
+
+} // namespace cop::net

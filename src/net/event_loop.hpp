@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file event_loop.hpp
+/// Discrete-event simulation core: a virtual clock and an ordered event
+/// queue. The overlay network, the simulated workers and the scaling study
+/// (Figs. 7-9) all run on this loop — mirroring how the paper produced its
+/// scaling figures by simulating the controller's activity.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace cop::net {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+class EventLoop {
+public:
+    using Callback = std::function<void()>;
+
+    SimTime now() const { return now_; }
+
+    /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+    /// Events at equal times run in scheduling order (FIFO).
+    void schedule(SimTime delay, Callback fn);
+
+    /// Schedules `fn` at an absolute time >= now().
+    void scheduleAt(SimTime when, Callback fn);
+
+    /// Runs until the queue is empty or `limit` events have fired.
+    /// Returns the number of events processed.
+    std::size_t run(std::size_t limit = SIZE_MAX);
+
+    /// Runs events with time <= `until`, then advances the clock to
+    /// `until` (even if idle). Returns events processed.
+    std::size_t runUntil(SimTime until);
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t pending() const { return queue_.size(); }
+
+private:
+    struct Event {
+        SimTime time;
+        std::uint64_t seq;
+        Callback fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    void popAndRun();
+
+    SimTime now_ = 0.0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+} // namespace cop::net

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file message.hpp
+/// Typed messages exchanged over the overlay network. Payloads are opaque
+/// byte blobs (serialized with util/serialize.hpp); `wireSize` drives the
+/// link bandwidth model and the Fig. 9 traffic accounting.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cop::net {
+
+using NodeId = int;
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class MessageType : std::uint8_t {
+    // Worker <-> server (paper §2.3)
+    WorkerAnnounce,   ///< platform + executables + resources
+    WorkloadRequest,  ///< forwarded towards the first server with commands
+    WorkloadAssign,   ///< commands + input data for a worker
+    Heartbeat,        ///< worker status; never forwarded past first server
+    CommandOutput,    ///< finished command results (trajectory data)
+    CommandFailed,    ///< command aborted with an error
+    CheckpointData,   ///< mid-run checkpoint cached by the worker's server
+    WorkerFailed,     ///< failure signal from a worker's server (§2.3)
+    // Server <-> server
+    ProjectData,      ///< relayed command output towards the project server
+    NoWorkAvailable,  ///< negative response to a workload request
+    // Client <-> server
+    ClientRequest,    ///< monitoring/control from the command line client
+    ClientResponse,
+};
+
+const char* messageTypeName(MessageType t);
+
+/// True for message types whose payload is bulk simulation data that a
+/// shared filesystem can carry out-of-band (paper §2: "Copernicus can
+/// detect and take advantage of shared file systems to reduce
+/// communication").
+bool isBulkDataMessage(MessageType t);
+
+struct Message {
+    MessageType type = MessageType::Heartbeat;
+    NodeId source = kInvalidNode;      ///< originating node
+    NodeId destination = kInvalidNode; ///< final destination node
+    std::uint64_t id = 0;              ///< unique per network
+    std::uint64_t payloadKey = 0;      ///< application-level handle
+    std::vector<std::uint8_t> payload;
+
+    /// Bytes on the wire: payload plus a fixed framing overhead (SSL
+    /// record + headers; the paper quotes heartbeats at < 200 bytes total).
+    std::size_t wireSize() const { return payload.size() + 96; }
+};
+
+} // namespace cop::net

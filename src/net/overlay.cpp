@@ -1,0 +1,192 @@
+#include "net/overlay.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/logging.hpp"
+#include "util/random.hpp"
+
+namespace cop::net {
+
+const char* messageTypeName(MessageType t) {
+    switch (t) {
+    case MessageType::WorkerAnnounce: return "WorkerAnnounce";
+    case MessageType::WorkloadRequest: return "WorkloadRequest";
+    case MessageType::WorkloadAssign: return "WorkloadAssign";
+    case MessageType::Heartbeat: return "Heartbeat";
+    case MessageType::CommandOutput: return "CommandOutput";
+    case MessageType::CommandFailed: return "CommandFailed";
+    case MessageType::CheckpointData: return "CheckpointData";
+    case MessageType::WorkerFailed: return "WorkerFailed";
+    case MessageType::ProjectData: return "ProjectData";
+    case MessageType::NoWorkAvailable: return "NoWorkAvailable";
+    case MessageType::ClientRequest: return "ClientRequest";
+    case MessageType::ClientResponse: return "ClientResponse";
+    }
+    return "Unknown";
+}
+
+bool isBulkDataMessage(MessageType t) {
+    switch (t) {
+    case MessageType::WorkloadAssign:
+    case MessageType::CommandOutput:
+    case MessageType::CheckpointData:
+    case MessageType::ProjectData:
+        return true;
+    default:
+        return false;
+    }
+}
+
+KeyPair KeyPair::generate(std::uint64_t seed) {
+    Rng rng(seed);
+    // Public and private halves are independent random words; the "proof"
+    // in this toy scheme is just producing the private half.
+    return KeyPair{rng.next() | 1, rng.next() | 1};
+}
+
+Node::Node(OverlayNetwork& net, std::string name, KeyPair keys)
+    : net_(&net), name_(std::move(name)), keys_(keys) {
+    id_ = net.registerNode(*this);
+}
+
+void Node::deliver(const Message& msg) {
+    if (handler_) handler_(msg);
+}
+
+OverlayNetwork::OverlayNetwork(EventLoop& loop) : loop_(&loop) {}
+
+NodeId OverlayNetwork::registerNode(Node& node) {
+    nodes_.push_back(&node);
+    return NodeId(nodes_.size() - 1);
+}
+
+Node& OverlayNetwork::node(NodeId id) {
+    COP_REQUIRE(id >= 0 && std::size_t(id) < nodes_.size(), "bad node id");
+    return *nodes_[std::size_t(id)];
+}
+
+const Node& OverlayNetwork::node(NodeId id) const {
+    COP_REQUIRE(id >= 0 && std::size_t(id) < nodes_.size(), "bad node id");
+    return *nodes_[std::size_t(id)];
+}
+
+void OverlayNetwork::connect(NodeId a, NodeId b, LinkProperties props) {
+    COP_REQUIRE(a != b, "cannot connect a node to itself");
+    Node& na = node(a);
+    Node& nb = node(b);
+    // Mutual authentication: both ends must have exchanged public keys
+    // beforehand (paper §2.2).
+    if (!na.trusts(nb.publicKey()) || !nb.trusts(na.publicKey()))
+        throw InvalidArgument("connection refused: keys not mutually trusted (" +
+                              na.name() + " <-> " + nb.name() + ")");
+    COP_REQUIRE(props.latency >= 0.0 && props.bandwidth > 0.0,
+                "invalid link properties");
+    const auto key = keyOf(a, b);
+    COP_REQUIRE(links_.find(key) == links_.end(), "link already exists");
+    links_[key] = Link{props, {}};
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+}
+
+bool OverlayNetwork::connected(NodeId a, NodeId b) const {
+    return links_.find(keyOf(a, b)) != links_.end();
+}
+
+std::vector<NodeId> OverlayNetwork::neighbors(NodeId id) const {
+    auto it = adjacency_.find(id);
+    if (it == adjacency_.end()) return {};
+    return it->second;
+}
+
+NodeId OverlayNetwork::nextHop(NodeId from, NodeId to) const {
+    if (from == to) return to;
+    // Dijkstra from `from` by total latency; return the first hop of the
+    // best path. Networks are tiny (paper: "no more than a handful of
+    // servers"), so recomputing per call is simpler than caching.
+    const std::size_t n = nodes_.size();
+    std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+    std::vector<NodeId> firstHop(n, kInvalidNode);
+    using QE = std::pair<double, NodeId>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    dist[std::size_t(from)] = 0.0;
+    pq.push({0.0, from});
+    while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist[std::size_t(u)]) continue;
+        if (u == to) break;
+        for (NodeId v : neighbors(u)) {
+            const auto& link = links_.at(keyOf(u, v));
+            const double nd = d + link.props.latency;
+            if (nd < dist[std::size_t(v)]) {
+                dist[std::size_t(v)] = nd;
+                firstHop[std::size_t(v)] =
+                    (u == from) ? v : firstHop[std::size_t(u)];
+                pq.push({nd, v});
+            }
+        }
+    }
+    return firstHop[std::size_t(to)];
+}
+
+void OverlayNetwork::send(Message msg) {
+    COP_REQUIRE(msg.source != kInvalidNode && msg.destination != kInvalidNode,
+                "message needs source and destination");
+    if (msg.id == 0) msg.id = nextMessageId();
+    const NodeId origin = msg.source;
+    forward(std::move(msg), origin);
+}
+
+void OverlayNetwork::forward(Message msg, NodeId at) {
+    if (at == msg.destination) {
+        node(at).deliver(msg);
+        return;
+    }
+    const NodeId hop = nextHop(at, msg.destination);
+    if (hop == kInvalidNode)
+        throw InvalidArgument("no route from " + node(at).name() + " to " +
+                              node(msg.destination).name());
+    auto& link = links_.at(keyOf(at, hop));
+    // On shared-filesystem links, bulk payloads are exchanged through the
+    // filesystem; only the framing crosses the network.
+    const std::size_t wireBytes =
+        (link.props.sharedFilesystem && isBulkDataMessage(msg.type))
+            ? (msg.wireSize() - msg.payload.size())
+            : msg.wireSize();
+    link.stats.messages += 1;
+    link.stats.bytes += wireBytes;
+    const double delay = link.props.transferTime(wireBytes);
+    loop_->schedule(delay, [this, msg = std::move(msg), hop]() mutable {
+        forward(std::move(msg), hop);
+    });
+}
+
+const LinkStats& OverlayNetwork::linkStats(NodeId a, NodeId b) const {
+    auto it = links_.find(keyOf(a, b));
+    COP_REQUIRE(it != links_.end(), "no such link");
+    return it->second.stats;
+}
+
+LinkStats OverlayNetwork::nodeStats(NodeId id) const {
+    LinkStats total;
+    for (const auto& [key, link] : links_) {
+        if (key.first == id || key.second == id) {
+            total.messages += link.stats.messages;
+            total.bytes += link.stats.bytes;
+        }
+    }
+    return total;
+}
+
+LinkStats OverlayNetwork::totalStats() const {
+    LinkStats total;
+    for (const auto& [key, link] : links_) {
+        total.messages += link.stats.messages;
+        total.bytes += link.stats.bytes;
+    }
+    return total;
+}
+
+} // namespace cop::net

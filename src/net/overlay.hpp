@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file overlay.hpp
+/// The Copernicus overlay network (paper §2.2): a small, relatively static
+/// graph of servers plus leaf links to workers and clients. Links model
+/// latency and bandwidth; message delivery is simulated hop-by-hop on the
+/// EventLoop. Connections require mutual key trust, mirroring the paper's
+/// SSL + exchanged-public-key scheme. Per-link and per-node traffic is
+/// recorded for the Fig. 9 bandwidth analysis.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/message.hpp"
+
+namespace cop::net {
+
+/// Toy asymmetric key pair: identity is the public half; possession of the
+/// private half is what lets a node prove itself when a link is set up.
+struct KeyPair {
+    std::uint64_t publicKey = 0;
+    std::uint64_t privateKey = 0;
+
+    static KeyPair generate(std::uint64_t seed);
+};
+
+struct LinkProperties {
+    double latency = 1e-3;       ///< seconds, one-way
+    double bandwidth = 100e6;    ///< bytes per second
+    /// Both endpoints see the same filesystem (paper §2): bulk payloads
+    /// (trajectories, checkpoints, command inputs) travel out-of-band and
+    /// only the small message frame crosses the wire.
+    bool sharedFilesystem = false;
+
+    double transferTime(std::size_t bytes) const {
+        return latency + double(bytes) / bandwidth;
+    }
+};
+
+struct LinkStats {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+};
+
+/// A participant in the overlay: server, worker or client. Subclasses (or
+/// owners) register a delivery handler.
+class OverlayNetwork;
+
+class Node {
+public:
+    Node(OverlayNetwork& net, std::string name, KeyPair keys);
+    virtual ~Node() = default;
+
+    NodeId id() const { return id_; }
+    const std::string& name() const { return name_; }
+    std::uint64_t publicKey() const { return keys_.publicKey; }
+    const KeyPair& keys() const { return keys_; }
+
+    /// Adds `key` to this node's trust store (the paper's user-initiated
+    /// public-key exchange).
+    void trust(std::uint64_t key) { trusted_.insert(key); }
+    bool trusts(std::uint64_t key) const { return trusted_.count(key) > 0; }
+
+    void setHandler(std::function<void(const Message&)> handler) {
+        handler_ = std::move(handler);
+    }
+
+    /// Called by the network when a message reaches this node.
+    void deliver(const Message& msg);
+
+    OverlayNetwork& network() { return *net_; }
+
+private:
+    OverlayNetwork* net_;
+    NodeId id_;
+    std::string name_;
+    KeyPair keys_;
+    std::set<std::uint64_t> trusted_;
+    std::function<void(const Message&)> handler_;
+};
+
+class OverlayNetwork {
+public:
+    explicit OverlayNetwork(EventLoop& loop);
+
+    EventLoop& loop() { return *loop_; }
+
+    /// Registers a node; returns its id. Called from Node's constructor.
+    NodeId registerNode(Node& node);
+
+    Node& node(NodeId id);
+    const Node& node(NodeId id) const;
+    std::size_t numNodes() const { return nodes_.size(); }
+
+    /// Connects two nodes. Requires mutual trust of each other's public
+    /// keys (throws cop::InvalidArgument otherwise, like a failed SSL
+    /// handshake).
+    void connect(NodeId a, NodeId b, LinkProperties props);
+
+    bool connected(NodeId a, NodeId b) const;
+
+    /// Sends a message; it travels hop-by-hop along the lowest-latency
+    /// path and is delivered to the destination's handler. Throws if no
+    /// path exists.
+    void send(Message msg);
+
+    /// Next-hop routing table entry from `from` towards `to` (lowest total
+    /// latency, Dijkstra); kInvalidNode if unreachable.
+    NodeId nextHop(NodeId from, NodeId to) const;
+
+    /// Neighbours of `id`.
+    std::vector<NodeId> neighbors(NodeId id) const;
+
+    const LinkStats& linkStats(NodeId a, NodeId b) const;
+    /// Sum of traffic over all links touching `id`.
+    LinkStats nodeStats(NodeId id) const;
+    /// Total traffic over every link (each message counted on each hop).
+    LinkStats totalStats() const;
+
+    std::uint64_t nextMessageId() { return nextMessageId_++; }
+
+private:
+    struct Link {
+        LinkProperties props;
+        LinkStats stats;
+    };
+    using LinkKey = std::pair<NodeId, NodeId>;
+    static LinkKey keyOf(NodeId a, NodeId b) {
+        return a < b ? LinkKey{a, b} : LinkKey{b, a};
+    }
+
+    void forward(Message msg, NodeId at);
+
+    EventLoop* loop_;
+    std::vector<Node*> nodes_;
+    std::map<LinkKey, Link> links_;
+    std::map<NodeId, std::vector<NodeId>> adjacency_;
+    std::uint64_t nextMessageId_ = 1;
+};
+
+} // namespace cop::net

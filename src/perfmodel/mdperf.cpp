@@ -1,0 +1,28 @@
+#include "perfmodel/mdperf.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cop::perf {
+
+double MdPerfModel::efficiency(int cores) const {
+    COP_REQUIRE(cores >= 1, "need at least one core");
+    return 1.0 / (1.0 + std::pow(double(cores) / effHalfCores, effExp));
+}
+
+double MdPerfModel::rateNsPerDay(int cores) const {
+    return rate1NsPerDay * double(cores) * efficiency(cores);
+}
+
+double MdPerfModel::commandSeconds(double ns, int cores) const {
+    COP_REQUIRE(ns > 0.0, "need positive simulated time");
+    return ns / rateNsPerDay(cores) * 86400.0;
+}
+
+double MdPerfModel::intraSimBandwidth(int cores) const {
+    if (cores < 2) return 0.0;
+    return intraBwRef * std::pow(double(cores) / 24.0, intraBwExp);
+}
+
+} // namespace cop::perf

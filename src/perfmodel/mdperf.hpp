@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file mdperf.hpp
+/// Strong-scaling performance model of the underlying MD engine for the
+/// villin system (9,864 atoms), calibrated to the numbers quoted in the
+/// paper:
+///   - single-simulation performance "around 200 ns/day with 100 cores ...
+///     roughly the limit of strong scaling" (§4),
+///   - 53% total scaling efficiency at 20,000 cores with 96-core commands,
+///     which pins the intra-simulation efficiency at 96 cores to ~0.53,
+///   - t_res(1) = 1.1e5 hours for the whole MSM command set (Fig. 7
+///     caption), which pins the single-core rate given the command count,
+///   - intra-simulation communication of 500-2900 MB/s for 24-96 cores
+///     (§4),
+///   - command output of ~2 MB so the ensemble-level bandwidth falls in
+///     the paper's 0.001-0.1 MB/s range (Fig. 9).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cop::perf {
+
+struct MdPerfModel {
+    /// Single-core simulation rate in villin-nanoseconds per day.
+    /// Derived from t_res(1) = 1.1e5 h over 1800 50-ns commands.
+    double rate1NsPerDay = 19.6;
+    /// Parallel efficiency: eff(m) = 1 / (1 + (m / effHalfCores)^effExp).
+    /// Calibrated so eff(96) ~ 0.53 and eff(100 cores) ~ 0.5 (200 ns/day).
+    double effHalfCores = 105.0;
+    double effExp = 1.3;
+    /// Intra-simulation (MPI-level) bandwidth model (bytes/s):
+    /// bw(m) = intraBwRef * (m / 24)^intraBwExp; paper: 500 MB/s at 24
+    /// cores to 2900 MB/s at 96 cores.
+    double intraBwRef = 500e6;
+    double intraBwExp = 1.27;
+    /// Serialized output per finished command (compressed trajectory).
+    std::size_t outputBytesPerCommand = 2'000'000;
+
+    /// Parallel efficiency of one simulation on m cores, in (0, 1].
+    double efficiency(int cores) const;
+
+    /// Simulation rate on m cores, ns/day.
+    double rateNsPerDay(int cores) const;
+
+    /// Wall seconds to simulate `ns` nanoseconds on `cores` cores.
+    double commandSeconds(double ns, int cores) const;
+
+    /// Intra-simulation (message-passing) bandwidth in bytes/s for a
+    /// command on `cores` cores; 0 for serial runs.
+    double intraSimBandwidth(int cores) const;
+};
+
+} // namespace cop::perf

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file scaling.hpp
+/// The scaling study of the paper's Figs. 7-9: simulate the controller's
+/// activity for a full villin MSM project at a given total core count and
+/// cores-per-simulation, using the real Copernicus scheduling stack
+/// (Server, CommandQueue, Worker) on the discrete-event loop, with command
+/// durations from the calibrated MdPerfModel. The paper did exactly this:
+/// "we additionally benchmarked simulations with different numbers of
+/// cores and then simulated the controller's activity given different
+/// numbers of cores per task and total resources allocated."
+
+#include <vector>
+
+#include "perfmodel/mdperf.hpp"
+
+namespace cop::perf {
+
+struct ScalingConfig {
+    int totalCores = 5000;
+    int coresPerSim = 24;
+    /// Commands per MSM generation (paper: 225 for villin).
+    int commandsPerGeneration = 225;
+    /// Generations to run (paper: ~8 for the blind prediction).
+    int generations = 8;
+    /// Generation at which the stop criterion of Fig. 8 fires ("time to
+    /// observation of the first folded conformation", ~3 generations).
+    int stopGeneration = 3;
+    /// Nanoseconds simulated per command (paper: 50 ns).
+    double segmentNs = 50.0;
+    /// Seconds of controller work (clustering) between generations.
+    double clusteringSeconds = 60.0;
+    MdPerfModel perf;
+};
+
+struct ScalingResult {
+    int totalCores = 0;
+    int coresPerSim = 0;
+    int workers = 0;
+    /// Wall-clock (virtual) hours until the stop criterion.
+    double timeToSolutionHours = 0.0;
+    /// Wall-clock hours for the complete project.
+    double totalTimeHours = 0.0;
+    /// t_res(1) / (N * t_res(N)), with t_res(1) from the same model.
+    double efficiency = 0.0;
+    /// Average ensemble-level bandwidth (bytes/s) over the whole run.
+    double ensembleBandwidth = 0.0;
+    /// Total ensemble bytes moved.
+    double totalBytes = 0.0;
+    /// Average fraction of cores busy.
+    double utilization = 0.0;
+};
+
+/// Reference serial time for the whole project, hours.
+double serialTimeHours(const ScalingConfig& config);
+
+/// Runs the DES and reports the scaling metrics.
+ScalingResult simulateRun(const ScalingConfig& config);
+
+/// Sweeps total core counts for one cores-per-sim setting (one line of
+/// Figs. 7/8/9).
+std::vector<ScalingResult> sweepTotalCores(
+    const ScalingConfig& base, const std::vector<int>& totalCores);
+
+} // namespace cop::perf

@@ -1,0 +1,71 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace cop {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+    int i = 1;
+    if (i < argc && !startsWith(argv[i], "--")) subcommand_ = argv[i++];
+    while (i < argc) {
+        const std::string token = argv[i];
+        if (!startsWith(token, "--"))
+            throw InvalidArgument("unexpected positional argument: " + token);
+        const std::string key = token.substr(2);
+        COP_REQUIRE(!key.empty(), "empty flag name");
+        ++i;
+        if (i < argc && !startsWith(argv[i], "--")) {
+            flags_[key] = argv[i++];
+        } else {
+            flags_[key] = ""; // boolean switch
+        }
+    }
+}
+
+bool CliArgs::has(const std::string& key) const {
+    used_[key] = true;
+    return flags_.find(key) != flags_.end();
+}
+
+std::string CliArgs::getString(const std::string& key,
+                               const std::string& fallback) const {
+    used_[key] = true;
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : it->second;
+}
+
+long CliArgs::getInt(const std::string& key, long fallback) const {
+    used_[key] = true;
+    auto it = flags_.find(key);
+    if (it == flags_.end()) return fallback;
+    char* end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    COP_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+                "flag --" + key + " expects an integer, got '" +
+                    it->second + "'");
+    return v;
+}
+
+double CliArgs::getDouble(const std::string& key, double fallback) const {
+    used_[key] = true;
+    auto it = flags_.find(key);
+    if (it == flags_.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    COP_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+                "flag --" + key + " expects a number, got '" + it->second +
+                    "'");
+    return v;
+}
+
+std::vector<std::string> CliArgs::unusedKeys() const {
+    std::vector<std::string> out;
+    for (const auto& [key, value] : flags_)
+        if (used_.find(key) == used_.end()) out.push_back(key);
+    return out;
+}
+
+} // namespace cop

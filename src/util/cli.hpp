@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line flag parser for the tools and examples:
+/// `program subcommand --flag value --switch`.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cop {
+
+class CliArgs {
+public:
+    /// Parses argv after the program name. The first non-flag token is the
+    /// subcommand (may be empty); remaining `--key value` pairs become
+    /// flags; a `--key` followed by another flag or the end is a boolean
+    /// switch. Throws InvalidArgument on malformed input (e.g. non-flag
+    /// positional after the subcommand).
+    CliArgs(int argc, const char* const* argv);
+
+    const std::string& subcommand() const { return subcommand_; }
+
+    bool has(const std::string& key) const;
+
+    std::string getString(const std::string& key,
+                          const std::string& fallback) const;
+    long getInt(const std::string& key, long fallback) const;
+    double getDouble(const std::string& key, double fallback) const;
+
+    /// Keys the caller never queried — surfaced so typos fail loudly.
+    std::vector<std::string> unusedKeys() const;
+
+private:
+    std::string subcommand_;
+    std::map<std::string, std::string> flags_;
+    mutable std::map<std::string, bool> used_;
+};
+
+} // namespace cop

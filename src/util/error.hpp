@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file error.hpp
+/// Exception hierarchy and assertion macros used across the Copernicus
+/// libraries. We throw rather than abort so that framework code (servers,
+/// workers) can degrade gracefully when a single command fails.
+
+#include <stdexcept>
+#include <string>
+
+namespace cop {
+
+/// Base class for all Copernicus errors.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class InvalidArgument : public Error {
+public:
+    explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Internal invariant violated; indicates a bug in this library.
+class InternalError : public Error {
+public:
+    explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// I/O or serialization failure.
+class IoError : public Error {
+public:
+    explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Numerical failure (divergence, singular matrix, non-convergence).
+class NumericalError : public Error {
+public:
+    explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throwRequireFailed(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+    throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement `" + expr + "` failed" +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+[[noreturn]] inline void throwEnsureFailed(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+    throw InternalError(std::string(file) + ":" + std::to_string(line) +
+                        ": invariant `" + expr + "` violated" +
+                        (msg.empty() ? "" : (": " + msg)));
+}
+} // namespace detail
+
+} // namespace cop
+
+/// Precondition check: throws cop::InvalidArgument with location info.
+#define COP_REQUIRE(expr, msg)                                               \
+    do {                                                                     \
+        if (!(expr))                                                         \
+            ::cop::detail::throwRequireFailed(#expr, __FILE__, __LINE__,     \
+                                              (msg));                        \
+    } while (0)
+
+/// Internal invariant check: throws cop::InternalError with location info.
+#define COP_ENSURE(expr, msg)                                                \
+    do {                                                                     \
+        if (!(expr))                                                         \
+            ::cop::detail::throwEnsureFailed(#expr, __FILE__, __LINE__,      \
+                                             (msg));                         \
+    } while (0)

@@ -1,0 +1,59 @@
+#include "util/histogram.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace cop {
+
+Histogram::Histogram(double lo, double hi, std::size_t nBins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / double(nBins)),
+      counts_(nBins, 0.0) {
+    COP_REQUIRE(hi > lo, "histogram range must be non-empty");
+    COP_REQUIRE(nBins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x, double weight) {
+    if (x < lo_) {
+        underflow_ += weight;
+    } else if (x >= hi_) {
+        overflow_ += weight;
+    } else {
+        auto bin = std::size_t((x - lo_) / width_);
+        if (bin >= counts_.size()) bin = counts_.size() - 1; // fp edge case
+        counts_[bin] += weight;
+    }
+}
+
+double Histogram::binCenter(std::size_t i) const {
+    COP_REQUIRE(i < counts_.size(), "bin index out of range");
+    return lo_ + (double(i) + 0.5) * width_;
+}
+
+double Histogram::totalWeight() const {
+    return std::accumulate(counts_.begin(), counts_.end(), 0.0) + underflow_ +
+           overflow_;
+}
+
+std::vector<double> Histogram::density() const {
+    const double inRange =
+        std::accumulate(counts_.begin(), counts_.end(), 0.0);
+    std::vector<double> d(counts_.size(), 0.0);
+    if (inRange <= 0.0) return d;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        d[i] = counts_[i] / (inRange * width_);
+    return d;
+}
+
+double Histogram::fractionAbove(double x) const {
+    const double inRange =
+        std::accumulate(counts_.begin(), counts_.end(), 0.0);
+    if (inRange <= 0.0) return 0.0;
+    double above = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        if (binCenter(i) >= x) above += counts_[i];
+    return above / inRange;
+}
+
+} // namespace cop

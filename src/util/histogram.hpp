@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-bin 1D histogram used for population analyses (Fig. 4) and for the
+/// free-energy overlap diagnostics in the BAR module.
+
+#include <cstddef>
+#include <vector>
+
+namespace cop {
+
+class Histogram {
+public:
+    /// Bins [lo, hi) into `nBins` uniform bins. Out-of-range samples are
+    /// counted in underflow/overflow.
+    Histogram(double lo, double hi, std::size_t nBins);
+
+    void add(double x, double weight = 1.0);
+
+    std::size_t numBins() const { return counts_.size(); }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    double binWidth() const { return width_; }
+    double binCenter(std::size_t i) const;
+    double count(std::size_t i) const { return counts_[i]; }
+    double underflow() const { return underflow_; }
+    double overflow() const { return overflow_; }
+    /// Total weight including under/overflow.
+    double totalWeight() const;
+
+    /// Normalized density: count / (totalInRange * binWidth); zero if empty.
+    std::vector<double> density() const;
+
+    /// Fraction of in-range weight at or above `x`.
+    double fractionAbove(double x) const;
+
+private:
+    double lo_, hi_, width_;
+    std::vector<double> counts_;
+    double underflow_ = 0.0;
+    double overflow_ = 0.0;
+};
+
+} // namespace cop

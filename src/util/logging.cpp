@@ -1,0 +1,25 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace cop {
+
+Logger& Logger::instance() {
+    static Logger logger;
+    return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& component,
+                 const std::string& msg) {
+    if (level < level_) {
+        if (level >= LogLevel::Warn) ++warnCount_; // count even if muted
+        return;
+    }
+    static const char* names[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+    std::lock_guard lock(mutex_);
+    if (level >= LogLevel::Warn) ++warnCount_;
+    std::cerr << "[" << names[int(level)] << "] " << component << ": " << msg
+              << '\n';
+}
+
+} // namespace cop

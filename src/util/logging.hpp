@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file logging.hpp
+/// Lightweight leveled logger. The Copernicus servers and workers use it to
+/// report matching decisions, heartbeats, and failures; benches set the
+/// level to Warn so their table output stays clean.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace cop {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+class Logger {
+public:
+    /// Process-wide singleton. Thread-safe.
+    static Logger& instance();
+
+    void setLevel(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    /// Emits `msg` tagged with level and component, if enabled.
+    void log(LogLevel level, const std::string& component,
+             const std::string& msg);
+
+    /// Number of messages emitted at >= Warn since construction (used by
+    /// tests to assert "no warnings").
+    std::size_t warningCount() const { return warnCount_; }
+
+private:
+    Logger() = default;
+    LogLevel level_ = LogLevel::Warn;
+    std::mutex mutex_;
+    std::size_t warnCount_ = 0;
+};
+
+namespace detail {
+struct LogLine {
+    LogLevel level;
+    const char* component;
+    std::ostringstream oss;
+    LogLine(LogLevel l, const char* c) : level(l), component(c) {}
+    ~LogLine() { Logger::instance().log(level, component, oss.str()); }
+    template <typename T>
+    LogLine& operator<<(const T& v) {
+        oss << v;
+        return *this;
+    }
+};
+} // namespace detail
+
+} // namespace cop
+
+#define COP_LOG_DEBUG(component) ::cop::detail::LogLine(::cop::LogLevel::Debug, component)
+#define COP_LOG_INFO(component)  ::cop::detail::LogLine(::cop::LogLevel::Info, component)
+#define COP_LOG_WARN(component)  ::cop::detail::LogLine(::cop::LogLevel::Warn, component)
+#define COP_LOG_ERROR(component) ::cop::detail::LogLine(::cop::LogLevel::Error, component)

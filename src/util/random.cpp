@@ -1,0 +1,16 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace cop {
+
+Vec3 maxwellBoltzmannVelocity(Rng& rng, double mass, double temperature) {
+    COP_REQUIRE(mass > 0.0, "mass must be positive");
+    COP_REQUIRE(temperature >= 0.0, "temperature must be non-negative");
+    const double sigma = std::sqrt(temperature / mass);
+    return rng.gaussianVec3(sigma);
+}
+
+} // namespace cop

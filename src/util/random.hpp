@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file random.hpp
+/// Deterministic, splittable pseudo-random number generation.
+///
+/// The MD engine and the adaptive-sampling controller both need reproducible
+/// streams that can be forked per trajectory (so that running 225 trajectories
+/// in any order, on any number of threads, yields identical physics). We use
+/// xoshiro256++ seeded through SplitMix64, the standard recommendation of the
+/// xoshiro authors.
+
+#include <cstdint>
+#include <limits>
+
+#include "util/vec3.hpp"
+
+namespace cop {
+
+/// SplitMix64: used for seeding and for cheap hash-style mixing.
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256++ generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four state words via SplitMix64 so that any 64-bit seed
+    /// (including 0) produces a well-mixed state.
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        SplitMix64 sm(seed);
+        for (auto& w : s_) w = sm.next();
+        haveGauss_ = false;
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() { return next(); }
+
+    std::uint64_t next() {
+        const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1) with 53 bits of precision.
+    double uniform() { return double(next() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in [a, b).
+    double uniform(double a, double b) { return a + (b - a) * uniform(); }
+
+    /// Uniform integer in [0, n). n must be > 0. Uses rejection to avoid
+    /// modulo bias.
+    std::uint64_t uniformInt(std::uint64_t n) {
+        const std::uint64_t threshold = (0 - n) % n;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold) return r % n;
+        }
+    }
+
+    /// Standard normal via the polar Box-Muller method (caches the spare).
+    double gaussian() {
+        if (haveGauss_) {
+            haveGauss_ = false;
+            return spareGauss_;
+        }
+        double u, v, s;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double f = std::sqrt(-2.0 * std::log(s) / s);
+        spareGauss_ = v * f;
+        haveGauss_ = true;
+        return u * f;
+    }
+
+    /// Normal with given mean and standard deviation.
+    double gaussian(double mean, double stddev) {
+        return mean + stddev * gaussian();
+    }
+
+    /// Isotropic Gaussian 3-vector with per-component stddev.
+    Vec3 gaussianVec3(double stddev) {
+        return {gaussian() * stddev, gaussian() * stddev, gaussian() * stddev};
+    }
+
+    /// Derives an independent child stream; deterministic in (parent seed,
+    /// stream index). Used to fork one RNG per trajectory/command.
+    Rng split(std::uint64_t streamIndex) const {
+        SplitMix64 sm(s_[0] ^ (0x9e3779b97f4a7c15ULL * (streamIndex + 1)));
+        std::uint64_t mixed = sm.next() ^ s_[1];
+        mixed ^= rotl(s_[2], 13) + streamIndex;
+        return Rng(mixed ^ rotl(s_[3], 29));
+    }
+
+    /// Raw generator state for checkpointing (4 state words + cached
+    /// gaussian), so restored stochastic trajectories are bit-exact.
+    struct Snapshot {
+        std::uint64_t s[4];
+        bool haveGauss;
+        double spareGauss;
+    };
+    Snapshot snapshot() const {
+        return {{s_[0], s_[1], s_[2], s_[3]}, haveGauss_, spareGauss_};
+    }
+    void restore(const Snapshot& snap) {
+        for (int i = 0; i < 4; ++i) s_[i] = snap.s[i];
+        haveGauss_ = snap.haveGauss;
+        spareGauss_ = snap.spareGauss;
+    }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4] = {};
+    bool haveGauss_ = false;
+    double spareGauss_ = 0.0;
+};
+
+/// Draws velocities for `mass` at temperature T (kB=1 reduced units) from a
+/// Maxwell-Boltzmann distribution: each component ~ N(0, sqrt(T/m)).
+Vec3 maxwellBoltzmannVelocity(Rng& rng, double mass, double temperature);
+
+} // namespace cop

@@ -1,0 +1,35 @@
+#include "util/serialize.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace cop {
+
+void writeFile(const std::string& path, std::span<const std::uint8_t> bytes) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) throw IoError("cannot open for writing: " + tmp);
+        os.write(reinterpret_cast<const char*>(bytes.data()),
+                 std::streamsize(bytes.size()));
+        if (!os) throw IoError("short write: " + tmp);
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) throw IoError("rename failed: " + tmp + " -> " + path + ": " +
+                          ec.message());
+}
+
+std::vector<std::uint8_t> readFile(const std::string& path) {
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is) throw IoError("cannot open for reading: " + path);
+    const auto size = is.tellg();
+    is.seekg(0);
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+    is.read(reinterpret_cast<char*>(buf.data()), size);
+    if (!is) throw IoError("short read: " + path);
+    return buf;
+}
+
+} // namespace cop

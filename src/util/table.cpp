@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace cop {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    COP_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+    COP_REQUIRE(cells.size() == headers_.size(),
+                "row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderSep = [&] {
+        std::string s = "+";
+        for (auto w : widths) s += std::string(w + 2, '-') + "+";
+        return s + "\n";
+    };
+    auto renderRow = [&](const std::vector<std::string>& row) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            s += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') +
+                 " |";
+        }
+        return s + "\n";
+    };
+
+    std::string out = renderSep() + renderRow(headers_) + renderSep();
+    for (const auto& row : rows_) out += renderRow(row);
+    out += renderSep();
+    return out;
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+std::string asciiChart(const std::vector<double>& xs,
+                       const std::vector<double>& ys, int width, int height,
+                       bool logX, bool logY) {
+    COP_REQUIRE(xs.size() == ys.size(), "xs/ys size mismatch");
+    COP_REQUIRE(width >= 8 && height >= 4, "chart too small");
+    if (xs.empty()) return "(empty series)\n";
+
+    auto tx = [&](double v) { return logX ? std::log10(std::max(v, 1e-300)) : v; };
+    auto ty = [&](double v) { return logY ? std::log10(std::max(v, 1e-300)) : v; };
+
+    double xmin = tx(xs[0]), xmax = tx(xs[0]);
+    double ymin = ty(ys[0]), ymax = ty(ys[0]);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        xmin = std::min(xmin, tx(xs[i]));
+        xmax = std::max(xmax, tx(xs[i]));
+        ymin = std::min(ymin, ty(ys[i]));
+        ymax = std::max(ymax, ty(ys[i]));
+    }
+    if (xmax == xmin) xmax = xmin + 1.0;
+    if (ymax == ymin) ymax = ymin + 1.0;
+
+    std::vector<std::string> grid(std::size_t(height),
+                                  std::string(std::size_t(width), ' '));
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const int cx = int((tx(xs[i]) - xmin) / (xmax - xmin) * (width - 1));
+        const int cy = int((ty(ys[i]) - ymin) / (ymax - ymin) * (height - 1));
+        grid[std::size_t(height - 1 - cy)][std::size_t(cx)] = '*';
+    }
+
+    std::ostringstream oss;
+    oss << "  y: [" << ymin << ", " << ymax << "]"
+        << (logY ? " (log10)" : "") << "\n";
+    for (const auto& row : grid) oss << "  |" << row << "\n";
+    oss << "  +" << std::string(std::size_t(width), '-') << "\n";
+    oss << "  x: [" << xmin << ", " << xmax << "]"
+        << (logX ? " (log10)" : "") << "\n";
+    return oss.str();
+}
+
+} // namespace cop

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table printer used by the bench harness to print the same rows and
+/// series the paper's tables/figures report, in a stable, diffable format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cop {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// All rows must have the same number of cells as the header.
+    void addRow(std::vector<std::string> cells);
+
+    std::size_t numRows() const { return rows_.size(); }
+
+    /// Renders with column alignment and +--+ separators.
+    std::string render() const;
+
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a simple fixed-width ASCII line chart of y(x); used by benches to
+/// visualize the figure series directly in the terminal. `height` rows tall.
+std::string asciiChart(const std::vector<double>& xs,
+                       const std::vector<double>& ys, int width = 72,
+                       int height = 16, bool logX = false,
+                       bool logY = false);
+
+} // namespace cop

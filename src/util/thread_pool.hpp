@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A fixed-size work-stealing-free thread pool plus a parallel-for helper.
+/// This is the "threads within a node" tier of the paper's Fig. 6 hierarchy:
+/// mdlib uses it to decompose force loops, and the InProcess execution
+/// backend uses it to run independent commands concurrently.
+///
+/// Design notes (per C++ Core Guidelines CP.*): tasks communicate only
+/// through futures / the parallelFor barrier; no shared mutable state leaks
+/// out of the pool; joins happen in the destructor so lifetimes are safe.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cop {
+
+class ThreadPool {
+public:
+    /// Creates `nThreads` workers; nThreads == 0 means "hardware
+    /// concurrency, at least 1".
+    explicit ThreadPool(std::size_t nThreads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const { return workers_.size(); }
+
+    /// Enqueues a task; returns a future for its result.
+    template <typename F>
+    auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+        using R = std::invoke_result_t<F>;
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+        std::future<R> fut = task->get_future();
+        {
+            std::lock_guard lock(mutex_);
+            tasks_.emplace([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+    /// Runs f(i) for i in [begin, end), split into roughly equal contiguous
+    /// chunks across the pool; blocks until all chunks complete. The calling
+    /// thread participates, so a 1-thread pool still makes progress even if
+    /// called from within a pool task.
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)>& f);
+
+    /// Chunked variant: f(chunkBegin, chunkEnd) once per chunk. Lower
+    /// overhead for tight inner loops (force kernels).
+    void parallelForChunked(
+        std::size_t begin, std::size_t end,
+        const std::function<void(std::size_t, std::size_t)>& f);
+
+private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace cop

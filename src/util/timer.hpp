@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock stopwatch for the bench harness and the InProcess backend.
+
+#include <chrono>
+
+namespace cop {
+
+class Timer {
+public:
+    Timer() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    double elapsedSeconds() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    double elapsedMilliseconds() const { return elapsedSeconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace cop

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file vec3.hpp
+/// Minimal 3-vector / 3x3-matrix algebra used by the MD engine and the MSM
+/// geometry code. Everything is constexpr-friendly and header-only so the
+/// compiler can keep hot force loops fully inlined and vectorizable.
+
+#include <array>
+#include <cmath>
+#include <iosfwd>
+#include <ostream>
+
+namespace cop {
+
+/// A 3-vector of doubles. Plain aggregate; cheap to copy.
+struct Vec3 {
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+    constexpr double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+    constexpr Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+    constexpr Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    constexpr Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+    constexpr Vec3& operator/=(double s) { x /= s; y /= s; z /= s; return *this; }
+};
+
+constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+constexpr double norm2(const Vec3& a) { return dot(a, a); }
+inline double norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+
+/// Unit vector along a; a must be nonzero.
+inline Vec3 normalized(const Vec3& a) { return a / norm(a); }
+
+inline double distance(const Vec3& a, const Vec3& b) { return norm(a - b); }
+constexpr double distance2(const Vec3& a, const Vec3& b) { return norm2(a - b); }
+
+constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+/// Row-major 3x3 matrix.
+struct Mat3 {
+    std::array<std::array<double, 3>, 3> m{};
+
+    constexpr Mat3() = default;
+
+    static constexpr Mat3 identity() {
+        Mat3 r;
+        r.m[0][0] = r.m[1][1] = r.m[2][2] = 1.0;
+        return r;
+    }
+
+    constexpr double& operator()(int i, int j) { return m[i][j]; }
+    constexpr double operator()(int i, int j) const { return m[i][j]; }
+};
+
+constexpr Vec3 operator*(const Mat3& a, const Vec3& v) {
+    return {a(0, 0) * v.x + a(0, 1) * v.y + a(0, 2) * v.z,
+            a(1, 0) * v.x + a(1, 1) * v.y + a(1, 2) * v.z,
+            a(2, 0) * v.x + a(2, 1) * v.y + a(2, 2) * v.z};
+}
+
+constexpr Mat3 operator*(const Mat3& a, const Mat3& b) {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            for (int k = 0; k < 3; ++k)
+                r(i, j) += a(i, k) * b(k, j);
+    return r;
+}
+
+constexpr Mat3 transpose(const Mat3& a) {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            r(i, j) = a(j, i);
+    return r;
+}
+
+constexpr double determinant(const Mat3& a) {
+    return a(0, 0) * (a(1, 1) * a(2, 2) - a(1, 2) * a(2, 1)) -
+           a(0, 1) * (a(1, 0) * a(2, 2) - a(1, 2) * a(2, 0)) +
+           a(0, 2) * (a(1, 0) * a(2, 1) - a(1, 1) * a(2, 0));
+}
+
+constexpr double trace(const Mat3& a) { return a(0, 0) + a(1, 1) + a(2, 2); }
+
+/// Rotation matrix for angle `theta` (radians) about unit axis `u`.
+inline Mat3 rotationMatrix(const Vec3& u, double theta) {
+    const double c = std::cos(theta), s = std::sin(theta), t = 1.0 - c;
+    Mat3 r;
+    r(0, 0) = t * u.x * u.x + c;
+    r(0, 1) = t * u.x * u.y - s * u.z;
+    r(0, 2) = t * u.x * u.z + s * u.y;
+    r(1, 0) = t * u.x * u.y + s * u.z;
+    r(1, 1) = t * u.y * u.y + c;
+    r(1, 2) = t * u.y * u.z - s * u.x;
+    r(2, 0) = t * u.x * u.z - s * u.y;
+    r(2, 1) = t * u.y * u.z + s * u.x;
+    r(2, 2) = t * u.z * u.z + c;
+    return r;
+}
+
+} // namespace cop

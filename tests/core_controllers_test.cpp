@@ -1,0 +1,219 @@
+// MSM adaptive-sampling controller and BAR free-energy controller driven
+// through the full framework (integration-level tests).
+
+#include <gtest/gtest.h>
+
+#include "core/backends.hpp"
+#include "core/bar_controller.hpp"
+#include "core/copernicus.hpp"
+#include "core/msm_controller.hpp"
+#include "mdlib/units.hpp"
+
+namespace cop::core {
+namespace {
+
+ExecutableRegistry mdRegistry() {
+    ExecutableRegistry reg;
+    reg.add("mdrun", makeMdrunExecutable(linearDurationModel(0.05)));
+    return reg;
+}
+
+MsmControllerParams smallMsmParams(std::uint64_t seed = 11) {
+    MsmControllerParams p;
+    p.model = md::hairpinGoModel();
+    p.startingConformations =
+        md::makeUnfoldedConformations(p.model, 2, seed);
+    p.tasksPerStart = 2;
+    p.segmentSteps = 1000;
+    p.maxGenerations = 2;
+    p.pipeline.numClusters = 15;
+    p.pipeline.snapshotStride = 2;
+    p.pipeline.medoidSweeps = 1;
+    p.simulation.integrator.kind = md::IntegratorKind::LangevinBAOAB;
+    p.simulation.integrator.temperature = 0.5;
+    p.simulation.integrator.friction = 0.5;
+    p.simulation.sampleInterval = 25;
+    p.seed = seed;
+    return p;
+}
+
+TEST(MsmControllerTest, RunsGenerationsAndBuildsModel) {
+    Deployment dep(20);
+    auto& server = dep.addServer("s0");
+    for (int i = 0; i < 3; ++i)
+        dep.addWorker("w" + std::to_string(i), server, WorkerConfig{},
+                      mdRegistry(), links::intraCluster());
+    auto ctrl = std::make_unique<MsmController>(smallMsmParams());
+    auto* c = ctrl.get();
+    server.createProject("hairpin", std::move(ctrl));
+    ASSERT_TRUE(dep.runUntilDone(1e9));
+
+    EXPECT_EQ(c->generation(), 2);
+    EXPECT_EQ(c->history().size(), 2u);
+    ASSERT_TRUE(c->lastMsm().has_value());
+    EXPECT_GE(c->lastMsm()->model.numStates(), 1u);
+    // Trajectories accumulated: initial 4 + respawns.
+    EXPECT_GE(c->trajectories().size(), 4u);
+    // Generation records are monotone in data volume.
+    EXPECT_GE(c->history()[1].totalSnapshots,
+              c->history()[0].totalSnapshots);
+    // The hairpin folds easily: minimum RMSD should reach the folded zone.
+    EXPECT_LT(c->minRmsdAngstrom(), md::kFoldedRmsdAngstrom);
+    EXPECT_GE(c->firstFoldedGeneration(), 0);
+}
+
+TEST(MsmControllerTest, StatusReportMentionsGeneration) {
+    Deployment dep(21);
+    auto& server = dep.addServer("s0");
+    dep.addWorker("w0", server, WorkerConfig{}, mdRegistry(),
+                  links::intraCluster());
+    auto ctrl = std::make_unique<MsmController>(smallMsmParams(13));
+    const auto pid = server.createProject("hairpin", std::move(ctrl));
+    dep.runUntilDone(1e9);
+    const auto status = server.projectStatus(pid);
+    EXPECT_NE(status.find("generation"), std::string::npos);
+    EXPECT_NE(status.find("min RMSD"), std::string::npos);
+}
+
+TEST(MsmControllerTest, DeterministicAcrossRuns) {
+    auto run = [](std::uint64_t seed) {
+        Deployment dep(22);
+        auto& server = dep.addServer("s0");
+        dep.addWorker("w0", server, WorkerConfig{}, mdRegistry(),
+                      links::intraCluster());
+        auto ctrl = std::make_unique<MsmController>(smallMsmParams(seed));
+        auto* c = ctrl.get();
+        server.createProject("hairpin", std::move(ctrl));
+        dep.runUntilDone(1e9);
+        return c->minRmsdAngstrom();
+    };
+    EXPECT_EQ(run(5), run(5));
+    EXPECT_NE(run(5), run(6));
+}
+
+TEST(MsmControllerTest, RejectsBadParameters) {
+    MsmControllerParams p;
+    p.model = md::hairpinGoModel();
+    EXPECT_THROW(MsmController{p}, cop::InvalidArgument); // no starts
+    p = smallMsmParams();
+    p.tasksPerStart = 0;
+    EXPECT_THROW(MsmController{p}, cop::InvalidArgument);
+}
+
+TEST(BarControllerTest, ConvergesToAnalyticResult) {
+    Deployment dep(23);
+    auto& server = dep.addServer("s0");
+    for (int i = 0; i < 2; ++i) {
+        ExecutableRegistry reg;
+        reg.add("fe_sample",
+                makeFeSampleExecutable(linearDurationModel(0.001)));
+        dep.addWorker("few" + std::to_string(i), server, WorkerConfig{},
+                      std::move(reg), links::intraCluster());
+    }
+    BarControllerParams bp;
+    bp.targetError = 0.02;
+    auto ctrl = std::make_unique<BarController>(bp);
+    auto* c = ctrl.get();
+    server.createProject("bar", std::move(ctrl));
+    ASSERT_TRUE(dep.runUntilDone(1e9));
+
+    ASSERT_TRUE(c->estimate().has_value());
+    const auto& est = *c->estimate();
+    EXPECT_LE(est.totalError, bp.targetError * 1.001);
+    EXPECT_NEAR(est.totalDeltaF, c->analyticDeltaF(),
+                4.0 * est.totalError + 0.01);
+    EXPECT_GE(c->rounds(), 1);
+}
+
+TEST(BarControllerTest, AdaptiveRefinementAddsRounds) {
+    // A tight error target forces several refinement rounds.
+    Deployment dep(24);
+    auto& server = dep.addServer("s0");
+    ExecutableRegistry reg;
+    reg.add("fe_sample",
+            makeFeSampleExecutable(linearDurationModel(0.001)));
+    dep.addWorker("few", server, WorkerConfig{}, std::move(reg),
+                  links::intraCluster());
+    BarControllerParams bp;
+    bp.samplesPerCommand = 200;
+    bp.targetError = 0.015;
+    bp.maxRounds = 40;
+    auto ctrl = std::make_unique<BarController>(bp);
+    auto* c = ctrl.get();
+    server.createProject("bar", std::move(ctrl));
+    ASSERT_TRUE(dep.runUntilDone(1e9));
+    EXPECT_GT(c->rounds(), 1);
+    EXPECT_LE(c->estimate()->totalError, bp.targetError * 1.001);
+}
+
+TEST(Backends, MdrunOutputRoundTrip) {
+    md::Trajectory traj;
+    traj.append(0, 0.0, std::vector<Vec3>{{1, 2, 3}});
+    MdrunOutput out;
+    out.segment = traj;
+    out.checkpoint = {5, 5};
+    const auto out2 = MdrunOutput::decode(out.encode());
+    EXPECT_EQ(out2.segment.numFrames(), 1u);
+    EXPECT_EQ(out2.checkpoint, out.checkpoint);
+}
+
+TEST(Backends, MdrunExecutableRunsFromCheckpoint) {
+    const auto model = md::hairpinGoModel();
+    md::SimulationConfig cfg;
+    cfg.sampleInterval = 10;
+    cfg.seed = 3;
+    auto sim = md::Simulation::forGoModel(model, model.native, cfg);
+    sim.initializeVelocities();
+
+    CommandSpec cmd;
+    cmd.id = 1;
+    cmd.executable = "mdrun";
+    cmd.steps = 100;
+    cmd.input = sim.checkpoint();
+
+    const auto handler = makeMdrunExecutable(linearDurationModel(0.01));
+    const auto exec = handler(cmd, 2);
+    EXPECT_TRUE(exec.result.success);
+    EXPECT_NEAR(exec.simSeconds, 100 * 0.01 / 2.0, 1e-12);
+    EXPECT_EQ(exec.checkpoints.size(), 3u); // quarters
+    const auto out = MdrunOutput::decode(exec.result.output);
+    EXPECT_EQ(out.segment.numFrames(), 11u);
+    // Continuing from the produced checkpoint works.
+    auto sim2 = md::Simulation::restore(out.checkpoint);
+    EXPECT_EQ(sim2.state().step, 100);
+}
+
+TEST(Backends, FeSampleInputRoundTrip) {
+    FeSampleInput in;
+    in.sampled = {2.0, 0.5};
+    in.target = {3.0, -0.5};
+    in.samples = 123;
+    in.beta = 1.5;
+    in.seed = 99;
+    const auto in2 = FeSampleInput::decode(in.encode());
+    EXPECT_EQ(in2.sampled.k, 2.0);
+    EXPECT_EQ(in2.target.x0, -0.5);
+    EXPECT_EQ(in2.samples, 123u);
+    EXPECT_EQ(in2.beta, 1.5);
+    EXPECT_EQ(in2.seed, 99u);
+}
+
+TEST(Backends, SimulatedExecutableShapesOutput) {
+    const auto handler = makeSimulatedExecutable(
+        linearDurationModel(2.0), /*outputBytes=*/512);
+    CommandSpec cmd;
+    cmd.id = 4;
+    cmd.steps = 50;
+    const auto exec = handler(cmd, 4);
+    EXPECT_EQ(exec.result.output.size(), 512u);
+    EXPECT_NEAR(exec.simSeconds, 50 * 2.0 / 4.0, 1e-12);
+}
+
+TEST(Backends, LinearDurationModelValidation) {
+    EXPECT_THROW(linearDurationModel(0.0), cop::InvalidArgument);
+    const auto m = linearDurationModel(1.5);
+    EXPECT_DOUBLE_EQ(m(10, 5), 3.0);
+}
+
+} // namespace
+} // namespace cop::core

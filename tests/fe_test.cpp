@@ -1,0 +1,143 @@
+// Free-energy estimators against the analytic harmonic system.
+
+#include <gtest/gtest.h>
+
+#include "fe/bar.hpp"
+#include "util/error.hpp"
+#include "fe/harmonic.hpp"
+
+namespace cop::fe {
+namespace {
+
+TEST(Harmonic, AnalyticDeltaF) {
+    // deltaF = (1/2 beta) ln(k1/k0); centers are irrelevant.
+    EXPECT_NEAR(harmonicDeltaF({1.0, 0.0}, {4.0, 7.0}, 1.0),
+                0.5 * std::log(4.0), 1e-12);
+    EXPECT_NEAR(harmonicDeltaF({2.0, 0.0}, {2.0, 5.0}, 1.0), 0.0, 1e-12);
+    EXPECT_NEAR(harmonicDeltaF({1.0, 0.0}, {4.0, 0.0}, 2.0),
+                0.25 * std::log(4.0), 1e-12);
+}
+
+TEST(Harmonic, SamplerMatchesBoltzmannStatistics) {
+    cop::Rng rng(1);
+    const HarmonicState s{4.0, 1.0};
+    // <U> = kT/2 for a 1D harmonic oscillator.
+    const auto work = harmonicWorkSamples(s, {4.0, 1.0}, 50000, 1.0, rng);
+    for (double w : work) EXPECT_EQ(w, 0.0); // same state: zero work
+}
+
+TEST(Harmonic, LambdaChainEndpoints) {
+    const auto chain = harmonicLambdaChain({1.0, 0.0}, {3.0, 2.0}, 4);
+    ASSERT_EQ(chain.size(), 5u);
+    EXPECT_DOUBLE_EQ(chain.front().k, 1.0);
+    EXPECT_DOUBLE_EQ(chain.back().k, 3.0);
+    EXPECT_DOUBLE_EQ(chain[2].x0, 1.0);
+}
+
+TEST(Fep, ExponentialAveragingConvergesForGoodOverlap) {
+    cop::Rng rng(2);
+    const HarmonicState s0{1.0, 0.0}, s1{1.3, 0.1};
+    const auto work = harmonicWorkSamples(s0, s1, 200000, 1.0, rng);
+    EXPECT_NEAR(exponentialAveraging(work), harmonicDeltaF(s0, s1, 1.0),
+                0.01);
+}
+
+TEST(Fep, RejectsEmptyInput) {
+    EXPECT_THROW(exponentialAveraging(std::vector<double>{}), cop::InvalidArgument);
+}
+
+TEST(Bar, RecoversAnalyticDeltaF) {
+    cop::Rng rng(3);
+    const HarmonicState s0{1.0, 0.0}, s1{4.0, 0.5};
+    const auto fwd = harmonicWorkSamples(s0, s1, 20000, 1.0, rng);
+    const auto rev = harmonicWorkSamples(s1, s0, 20000, 1.0, rng);
+    const auto r = bar(fwd, rev);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.deltaF, harmonicDeltaF(s0, s1, 1.0),
+                4.0 * r.standardError + 0.01);
+}
+
+TEST(Bar, ErrorEstimateIsCalibrated) {
+    // Repeat BAR over independent sample sets; the spread of estimates
+    // should match the reported standard error within a factor ~2.
+    const HarmonicState s0{1.0, 0.0}, s1{2.0, 0.4};
+    const double exact = harmonicDeltaF(s0, s1, 1.0);
+    std::vector<double> errors;
+    double reportedSe = 0.0;
+    for (int rep = 0; rep < 30; ++rep) {
+        cop::Rng rng(100 + rep);
+        const auto fwd = harmonicWorkSamples(s0, s1, 2000, 1.0, rng);
+        const auto rev = harmonicWorkSamples(s1, s0, 2000, 1.0, rng);
+        const auto r = bar(fwd, rev);
+        errors.push_back(r.deltaF - exact);
+        reportedSe = r.standardError;
+    }
+    double var = 0.0;
+    for (double e : errors) var += e * e;
+    const double empirical = std::sqrt(var / errors.size());
+    EXPECT_GT(reportedSe, empirical / 2.5);
+    EXPECT_LT(reportedSe, empirical * 2.5);
+}
+
+TEST(Bar, AsymmetricSampleCounts) {
+    cop::Rng rng(5);
+    const HarmonicState s0{1.0, 0.0}, s1{3.0, 0.0};
+    const auto fwd = harmonicWorkSamples(s0, s1, 30000, 1.0, rng);
+    const auto rev = harmonicWorkSamples(s1, s0, 3000, 1.0, rng);
+    const auto r = bar(fwd, rev);
+    EXPECT_NEAR(r.deltaF, harmonicDeltaF(s0, s1, 1.0),
+                4.0 * r.standardError + 0.02);
+}
+
+TEST(Bar, DifferentBeta) {
+    cop::Rng rng(6);
+    const double beta = 2.5;
+    const HarmonicState s0{1.0, 0.0}, s1{2.0, 0.2};
+    const auto fwd = harmonicWorkSamples(s0, s1, 30000, beta, rng);
+    const auto rev = harmonicWorkSamples(s1, s0, 30000, beta, rng);
+    BarParams p;
+    p.beta = beta;
+    const auto r = bar(fwd, rev, p);
+    EXPECT_NEAR(r.deltaF, harmonicDeltaF(s0, s1, beta), 0.02);
+}
+
+TEST(Bar, BeatsOneSidedFepForPoorOverlap) {
+    // Large k ratio: forward-only FEP is biased; BAR stays accurate.
+    cop::Rng rng(7);
+    const HarmonicState s0{1.0, 0.0}, s1{25.0, 0.0};
+    const double exact = harmonicDeltaF(s0, s1, 1.0);
+    const auto fwd = harmonicWorkSamples(s0, s1, 5000, 1.0, rng);
+    const auto rev = harmonicWorkSamples(s1, s0, 5000, 1.0, rng);
+    const double fepErr = std::abs(exponentialAveraging(fwd) - exact);
+    const double barErr = std::abs(bar(fwd, rev).deltaF - exact);
+    EXPECT_LT(barErr, fepErr);
+}
+
+TEST(Bar, RejectsEmptySides) {
+    EXPECT_THROW(bar(std::vector<double>{}, std::vector<double>{1.0}), cop::InvalidArgument);
+    EXPECT_THROW(bar(std::vector<double>{1.0}, std::vector<double>{}), cop::InvalidArgument);
+}
+
+TEST(BarChain, SumsWindowsAndPropagatesError) {
+    cop::Rng rng(8);
+    const auto chain = harmonicLambdaChain({1.0, 0.0}, {6.0, 1.0}, 5);
+    std::vector<std::vector<double>> fwd, rev;
+    for (std::size_t w = 0; w + 1 < chain.size(); ++w) {
+        fwd.push_back(
+            harmonicWorkSamples(chain[w], chain[w + 1], 8000, 1.0, rng));
+        rev.push_back(
+            harmonicWorkSamples(chain[w + 1], chain[w], 8000, 1.0, rng));
+    }
+    const auto r = barChain(fwd, rev);
+    EXPECT_EQ(r.windows.size(), 5u);
+    EXPECT_NEAR(r.totalDeltaF,
+                harmonicDeltaF(chain.front(), chain.back(), 1.0),
+                4.0 * r.totalError + 0.02);
+    double var = 0.0;
+    for (const auto& w : r.windows)
+        var += w.standardError * w.standardError;
+    EXPECT_NEAR(r.totalError, std::sqrt(var), 1e-12);
+}
+
+} // namespace
+} // namespace cop::fe

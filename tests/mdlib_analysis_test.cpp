@@ -1,0 +1,159 @@
+// RDF, MSD/diffusion and RMSF analyses.
+
+#include <gtest/gtest.h>
+
+#include "mdlib/analysis.hpp"
+#include "mdlib/integrators.hpp"
+#include "mdlib/proteins.hpp"
+#include "mdlib/simulation.hpp"
+#include "util/random.hpp"
+
+namespace cop::md {
+namespace {
+
+TEST(Rdf, IdealGasIsFlat) {
+    // Uncorrelated random points: g(r) = 1 within noise.
+    const Box box = Box::cubic(10.0);
+    cop::Rng rng(3);
+    Trajectory traj;
+    for (int f = 0; f < 20; ++f) {
+        std::vector<Vec3> pos;
+        for (int i = 0; i < 200; ++i)
+            pos.push_back({rng.uniform(0, 10), rng.uniform(0, 10),
+                           rng.uniform(0, 10)});
+        traj.append(f, f * 1.0, std::move(pos));
+    }
+    const auto rdf = radialDistribution(traj, box, 4.5, 15);
+    for (std::size_t b = 1; b < rdf.g.size(); ++b)
+        EXPECT_NEAR(rdf.g[b], 1.0, 0.2) << "bin " << b;
+}
+
+TEST(Rdf, LjFluidHasExcludedCoreAndFirstShell) {
+    // A thermalized LJ fluid: g ~ 0 inside the core, peaked near r = 1.1,
+    // approaching 1 at large r.
+    Topology top;
+    for (int i = 0; i < 216; ++i) top.addParticle(1.0);
+    top.finalize();
+    const Box box = Box::cubic(7.2);
+    ForceFieldParams fp;
+    fp.kind = NonbondedKind::LennardJonesRF;
+    fp.cutoff = 2.5;
+    ForceField ff(top, box, fp);
+    State st;
+    st.resize(216);
+    int q = 0;
+    for (int x = 0; x < 6; ++x)
+        for (int y = 0; y < 6; ++y)
+            for (int z = 0; z < 6; ++z, ++q)
+                st.positions[std::size_t(q)] = {x * 1.2, y * 1.2, z * 1.2};
+    IntegratorParams ip;
+    ip.kind = IntegratorKind::LangevinBAOAB;
+    ip.dt = 0.004;
+    ip.temperature = 1.0;
+    ip.friction = 1.0;
+    Integrator integrator(ff, ip, cop::Rng(5));
+    cop::Rng rng(6);
+    assignVelocities(top, st, 1.0, rng);
+    integrator.run(st, 3000);
+
+    Trajectory traj;
+    for (int f = 0; f < 10; ++f) {
+        integrator.run(st, 200);
+        traj.append(st.step, st.time, st.positions);
+    }
+    const auto rdf = radialDistribution(traj, box, 3.5, 35);
+    // Core exclusion below 0.85 sigma.
+    for (std::size_t b = 0; b < rdf.g.size(); ++b)
+        if (rdf.r[b] < 0.85) EXPECT_LT(rdf.g[b], 0.1);
+    // First-shell peak above 1.5 near r ~ 1.1.
+    double peak = 0.0;
+    for (std::size_t b = 0; b < rdf.g.size(); ++b)
+        if (rdf.r[b] > 0.9 && rdf.r[b] < 1.4) peak = std::max(peak, rdf.g[b]);
+    EXPECT_GT(peak, 1.5);
+    // Approaches 1 near rMax.
+    EXPECT_NEAR(rdf.g.back(), 1.0, 0.25);
+}
+
+TEST(Rdf, ValidatesInput) {
+    Trajectory traj;
+    traj.append(0, 0.0, std::vector<Vec3>{{0, 0, 0}});
+    EXPECT_THROW(radialDistribution(traj, Box::open(), 1.0, 10),
+                 cop::InvalidArgument);
+    EXPECT_THROW(radialDistribution(traj, Box::cubic(4.0), 3.0, 10),
+                 cop::InvalidArgument);
+}
+
+TEST(Msd, FreeLangevinParticleDiffusesAtEinsteinRate) {
+    // Free particle under Langevin dynamics: D = T / (m gamma).
+    Topology top(64);
+    top.finalize();
+    ForceFieldParams fp;
+    fp.kind = NonbondedKind::GoRepulsive;
+    fp.repEpsilon = 0.0; // switch interactions off: ideal gas
+    ForceField ff(top, Box::open(), fp);
+    IntegratorParams ip;
+    ip.kind = IntegratorKind::LangevinBAOAB;
+    ip.dt = 0.01;
+    ip.temperature = 1.5;
+    ip.friction = 2.0;
+    Integrator integrator(ff, ip, cop::Rng(7));
+    State st;
+    st.resize(64);
+    cop::Rng rng(8);
+    for (auto& x : st.positions) x = rng.gaussianVec3(1.0);
+    assignVelocities(top, st, ip.temperature, rng);
+
+    integrator.run(st, 500); // velocity equilibration
+    Trajectory traj;
+    for (int f = 0; f < 200; ++f) {
+        traj.append(st.step, st.time, st.positions);
+        integrator.run(st, 50);
+    }
+    const double timePerFrame = 50 * ip.dt;
+    const double d =
+        diffusionCoefficient(traj, 40, timePerFrame, 5);
+    const double expected = ip.temperature / ip.friction;
+    EXPECT_NEAR(d, expected, 0.25 * expected);
+}
+
+TEST(Msd, GrowsMonotonicallyForDiffusion) {
+    Topology top(16);
+    top.finalize();
+    Trajectory traj;
+    cop::Rng rng(9);
+    std::vector<Vec3> pos(16);
+    for (int f = 0; f < 100; ++f) {
+        for (auto& x : pos) x += rng.gaussianVec3(0.1); // random walk
+        traj.append(f, f * 1.0, pos);
+    }
+    const auto msd = meanSquaredDisplacement(traj, 30);
+    EXPECT_EQ(msd[0], 0.0);
+    for (std::size_t k = 2; k <= 30; k += 4)
+        EXPECT_GT(msd[k], msd[k - 1] * 0.8);
+    // Random walk: MSD(k) ~ 3 * 0.01 * k.
+    EXPECT_NEAR(msd[20], 3 * 0.01 * 20, 0.2 * 3 * 0.01 * 20);
+}
+
+TEST(Rmsf, TurnsFluctuateMoreThanHelixCores) {
+    const auto model = villinGoModel();
+    auto sim = Simulation::forGoModel(model, model.native,
+                                      villinSimulationConfig(11));
+    sim.initializeVelocities();
+    sim.run(20000);
+    const auto fluct = rmsf(sim.trajectory());
+    ASSERT_EQ(fluct.size(), 35u);
+    // Chain termini and turn regions (residues 10-12, 22-24) move more
+    // than the buried middle of helix 2.
+    const double turnAvg = (fluct[10] + fluct[11] + fluct[12] + fluct[22] +
+                            fluct[23] + fluct[24]) /
+                           6.0;
+    const double coreAvg = (fluct[16] + fluct[17] + fluct[18]) / 3.0;
+    EXPECT_GT(turnAvg, coreAvg);
+    for (double v : fluct) {
+        EXPECT_GT(v, 0.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+} // namespace
+} // namespace cop::md

@@ -1,0 +1,164 @@
+#include "mdlib/forcefield.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mdlib/proteins.hpp"
+#include "util/random.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cop::md {
+namespace {
+
+/// A small LJ fluid in a periodic box.
+struct LjSystem {
+    Topology top;
+    Box box;
+    ForceFieldParams params;
+    std::vector<Vec3> positions;
+};
+
+LjSystem makeLj(std::size_t n, double boxLen, std::uint64_t seed,
+                bool charges = false) {
+    LjSystem sys;
+    sys.top = Topology();
+    cop::Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i)
+        sys.top.addParticle(1.0, charges ? (i % 2 ? 0.2 : -0.2) : 0.0);
+    sys.top.finalize();
+    sys.box = Box::cubic(boxLen);
+    sys.params.kind = NonbondedKind::LennardJonesRF;
+    sys.params.cutoff = 2.5;
+    sys.params.useCoulombRF = charges;
+    // Place on a jittered lattice to avoid overlaps.
+    const int side = int(std::ceil(std::cbrt(double(n))));
+    const double a = boxLen / side;
+    std::size_t placed = 0;
+    for (int x = 0; x < side && placed < n; ++x)
+        for (int y = 0; y < side && placed < n; ++y)
+            for (int z = 0; z < side && placed < n; ++z, ++placed)
+                sys.positions.push_back(
+                    {x * a + rng.uniform(-0.05, 0.05),
+                     y * a + rng.uniform(-0.05, 0.05),
+                     z * a + rng.uniform(-0.05, 0.05)});
+    return sys;
+}
+
+TEST(ForceField, GoModelForcesMatchFiniteDifferencesAtNative) {
+    const auto model = villinGoModel();
+    ForceField ff(model.topology, Box::open(), model.forceFieldParams());
+    EXPECT_LT(maxForceError(ff, model.native), 1e-5);
+}
+
+TEST(ForceField, GoModelForcesMatchFiniteDifferencesPerturbed) {
+    const auto model = villinGoModel();
+    ForceField ff(model.topology, Box::open(), model.forceFieldParams());
+    cop::Rng rng(3);
+    auto pos = model.native;
+    for (auto& p : pos) p += rng.gaussianVec3(0.05);
+    EXPECT_LT(maxForceError(ff, pos), 1e-4);
+}
+
+TEST(ForceField, LennardJonesForcesMatchFiniteDifferences) {
+    auto sys = makeLj(27, 6.0, 5);
+    ForceField ff(sys.top, sys.box, sys.params);
+    EXPECT_LT(maxForceError(ff, sys.positions), 2e-4);
+}
+
+TEST(ForceField, ReactionFieldForcesMatchFiniteDifferences) {
+    auto sys = makeLj(27, 6.0, 7, /*charges=*/true);
+    ForceField ff(sys.top, sys.box, sys.params);
+    EXPECT_LT(maxForceError(ff, sys.positions), 2e-4);
+}
+
+TEST(ForceField, NewtonsThirdLaw) {
+    const auto model = villinGoModel();
+    ForceField ff(model.topology, Box::open(), model.forceFieldParams());
+    cop::Rng rng(9);
+    auto pos = model.native;
+    for (auto& p : pos) p += rng.gaussianVec3(0.2);
+    std::vector<Vec3> forces;
+    ff.compute(pos, forces);
+    Vec3 total{};
+    for (const auto& f : forces) total += f;
+    EXPECT_NEAR(norm(total), 0.0, 1e-9);
+}
+
+TEST(ForceField, ScalarAndBlockedKernelsAgree) {
+    auto sys = makeLj(64, 8.0, 11, /*charges=*/true);
+    auto scalarParams = sys.params;
+    scalarParams.flavor = KernelFlavor::Scalar;
+    auto blockedParams = sys.params;
+    blockedParams.flavor = KernelFlavor::Blocked4;
+    ForceField ffS(sys.top, sys.box, scalarParams);
+    ForceField ffB(sys.top, sys.box, blockedParams);
+    std::vector<Vec3> fs, fb;
+    const auto es = ffS.compute(sys.positions, fs);
+    const auto eb = ffB.compute(sys.positions, fb);
+    EXPECT_NEAR(es.nonbonded, eb.nonbonded, 1e-10);
+    EXPECT_NEAR(es.coulomb, eb.coulomb, 1e-10);
+    for (std::size_t i = 0; i < fs.size(); ++i)
+        EXPECT_NEAR(norm(fs[i] - fb[i]), 0.0, 1e-10);
+}
+
+TEST(ForceField, ThreadedForcesMatchSerial) {
+    auto sys = makeLj(343, 12.0, 13); // enough pairs to trigger threading
+    cop::ThreadPool pool(4);
+    ForceField serial(sys.top, sys.box, sys.params);
+    ForceField threaded(sys.top, sys.box, sys.params, &pool);
+    std::vector<Vec3> f1, f2;
+    const auto e1 = serial.compute(sys.positions, f1);
+    const auto e2 = threaded.compute(sys.positions, f2);
+    EXPECT_NEAR(e1.nonbonded, e2.nonbonded, 1e-8);
+    for (std::size_t i = 0; i < f1.size(); ++i)
+        EXPECT_NEAR(norm(f1[i] - f2[i]), 0.0, 1e-9);
+}
+
+TEST(ForceField, ShiftedLJIsZeroAtCutoff) {
+    Topology top(2);
+    top.finalize();
+    ForceFieldParams p;
+    p.kind = NonbondedKind::LennardJonesRF;
+    p.cutoff = 2.5;
+    p.shiftLJ = true;
+    ForceField ff(top, Box::open(), p);
+    std::vector<Vec3> forces;
+    const auto e = ff.compute({{0, 0, 0}, {2.4999, 0, 0}}, forces);
+    EXPECT_NEAR(e.nonbonded, 0.0, 1e-4);
+}
+
+TEST(ForceField, GoEnergyAtNativeIsContactMinimum) {
+    const auto model = villinGoModel();
+    ForceField ff(model.topology, Box::open(), model.forceFieldParams());
+    std::vector<Vec3> forces;
+    const auto e = ff.compute(model.native, forces);
+    // Bonded terms vanish at native by construction; contacts sit at their
+    // minima (-eps each); only tiny repulsive tails remain.
+    EXPECT_NEAR(e.bond, 0.0, 1e-20);
+    EXPECT_NEAR(e.angle, 0.0, 1e-20);
+    EXPECT_NEAR(e.dihedral, 0.0, 1e-18);
+    EXPECT_NEAR(e.contact, -double(model.numContacts()), 1e-9);
+    EXPECT_LT(e.nonbonded, 0.5);
+    EXPECT_GE(e.nonbonded, 0.0);
+}
+
+TEST(ForceField, EnergiesPotentialSumsTerms) {
+    Energies e;
+    e.bond = 1;
+    e.angle = 2;
+    e.dihedral = 3;
+    e.contact = 4;
+    e.nonbonded = 5;
+    e.coulomb = 6;
+    EXPECT_DOUBLE_EQ(e.potential(), 21.0);
+}
+
+TEST(ForceField, RejectsMismatchedPositions) {
+    const auto model = villinGoModel();
+    ForceField ff(model.topology, Box::open(), model.forceFieldParams());
+    std::vector<Vec3> forces;
+    std::vector<Vec3> tooFew(3);
+    EXPECT_THROW(ff.compute(tooFew, forces), cop::InvalidArgument);
+}
+
+} // namespace
+} // namespace cop::md

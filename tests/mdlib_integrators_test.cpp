@@ -1,0 +1,195 @@
+#include "mdlib/integrators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mdlib/proteins.hpp"
+#include "util/statistics.hpp"
+
+namespace cop::md {
+namespace {
+
+struct TestSystem {
+    GoModel model;
+    ForceField ff;
+    State state;
+
+    explicit TestSystem(double perturb = 0.0, std::uint64_t seed = 1)
+        : model(hairpinGoModel()),
+          ff(model.topology, Box::open(), model.forceFieldParams()) {
+        state.resize(model.numResidues());
+        state.positions = model.native;
+        if (perturb > 0.0) {
+            cop::Rng rng(seed);
+            for (auto& p : state.positions) p += rng.gaussianVec3(perturb);
+        }
+    }
+};
+
+TEST(Integrators, KineticEnergyAndTemperature) {
+    TestSystem sys;
+    cop::Rng rng(5);
+    assignVelocities(sys.model.topology, sys.state, 1.0, rng);
+    const double k = kineticEnergy(sys.model.topology, sys.state);
+    const double nf = 3.0 * double(sys.state.numParticles()) - 3.0;
+    EXPECT_NEAR(instantaneousTemperature(sys.model.topology, sys.state),
+                2.0 * k / nf, 1e-12);
+}
+
+TEST(Integrators, AssignVelocitiesRemovesComDrift) {
+    TestSystem sys;
+    cop::Rng rng(6);
+    assignVelocities(sys.model.topology, sys.state, 2.0, rng);
+    Vec3 p{};
+    for (std::size_t i = 0; i < sys.state.numParticles(); ++i)
+        p += sys.state.velocities[i] * sys.model.topology.mass(i);
+    EXPECT_NEAR(norm(p), 0.0, 1e-12);
+}
+
+class NveIntegrators
+    : public ::testing::TestWithParam<IntegratorKind> {};
+
+TEST_P(NveIntegrators, EnergyConservation) {
+    TestSystem sys(0.05, 7);
+    IntegratorParams p;
+    p.kind = GetParam();
+    p.dt = 0.002;
+    p.thermostat = ThermostatKind::None;
+    Integrator integrator(sys.ff, p, cop::Rng(3));
+    cop::Rng rng(8);
+    assignVelocities(sys.model.topology, sys.state, 0.5, rng);
+
+    integrator.run(sys.state, 1); // prime forces/energies
+    const double e0 = integrator.conservedQuantity(sys.state);
+    integrator.run(sys.state, 5000);
+    const double e1 = integrator.conservedQuantity(sys.state);
+    // Drift well under 1% of the total energy scale over 5000 steps.
+    EXPECT_NEAR(e1, e0, 0.01 * std::max(1.0, std::abs(e0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, NveIntegrators,
+                         ::testing::Values(IntegratorKind::VelocityVerlet,
+                                           IntegratorKind::Leapfrog));
+
+TEST(Integrators, LangevinSamplesTargetTemperature) {
+    TestSystem sys;
+    IntegratorParams p;
+    p.kind = IntegratorKind::LangevinBAOAB;
+    p.dt = 0.005;
+    p.temperature = 0.7;
+    p.friction = 1.0;
+    Integrator integrator(sys.ff, p, cop::Rng(11));
+    cop::Rng rng(12);
+    assignVelocities(sys.model.topology, sys.state, p.temperature, rng);
+
+    integrator.run(sys.state, 2000); // equilibrate
+    cop::RunningStats temp;
+    for (int i = 0; i < 400; ++i) {
+        integrator.run(sys.state, 20);
+        // Langevin noise drives all 3N degrees of freedom (no conserved
+        // COM momentum), hence removedDof = 0.
+        temp.add(instantaneousTemperature(sys.model.topology, sys.state, 0));
+    }
+    EXPECT_NEAR(temp.mean(), p.temperature, 0.05);
+}
+
+TEST(Integrators, NoseHooverControlsTemperatureAndConservesExtended) {
+    TestSystem sys(0.02, 21);
+    IntegratorParams p;
+    p.kind = IntegratorKind::VelocityVerlet;
+    p.dt = 0.002;
+    p.thermostat = ThermostatKind::NoseHoover;
+    p.temperature = 0.6;
+    p.tauT = 0.5;
+    Integrator integrator(sys.ff, p, cop::Rng(13));
+    cop::Rng rng(14);
+    assignVelocities(sys.model.topology, sys.state, p.temperature, rng);
+
+    integrator.run(sys.state, 2000);
+    const double c0 = integrator.conservedQuantity(sys.state);
+    cop::RunningStats temp;
+    for (int i = 0; i < 500; ++i) {
+        integrator.run(sys.state, 20);
+        temp.add(instantaneousTemperature(sys.model.topology, sys.state));
+    }
+    const double c1 = integrator.conservedQuantity(sys.state);
+    EXPECT_NEAR(temp.mean(), p.temperature, 0.06);
+    EXPECT_NEAR(c1, c0, 0.05 * std::max(1.0, std::abs(c0)));
+}
+
+class StochasticThermostats
+    : public ::testing::TestWithParam<ThermostatKind> {};
+
+TEST_P(StochasticThermostats, ControlsTemperature) {
+    TestSystem sys;
+    IntegratorParams p;
+    p.kind = IntegratorKind::VelocityVerlet;
+    p.dt = 0.005;
+    p.thermostat = GetParam();
+    p.temperature = 0.8;
+    p.tauT = 0.2;
+    Integrator integrator(sys.ff, p, cop::Rng(15));
+    cop::Rng rng(16);
+    assignVelocities(sys.model.topology, sys.state, 0.2, rng); // cold start
+
+    integrator.run(sys.state, 3000);
+    cop::RunningStats temp;
+    for (int i = 0; i < 400; ++i) {
+        integrator.run(sys.state, 20);
+        temp.add(instantaneousTemperature(sys.model.topology, sys.state));
+    }
+    EXPECT_NEAR(temp.mean(), p.temperature, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, StochasticThermostats,
+                         ::testing::Values(ThermostatKind::VRescale,
+                                           ThermostatKind::Berendsen));
+
+TEST(Integrators, LeapfrogRejectsNoseHoover) {
+    TestSystem sys;
+    IntegratorParams p;
+    p.kind = IntegratorKind::Leapfrog;
+    p.thermostat = ThermostatKind::NoseHoover;
+    Integrator integrator(sys.ff, p, cop::Rng(1));
+    cop::Rng rng(2);
+    assignVelocities(sys.model.topology, sys.state, 0.5, rng);
+    EXPECT_THROW(integrator.run(sys.state, 10), cop::InvalidArgument);
+}
+
+TEST(Integrators, StepAndTimeAdvance) {
+    TestSystem sys;
+    IntegratorParams p;
+    p.dt = 0.01;
+    Integrator integrator(sys.ff, p, cop::Rng(1));
+    integrator.run(sys.state, 25);
+    EXPECT_EQ(sys.state.step, 25);
+    EXPECT_NEAR(sys.state.time, 0.25, 1e-12);
+}
+
+TEST(Integrators, DeterministicGivenSeed) {
+    TestSystem a, b;
+    IntegratorParams p;
+    p.kind = IntegratorKind::LangevinBAOAB;
+    p.temperature = 0.6;
+    Integrator ia(a.ff, p, cop::Rng(77));
+    Integrator ib(b.ff, p, cop::Rng(77));
+    cop::Rng ra(5), rb(5);
+    assignVelocities(a.model.topology, a.state, 0.6, ra);
+    assignVelocities(b.model.topology, b.state, 0.6, rb);
+    ia.run(a.state, 500);
+    ib.run(b.state, 500);
+    for (std::size_t i = 0; i < a.state.numParticles(); ++i)
+        EXPECT_EQ(a.state.positions[i], b.state.positions[i]);
+}
+
+TEST(Integrators, RejectsBadParameters) {
+    TestSystem sys;
+    IntegratorParams p;
+    p.dt = 0.0;
+    EXPECT_THROW(Integrator(sys.ff, p, cop::Rng(1)), cop::InvalidArgument);
+    p.dt = 0.01;
+    p.tauT = 0.0;
+    EXPECT_THROW(Integrator(sys.ff, p, cop::Rng(1)), cop::InvalidArgument);
+}
+
+} // namespace
+} // namespace cop::md

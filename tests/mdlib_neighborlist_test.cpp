@@ -1,0 +1,135 @@
+#include "mdlib/neighborlist.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace cop::md {
+namespace {
+
+/// Random particles in a periodic box; no exclusions.
+struct RandomSystem {
+    Topology top;
+    Box box;
+    std::vector<Vec3> positions;
+};
+
+RandomSystem makeRandom(std::size_t n, double boxLen, std::uint64_t seed) {
+    RandomSystem sys;
+    sys.top = Topology(n);
+    sys.top.finalize();
+    sys.box = Box::cubic(boxLen);
+    cop::Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i)
+        sys.positions.push_back({rng.uniform(0.0, boxLen),
+                                 rng.uniform(0.0, boxLen),
+                                 rng.uniform(0.0, boxLen)});
+    return sys;
+}
+
+std::set<std::pair<int, int>> bruteForcePairs(const RandomSystem& sys,
+                                              double cutoff) {
+    std::set<std::pair<int, int>> pairs;
+    const int n = int(sys.positions.size());
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j) {
+            const Vec3 d = sys.box.minimumImage(sys.positions[std::size_t(i)],
+                                                sys.positions[std::size_t(j)]);
+            if (norm2(d) <= cutoff * cutoff) pairs.insert({i, j});
+        }
+    return pairs;
+}
+
+std::set<std::pair<int, int>> toSet(const std::vector<NeighborPair>& pairs) {
+    std::set<std::pair<int, int>> out;
+    for (const auto& p : pairs)
+        out.insert({std::min(p.i, p.j), std::max(p.i, p.j)});
+    return out;
+}
+
+class NeighborListSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NeighborListSizes, CellListMatchesBruteForce) {
+    const auto sys = makeRandom(GetParam(), 12.0, 17 + GetParam());
+    NeighborList nl(2.5, 0.3);
+    nl.build(sys.top, sys.box, sys.positions);
+    const auto expected = bruteForcePairs(sys, 2.8);
+    EXPECT_EQ(toSet(nl.pairs()), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NeighborListSizes,
+                         ::testing::Values(2, 10, 50, 200, 500));
+
+TEST(NeighborList, OpenBoundaryBruteForce) {
+    auto sys = makeRandom(40, 8.0, 5);
+    sys.box = Box::open();
+    NeighborList nl(2.0, 0.2);
+    nl.build(sys.top, sys.box, sys.positions);
+    EXPECT_EQ(toSet(nl.pairs()), bruteForcePairs(sys, 2.2));
+}
+
+TEST(NeighborList, ExclusionsNeverAppear) {
+    Topology top(4);
+    top.addBond({0, 1, 1.0, 1.0});
+    top.addBond({2, 3, 1.0, 1.0});
+    top.finalize();
+    const std::vector<Vec3> pos{
+        {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}};
+    NeighborList nl(5.0, 0.5);
+    nl.build(top, Box::open(), pos);
+    const auto set = toSet(nl.pairs());
+    EXPECT_EQ(set.count({0, 1}), 0u);
+    EXPECT_EQ(set.count({2, 3}), 0u);
+    EXPECT_EQ(set.count({0, 2}), 1u);
+    EXPECT_EQ(set.size(), 4u); // 6 pairs minus 2 exclusions
+}
+
+TEST(NeighborList, UpdateOnlyRebuildsWhenNeeded) {
+    auto sys = makeRandom(100, 10.0, 7);
+    NeighborList nl(2.0, 0.4);
+    nl.build(sys.top, sys.box, sys.positions);
+    EXPECT_EQ(nl.numBuilds(), 1u);
+
+    // Tiny displacement: no rebuild.
+    auto moved = sys.positions;
+    for (auto& p : moved) p += Vec3{0.05, 0.0, 0.0};
+    EXPECT_FALSE(nl.update(sys.top, sys.box, moved));
+    EXPECT_EQ(nl.numBuilds(), 1u);
+
+    // Displacement beyond skin/2: rebuild.
+    moved[0] += Vec3{0.5, 0.0, 0.0};
+    EXPECT_TRUE(nl.update(sys.top, sys.box, moved));
+    EXPECT_EQ(nl.numBuilds(), 2u);
+}
+
+TEST(NeighborList, BufferedListStaysValidWithinSkin) {
+    // Pairs within cutoff after a sub-skin/2 move must already be in the
+    // list built from the old positions (the Verlet-buffer guarantee).
+    auto sys = makeRandom(150, 9.0, 11);
+    const double cutoff = 2.0, skin = 0.6;
+    NeighborList nl(cutoff, skin);
+    nl.build(sys.top, sys.box, sys.positions);
+    const auto listed = toSet(nl.pairs());
+
+    cop::Rng rng(23);
+    auto moved = sys.positions;
+    for (auto& p : moved) {
+        const Vec3 d = rng.gaussianVec3(1.0);
+        p += normalized(d) * (0.45 * skin / 2.0 + 0.0); // < skin/2
+    }
+    RandomSystem movedSys{Topology(sys.positions.size()), sys.box, moved};
+    movedSys.top.finalize();
+    for (const auto& p : bruteForcePairs(movedSys, cutoff))
+        EXPECT_TRUE(listed.count(p)) << p.first << "," << p.second;
+}
+
+TEST(NeighborList, RejectsBadParameters) {
+    EXPECT_THROW(NeighborList(-1.0, 0.1), cop::InvalidArgument);
+    EXPECT_THROW(NeighborList(1.0, -0.1), cop::InvalidArgument);
+}
+
+} // namespace
+} // namespace cop::md

@@ -1,0 +1,98 @@
+#include "mdlib/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cop::md {
+namespace {
+
+Topology chainOfFour() {
+    Topology t(4);
+    t.addBond({0, 1, 1.0, 100.0});
+    t.addBond({1, 2, 1.0, 100.0});
+    t.addBond({2, 3, 1.0, 100.0});
+    t.addAngle({0, 1, 2, 1.9, 20.0});
+    t.addAngle({1, 2, 3, 1.9, 20.0});
+    t.addDihedral({0, 1, 2, 3, 0.5, 1.0, 0.5});
+    t.finalize();
+    return t;
+}
+
+TEST(Topology, CountsAndSummary) {
+    const auto t = chainOfFour();
+    EXPECT_EQ(t.numParticles(), 4u);
+    EXPECT_EQ(t.bonds().size(), 3u);
+    EXPECT_EQ(t.angles().size(), 2u);
+    EXPECT_EQ(t.dihedrals().size(), 1u);
+    EXPECT_NE(t.summary().find("4 particles"), std::string::npos);
+}
+
+TEST(Topology, ExclusionsFromBondedTerms) {
+    const auto t = chainOfFour();
+    EXPECT_TRUE(t.isExcluded(0, 1)); // bond
+    EXPECT_TRUE(t.isExcluded(0, 2)); // angle 1-3
+    EXPECT_TRUE(t.isExcluded(0, 3)); // dihedral 1-4
+    EXPECT_TRUE(t.isExcluded(1, 0)); // symmetric
+}
+
+TEST(Topology, ContactsAreExcluded) {
+    Topology t(5);
+    t.addContact({0, 4, 1.2, 1.0});
+    t.finalize();
+    EXPECT_TRUE(t.isExcluded(0, 4));
+    EXPECT_FALSE(t.isExcluded(0, 3));
+}
+
+TEST(Topology, FinalizeIsIdempotent) {
+    auto t = chainOfFour();
+    t.finalize();
+    EXPECT_TRUE(t.isExcluded(0, 1));
+}
+
+TEST(Topology, RejectsInvalidTerms) {
+    Topology t(3);
+    EXPECT_THROW(t.addBond({0, 0, 1.0, 1.0}), cop::InvalidArgument);
+    EXPECT_THROW(t.addBond({0, 1, -1.0, 1.0}), cop::InvalidArgument);
+    EXPECT_THROW(t.addAngle({0, 1, 1, 1.0, 1.0}), cop::InvalidArgument);
+    EXPECT_THROW(t.addContact({1, 1, 1.0, 1.0}), cop::InvalidArgument);
+    EXPECT_THROW(t.addParticle(0.0), cop::InvalidArgument);
+}
+
+TEST(Topology, FinalizeValidatesIndices) {
+    Topology t(2);
+    t.addBond({0, 5, 1.0, 1.0});
+    EXPECT_THROW(t.finalize(), cop::InvalidArgument);
+}
+
+TEST(Topology, CannotMutateAfterFinalize) {
+    auto t = chainOfFour();
+    EXPECT_THROW(t.addBond({0, 2, 1.0, 1.0}), cop::InvalidArgument);
+    EXPECT_THROW(t.addParticle(1.0), cop::InvalidArgument);
+}
+
+TEST(Topology, SerializationRoundTrip) {
+    const auto t = chainOfFour();
+    cop::BinaryWriter w;
+    t.serialize(w);
+    cop::BinaryReader r(w.buffer());
+    const auto t2 = Topology::deserialize(r);
+    EXPECT_EQ(t2.numParticles(), t.numParticles());
+    EXPECT_EQ(t2.bonds().size(), t.bonds().size());
+    EXPECT_EQ(t2.angles().size(), t.angles().size());
+    EXPECT_EQ(t2.dihedrals().size(), t.dihedrals().size());
+    EXPECT_TRUE(t2.finalized());
+    EXPECT_TRUE(t2.isExcluded(0, 3));
+    EXPECT_DOUBLE_EQ(t2.bonds()[0].r0, 1.0);
+    EXPECT_DOUBLE_EQ(t2.dihedrals()[0].k3, 0.5);
+}
+
+TEST(Topology, MassesAndCharges) {
+    Topology t;
+    t.addParticle(2.0, -1.0);
+    t.addParticle(3.0, 1.0);
+    EXPECT_DOUBLE_EQ(t.mass(0), 2.0);
+    EXPECT_DOUBLE_EQ(t.charge(1), 1.0);
+    EXPECT_EQ(t.masses().size(), 2u);
+}
+
+} // namespace
+} // namespace cop::md

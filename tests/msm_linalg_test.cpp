@@ -1,0 +1,161 @@
+#include "msm/linalg.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace cop::msm {
+namespace {
+
+TEST(DenseMatrix, MultiplyVector) {
+    DenseMatrix a(2, 3);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(0, 2) = 3;
+    a(1, 0) = 4;
+    a(1, 1) = 5;
+    a(1, 2) = 6;
+    const auto y = a.multiply(std::vector<double>{1.0, 1.0, 1.0});
+    EXPECT_EQ(y, (std::vector<double>{6.0, 15.0}));
+    const auto x = a.leftMultiply(std::vector<double>{1.0, 1.0});
+    EXPECT_EQ(x, (std::vector<double>{5.0, 7.0, 9.0}));
+}
+
+TEST(DenseMatrix, MatrixProductAndTranspose) {
+    DenseMatrix a(2, 2), b(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 3;
+    a(1, 1) = 4;
+    b(0, 0) = 0;
+    b(0, 1) = 1;
+    b(1, 0) = 1;
+    b(1, 1) = 0;
+    const auto c = a.multiply(b);
+    EXPECT_EQ(c(0, 0), 2);
+    EXPECT_EQ(c(0, 1), 1);
+    EXPECT_EQ(c(1, 0), 4);
+    EXPECT_EQ(c(1, 1), 3);
+    const auto t = a.transposed();
+    EXPECT_EQ(t(0, 1), 3);
+    EXPECT_EQ(t(1, 0), 2);
+}
+
+TEST(DenseMatrix, IdentityAndMaxAbsDiff) {
+    const auto id = DenseMatrix::identity(3);
+    EXPECT_EQ(id(1, 1), 1.0);
+    EXPECT_EQ(id(0, 1), 0.0);
+    auto other = id;
+    other(2, 0) = 0.5;
+    EXPECT_DOUBLE_EQ(id.maxAbsDiff(other), 0.5);
+}
+
+TEST(SolveLinearSystem, KnownSolution) {
+    DenseMatrix a(2, 2);
+    a(0, 0) = 2;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 3;
+    const auto x = solveLinearSystem(a, {5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, NeedsPivoting) {
+    DenseMatrix a(2, 2);
+    a(0, 0) = 0;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 0;
+    const auto x = solveLinearSystem(a, {2.0, 3.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+    DenseMatrix a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 4;
+    EXPECT_THROW(solveLinearSystem(a, {1.0, 2.0}), cop::NumericalError);
+}
+
+TEST(SolveLinearSystem, RandomRoundTrip) {
+    cop::Rng rng(3);
+    const std::size_t n = 20;
+    DenseMatrix a(n, n);
+    std::vector<double> xTrue(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        xTrue[i] = rng.gaussian();
+        for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.gaussian();
+        a(i, i) += 5.0; // diagonally dominant for stability
+    }
+    const auto b = a.multiply(xTrue);
+    const auto x = solveLinearSystem(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-9);
+}
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+    DenseMatrix a(3, 3);
+    a(0, 0) = 3.0;
+    a(1, 1) = 1.0;
+    a(2, 2) = 2.0;
+    const auto eig = symmetricEigen(a);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(eig.values[1], 2.0, 1e-12);
+    EXPECT_NEAR(eig.values[2], 1.0, 1e-12);
+    // Leading eigenvector is e0.
+    EXPECT_NEAR(std::abs(eig.vectors(0, 0)), 1.0, 1e-10);
+}
+
+TEST(SymmetricEigen, TwoByTwoAnalytic) {
+    DenseMatrix a(2, 2);
+    a(0, 0) = 2.0;
+    a(0, 1) = a(1, 0) = 1.0;
+    a(1, 1) = 2.0;
+    const auto eig = symmetricEigen(a);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+    cop::Rng rng(5);
+    const std::size_t n = 12;
+    DenseMatrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            a(i, j) = a(j, i) = rng.gaussian();
+    const auto eig = symmetricEigen(a);
+    // A = V diag(lambda) V^T
+    DenseMatrix recon(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            for (std::size_t k = 0; k < n; ++k)
+                recon(i, j) +=
+                    eig.vectors(i, k) * eig.values[k] * eig.vectors(j, k);
+    EXPECT_LT(a.maxAbsDiff(recon), 1e-9);
+}
+
+TEST(SymmetricEigen, EigenvectorsAreOrthonormal) {
+    cop::Rng rng(6);
+    const std::size_t n = 8;
+    DenseMatrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            a(i, j) = a(j, i) = rng.uniform();
+    const auto eig = symmetricEigen(a);
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t l = 0; l < n; ++l) {
+            double d = 0.0;
+            for (std::size_t i = 0; i < n; ++i)
+                d += eig.vectors(i, k) * eig.vectors(i, l);
+            EXPECT_NEAR(d, k == l ? 1.0 : 0.0, 1e-9);
+        }
+    }
+}
+
+} // namespace
+} // namespace cop::msm

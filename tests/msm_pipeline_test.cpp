@@ -1,0 +1,117 @@
+#include "msm/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mdlib/proteins.hpp"
+#include "mdlib/simulation.hpp"
+
+namespace cop::msm {
+namespace {
+
+/// A couple of short hairpin trajectories covering folded and unfolded
+/// regions.
+std::vector<md::Trajectory> hairpinTrajectories() {
+    const auto model = md::hairpinGoModel();
+    std::vector<md::Trajectory> trajs;
+    const auto starts = md::makeUnfoldedConformations(model, 2, 31);
+    std::vector<std::vector<Vec3>> inits = {model.native, starts[0],
+                                            starts[1]};
+    for (std::size_t i = 0; i < inits.size(); ++i) {
+        md::SimulationConfig cfg;
+        cfg.integrator.kind = md::IntegratorKind::LangevinBAOAB;
+        cfg.integrator.temperature = 0.5;
+        cfg.integrator.friction = 0.5;
+        cfg.sampleInterval = 20;
+        cfg.seed = 100 + i;
+        auto sim = md::Simulation::forGoModel(model, inits[i], cfg);
+        sim.initializeVelocities();
+        sim.run(4000);
+        trajs.push_back(sim.trajectory());
+    }
+    return trajs;
+}
+
+TEST(Pipeline, BuildsConsistentModel) {
+    const auto trajs = hairpinTrajectories();
+    MsmPipelineParams p;
+    p.numClusters = 20;
+    p.snapshotStride = 2;
+    p.lag = 2;
+    const auto result = buildMsm(trajs, p);
+
+    EXPECT_EQ(result.discrete.size(), trajs.size());
+    // Discrete trajectory lengths match the subsampled frame counts.
+    for (std::size_t t = 0; t < trajs.size(); ++t) {
+        const std::size_t expected =
+            (trajs[t].numFrames() + p.snapshotStride - 1) / p.snapshotStride;
+        EXPECT_EQ(result.discrete[t].size(), expected);
+    }
+    // Populations sum to total snapshots.
+    std::size_t totalSnapshots = 0, totalPop = 0;
+    for (const auto& d : result.discrete) totalSnapshots += d.size();
+    for (auto v : result.populations) totalPop += v;
+    EXPECT_EQ(totalPop, totalSnapshots);
+    // Centers exist for every cluster.
+    EXPECT_EQ(result.centers.size(), result.clustering.numClusters());
+    // The model lives on a subset of the microstates.
+    EXPECT_LE(result.model.numStates(), result.clustering.numClusters());
+    EXPECT_GE(result.model.numStates(), 1u);
+}
+
+TEST(Pipeline, ObservedStatesMatchPopulations) {
+    const auto trajs = hairpinTrajectories();
+    MsmPipelineParams p;
+    p.numClusters = 15;
+    const auto result = buildMsm(trajs, p);
+    const auto obs = result.observedStates();
+    for (std::size_t i = 0; i < obs.size(); ++i)
+        EXPECT_EQ(obs[i], result.populations[i] > 0);
+}
+
+TEST(Pipeline, SnapshotStrideReducesData) {
+    const auto trajs = hairpinTrajectories();
+    MsmPipelineParams p1;
+    p1.numClusters = 10;
+    p1.snapshotStride = 1;
+    MsmPipelineParams p4 = p1;
+    p4.snapshotStride = 4;
+    const auto r1 = buildMsm(trajs, p1);
+    const auto r4 = buildMsm(trajs, p4);
+    std::size_t n1 = 0, n4 = 0;
+    for (const auto& d : r1.discrete) n1 += d.size();
+    for (const auto& d : r4.discrete) n4 += d.size();
+    EXPECT_GT(n1, 3 * n4);
+}
+
+TEST(Pipeline, ImpliedTimescaleSweepShapes) {
+    const auto trajs = hairpinTrajectories();
+    MsmPipelineParams p;
+    p.numClusters = 12;
+    const auto result = buildMsm(trajs, p);
+    const std::vector<std::size_t> lags{1, 2, 4};
+    const auto sweep = impliedTimescaleSweep(
+        result.discrete, result.clustering.numClusters(), lags, 3);
+    ASSERT_EQ(sweep.size(), lags.size());
+    for (const auto& row : sweep) EXPECT_LE(row.size(), 3u);
+}
+
+TEST(Pipeline, RejectsEmptyInput) {
+    MsmPipelineParams p;
+    EXPECT_THROW(buildMsm({}, p), cop::InvalidArgument);
+    std::vector<md::Trajectory> empties(2);
+    EXPECT_THROW(buildMsm(empties, p), cop::InvalidArgument);
+}
+
+TEST(Pipeline, DeterministicForFixedSeed) {
+    const auto trajs = hairpinTrajectories();
+    MsmPipelineParams p;
+    p.numClusters = 10;
+    p.seed = 7;
+    const auto a = buildMsm(trajs, p);
+    const auto b = buildMsm(trajs, p);
+    EXPECT_EQ(a.clustering.assignments, b.clustering.assignments);
+    EXPECT_EQ(a.model.numStates(), b.model.numStates());
+}
+
+} // namespace
+} // namespace cop::msm

@@ -1,0 +1,238 @@
+// Event loop, overlay network, routing, trust and traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include "net/event_loop.hpp"
+#include "net/overlay.hpp"
+
+namespace cop::net {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+    EventLoop loop;
+    std::vector<int> order;
+    loop.schedule(3.0, [&] { order.push_back(3); });
+    loop.schedule(1.0, [&] { order.push_back(1); });
+    loop.schedule(2.0, [&] { order.push_back(2); });
+    loop.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+}
+
+TEST(EventLoop, FifoForEqualTimes) {
+    EventLoop loop;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        loop.schedule(1.0, [&order, i] { order.push_back(i); });
+    loop.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, EventsCanScheduleMoreEvents) {
+    EventLoop loop;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10) loop.schedule(1.0, chain);
+    };
+    loop.schedule(0.0, chain);
+    loop.run();
+    EXPECT_EQ(fired, 10);
+    EXPECT_DOUBLE_EQ(loop.now(), 9.0);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockAndStops) {
+    EventLoop loop;
+    int fired = 0;
+    loop.schedule(1.0, [&] { ++fired; });
+    loop.schedule(5.0, [&] { ++fired; });
+    const auto n = loop.runUntil(2.0);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(loop.now(), 2.0);
+    EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, RunWithLimit) {
+    EventLoop loop;
+    for (int i = 0; i < 10; ++i)
+        loop.schedule(double(i), [] {});
+    EXPECT_EQ(loop.run(4), 4u);
+    EXPECT_EQ(loop.pending(), 6u);
+}
+
+TEST(EventLoop, RejectsPastScheduling) {
+    EventLoop loop;
+    loop.schedule(1.0, [] {});
+    loop.run();
+    EXPECT_THROW(loop.scheduleAt(0.5, [] {}), cop::InvalidArgument);
+    EXPECT_THROW(loop.schedule(-1.0, [] {}), cop::InvalidArgument);
+}
+
+struct TestNet {
+    EventLoop loop;
+    OverlayNetwork net{loop};
+
+    Node makeNode(const std::string& name, std::uint64_t seed) {
+        return Node(net, name, KeyPair::generate(seed));
+    }
+};
+
+void mutualTrust(Node& a, Node& b) {
+    a.trust(b.publicKey());
+    b.trust(a.publicKey());
+}
+
+TEST(Overlay, ConnectRequiresMutualTrust) {
+    TestNet t;
+    Node a = t.makeNode("a", 1);
+    Node b = t.makeNode("b", 2);
+    EXPECT_THROW(t.net.connect(a.id(), b.id(), {}), cop::InvalidArgument);
+    a.trust(b.publicKey()); // one-way is not enough
+    EXPECT_THROW(t.net.connect(a.id(), b.id(), {}), cop::InvalidArgument);
+    b.trust(a.publicKey());
+    t.net.connect(a.id(), b.id(), {});
+    EXPECT_TRUE(t.net.connected(a.id(), b.id()));
+}
+
+TEST(Overlay, DirectDeliveryWithLatency) {
+    TestNet t;
+    Node a = t.makeNode("a", 1);
+    Node b = t.makeNode("b", 2);
+    mutualTrust(a, b);
+    t.net.connect(a.id(), b.id(), LinkProperties{0.5, 1e6});
+
+    double deliveredAt = -1.0;
+    b.setHandler([&](const Message&) { deliveredAt = t.loop.now(); });
+    Message msg;
+    msg.type = MessageType::Heartbeat;
+    msg.source = a.id();
+    msg.destination = b.id();
+    msg.payload.assign(100, 0);
+    t.net.send(msg);
+    t.loop.run();
+    // latency + bytes/bandwidth = 0.5 + 196/1e6.
+    EXPECT_NEAR(deliveredAt, 0.5 + 196.0 / 1e6, 1e-9);
+}
+
+TEST(Overlay, MultiHopRoutingTakesLowestLatencyPath) {
+    // a - b - d (fast), a - c - d (slow): message a->d goes via b.
+    TestNet t;
+    Node a = t.makeNode("a", 1), b = t.makeNode("b", 2),
+         c = t.makeNode("c", 3), d = t.makeNode("d", 4);
+    mutualTrust(a, b);
+    mutualTrust(a, c);
+    mutualTrust(b, d);
+    mutualTrust(c, d);
+    t.net.connect(a.id(), b.id(), LinkProperties{0.01, 1e9});
+    t.net.connect(b.id(), d.id(), LinkProperties{0.01, 1e9});
+    t.net.connect(a.id(), c.id(), LinkProperties{1.0, 1e9});
+    t.net.connect(c.id(), d.id(), LinkProperties{1.0, 1e9});
+
+    EXPECT_EQ(t.net.nextHop(a.id(), d.id()), b.id());
+
+    int delivered = 0;
+    d.setHandler([&](const Message&) { ++delivered; });
+    Message msg;
+    msg.source = a.id();
+    msg.destination = d.id();
+    t.net.send(msg);
+    t.loop.run();
+    EXPECT_EQ(delivered, 1);
+    // Traffic accounted on both hops of the fast path, none on the slow.
+    EXPECT_EQ(t.net.linkStats(a.id(), b.id()).messages, 1u);
+    EXPECT_EQ(t.net.linkStats(b.id(), d.id()).messages, 1u);
+    EXPECT_EQ(t.net.linkStats(a.id(), c.id()).messages, 0u);
+}
+
+TEST(Overlay, UnreachableDestinationThrows) {
+    TestNet t;
+    Node a = t.makeNode("a", 1);
+    Node b = t.makeNode("b", 2);
+    Message msg;
+    msg.source = a.id();
+    msg.destination = b.id();
+    EXPECT_THROW(t.net.send(msg), cop::InvalidArgument);
+}
+
+TEST(Overlay, StatsAggregation) {
+    TestNet t;
+    Node a = t.makeNode("a", 1);
+    Node b = t.makeNode("b", 2);
+    mutualTrust(a, b);
+    t.net.connect(a.id(), b.id(), {});
+    for (int i = 0; i < 3; ++i) {
+        Message msg;
+        msg.source = a.id();
+        msg.destination = b.id();
+        msg.payload.assign(10, 0);
+        t.net.send(msg);
+    }
+    t.loop.run();
+    EXPECT_EQ(t.net.totalStats().messages, 3u);
+    EXPECT_EQ(t.net.nodeStats(a.id()).messages, 3u);
+    EXPECT_EQ(t.net.totalStats().bytes, 3u * 106u);
+}
+
+TEST(Overlay, MessageTypeNames) {
+    EXPECT_STREQ(messageTypeName(MessageType::Heartbeat), "Heartbeat");
+    EXPECT_STREQ(messageTypeName(MessageType::WorkerFailed), "WorkerFailed");
+}
+
+TEST(Overlay, HeartbeatWireSizeIsSmall) {
+    // Paper: "a message size typically less than 200 bytes".
+    Message hb;
+    hb.type = MessageType::Heartbeat;
+    hb.payload.assign(60, 0); // typical encoded heartbeat
+    EXPECT_LT(hb.wireSize(), 200u);
+}
+
+TEST(KeyPairTest, GenerationIsDeterministicAndDistinct) {
+    const auto a = KeyPair::generate(1);
+    const auto b = KeyPair::generate(1);
+    const auto c = KeyPair::generate(2);
+    EXPECT_EQ(a.publicKey, b.publicKey);
+    EXPECT_NE(a.publicKey, c.publicKey);
+    EXPECT_NE(a.publicKey, a.privateKey);
+}
+
+
+TEST(Overlay, SharedFilesystemSkipsBulkPayloadBytes) {
+    TestNet t;
+    Node a = t.makeNode("worker", 1);
+    Node b = t.makeNode("head", 2);
+    mutualTrust(a, b);
+    LinkProperties props;
+    props.sharedFilesystem = true;
+    t.net.connect(a.id(), b.id(), props);
+
+    Message bulk;
+    bulk.type = MessageType::CommandOutput;
+    bulk.source = a.id();
+    bulk.destination = b.id();
+    bulk.payload.assign(1'000'000, 0);
+    t.net.send(bulk);
+    t.loop.run();
+    // Only the ~96-byte frame crossed the wire.
+    EXPECT_LT(t.net.totalStats().bytes, 200u);
+
+    Message control;
+    control.type = MessageType::Heartbeat; // not bulk: full size
+    control.source = a.id();
+    control.destination = b.id();
+    control.payload.assign(50, 0);
+    t.net.send(control);
+    t.loop.run();
+    EXPECT_GE(t.net.totalStats().bytes, 96u + 50u);
+}
+
+TEST(Overlay, BulkDataClassification) {
+    EXPECT_TRUE(isBulkDataMessage(MessageType::CommandOutput));
+    EXPECT_TRUE(isBulkDataMessage(MessageType::CheckpointData));
+    EXPECT_TRUE(isBulkDataMessage(MessageType::WorkloadAssign));
+    EXPECT_FALSE(isBulkDataMessage(MessageType::Heartbeat));
+    EXPECT_FALSE(isBulkDataMessage(MessageType::WorkloadRequest));
+}
+
+} // namespace
+} // namespace cop::net

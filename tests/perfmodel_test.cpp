@@ -1,0 +1,135 @@
+// Performance model calibration and the Fig. 7-9 scaling DES.
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/scaling.hpp"
+#include "util/error.hpp"
+
+namespace cop::perf {
+namespace {
+
+TEST(MdPerf, EfficiencyIsMonotoneDecreasing) {
+    MdPerfModel m;
+    EXPECT_NEAR(m.efficiency(1), 1.0, 0.01);
+    double prev = 1.1;
+    for (int c : {1, 12, 24, 48, 96, 192}) {
+        const double e = m.efficiency(c);
+        EXPECT_LT(e, prev);
+        EXPECT_GT(e, 0.0);
+        prev = e;
+    }
+}
+
+TEST(MdPerf, CalibrationMatchesPaperAnchors) {
+    MdPerfModel m;
+    // ~53% intra-simulation efficiency at 96 cores (paper: 53% total
+    // scaling efficiency at 20k cores with 96-core commands).
+    EXPECT_NEAR(m.efficiency(96), 0.53, 0.04);
+    // Intra-simulation bandwidth 500 MB/s at 24 cores, ~2900 MB/s at 96.
+    EXPECT_NEAR(m.intraSimBandwidth(24) / 1e6, 500.0, 1.0);
+    EXPECT_NEAR(m.intraSimBandwidth(96) / 1e6, 2900.0, 200.0);
+    EXPECT_EQ(m.intraSimBandwidth(1), 0.0);
+}
+
+TEST(MdPerf, CommandSecondsScalesInversely) {
+    MdPerfModel m;
+    const double t1 = m.commandSeconds(50.0, 1);
+    const double t2 = m.commandSeconds(100.0, 1);
+    EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+    EXPECT_LT(m.commandSeconds(50.0, 24), t1);
+}
+
+TEST(MdPerf, SerialProjectTimeMatchesPaper) {
+    // Fig. 7 caption: t_res(1) = 1.1e5 hours.
+    ScalingConfig cfg;
+    EXPECT_NEAR(serialTimeHours(cfg), 1.1e5, 0.1e5);
+}
+
+TEST(Scaling, PerfectEfficiencyBelowCommandKnee) {
+    ScalingConfig cfg;
+    cfg.coresPerSim = 1;
+    cfg.totalCores = 100; // well below 225 commands
+    const auto r = simulateRun(cfg);
+    EXPECT_NEAR(r.efficiency, 1.0, 0.02);
+}
+
+TEST(Scaling, EfficiencyPlateausAtIntraSimValue) {
+    ScalingConfig cfg;
+    cfg.coresPerSim = 24;
+    cfg.totalCores = 2400; // 100 workers < 225 commands
+    const auto r = simulateRun(cfg);
+    EXPECT_NEAR(r.efficiency, cfg.perf.efficiency(24), 0.05);
+}
+
+TEST(Scaling, PaperHeadline53PercentAt20kCores) {
+    ScalingConfig cfg;
+    cfg.coresPerSim = 96;
+    cfg.totalCores = 20000;
+    const auto r = simulateRun(cfg);
+    EXPECT_NEAR(r.efficiency, 0.53, 0.05);
+    // "using 20,000 cores the time to solution would have been just over
+    // 10h" — same order of magnitude here.
+    EXPECT_GT(r.timeToSolutionHours, 2.0);
+    EXPECT_LT(r.timeToSolutionHours, 20.0);
+}
+
+TEST(Scaling, TimeToSolutionPlateausWhenCommandsExhausted) {
+    // Beyond 225 workers, extra cores cannot help (paper Fig. 8).
+    ScalingConfig cfg;
+    cfg.coresPerSim = 1;
+    cfg.generations = 4;
+    cfg.stopGeneration = 2;
+    cfg.totalCores = 300;
+    const auto rA = simulateRun(cfg);
+    cfg.totalCores = 3000;
+    const auto rB = simulateRun(cfg);
+    EXPECT_NEAR(rA.timeToSolutionHours, rB.timeToSolutionHours,
+                0.05 * rA.timeToSolutionHours);
+}
+
+TEST(Scaling, MoreCoresNeverSlower) {
+    ScalingConfig cfg;
+    cfg.coresPerSim = 24;
+    cfg.generations = 4;
+    cfg.stopGeneration = 2;
+    double prev = 1e18;
+    for (int n : {240, 1200, 4800}) {
+        cfg.totalCores = n;
+        const auto r = simulateRun(cfg);
+        EXPECT_LE(r.totalTimeHours, prev * 1.001);
+        prev = r.totalTimeHours;
+    }
+}
+
+TEST(Scaling, EnsembleBandwidthInPaperRange) {
+    // Fig. 9: 0.001 - 0.1 MB/s across the sweep.
+    ScalingConfig cfg;
+    cfg.coresPerSim = 24;
+    cfg.totalCores = 5000;
+    const auto r = simulateRun(cfg);
+    EXPECT_GT(r.ensembleBandwidth / 1e6, 0.001);
+    EXPECT_LT(r.ensembleBandwidth / 1e6, 0.2);
+}
+
+TEST(Scaling, SweepSkipsInfeasiblePoints) {
+    ScalingConfig cfg;
+    cfg.coresPerSim = 96;
+    cfg.generations = 2;
+    cfg.stopGeneration = 1;
+    const auto results = sweepTotalCores(cfg, {12, 96, 960});
+    ASSERT_EQ(results.size(), 2u); // 12 < 96 dropped
+    EXPECT_EQ(results[0].totalCores, 96);
+}
+
+TEST(Scaling, RejectsBadConfig) {
+    ScalingConfig cfg;
+    cfg.totalCores = 10;
+    cfg.coresPerSim = 24;
+    EXPECT_THROW(simulateRun(cfg), cop::InvalidArgument);
+    cfg.totalCores = 240;
+    cfg.stopGeneration = 99;
+    EXPECT_THROW(simulateRun(cfg), cop::InvalidArgument);
+}
+
+} // namespace
+} // namespace cop::perf

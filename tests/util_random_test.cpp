@@ -1,0 +1,129 @@
+#include "util/random.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/statistics.hpp"
+
+namespace cop {
+namespace {
+
+TEST(Rng, Deterministic) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next()) ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+    Rng rng(11);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+    EXPECT_NEAR(s.mean(), 0.5, 0.005);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, UniformIntRange) {
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u); // all values hit
+}
+
+TEST(Rng, UniformIntOfOneIsZero) {
+    Rng rng(5);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(Rng, GaussianMoments) {
+    Rng rng(13);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i) s.add(rng.gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0, 0.02);
+}
+
+TEST(Rng, GaussianWithParameters) {
+    Rng rng(17);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i) s.add(rng.gaussian(5.0, 2.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.03);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.03);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+    Rng parent(99);
+    Rng a1 = parent.split(0);
+    Rng a2 = parent.split(0);
+    Rng b = parent.split(1);
+    bool anyDiff = false;
+    for (int i = 0; i < 50; ++i) {
+        const auto va = a1.next();
+        EXPECT_EQ(va, a2.next());
+        if (va != b.next()) anyDiff = true;
+    }
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Rng, SnapshotRestoreIsBitExact) {
+    Rng rng(31);
+    rng.gaussian(); // leave a cached spare in place
+    const auto snap = rng.snapshot();
+    std::vector<double> expected;
+    for (int i = 0; i < 20; ++i) expected.push_back(rng.gaussian());
+    Rng other(777);
+    other.restore(snap);
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(other.gaussian(), expected[i]);
+}
+
+TEST(Rng, MaxwellBoltzmannTemperature) {
+    Rng rng(41);
+    const double mass = 2.5, temperature = 0.8;
+    RunningStats kinetic;
+    for (int i = 0; i < 50000; ++i) {
+        const Vec3 v = maxwellBoltzmannVelocity(rng, mass, temperature);
+        kinetic.add(0.5 * mass * norm2(v));
+    }
+    // <E_k> = (3/2) kB T per particle.
+    EXPECT_NEAR(kinetic.mean(), 1.5 * temperature, 0.01);
+}
+
+TEST(Rng, MaxwellBoltzmannRejectsBadArguments) {
+    Rng rng(1);
+    EXPECT_THROW(maxwellBoltzmannVelocity(rng, 0.0, 1.0), InvalidArgument);
+    EXPECT_THROW(maxwellBoltzmannVelocity(rng, 1.0, -1.0), InvalidArgument);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+    SplitMix64 sm(42);
+    const auto a = sm.next();
+    const auto b = sm.next();
+    EXPECT_NE(a, b);
+    SplitMix64 sm2(42);
+    EXPECT_EQ(sm2.next(), a);
+    EXPECT_EQ(sm2.next(), b);
+}
+
+} // namespace
+} // namespace cop

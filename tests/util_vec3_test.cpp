@@ -1,0 +1,117 @@
+#include "util/vec3.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cop {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+    Vec3 v;
+    EXPECT_EQ(v.x, 0.0);
+    EXPECT_EQ(v.y, 0.0);
+    EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, IndexAccess) {
+    Vec3 v{1.0, 2.0, 3.0};
+    EXPECT_EQ(v[0], 1.0);
+    EXPECT_EQ(v[1], 2.0);
+    EXPECT_EQ(v[2], 3.0);
+    v[1] = 5.0;
+    EXPECT_EQ(v.y, 5.0);
+}
+
+TEST(Vec3, Arithmetic) {
+    const Vec3 a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_EQ(a + b, Vec3(5, 7, 9));
+    EXPECT_EQ(b - a, Vec3(3, 3, 3));
+    EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+    EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+    EXPECT_EQ(Vec3(2, 4, 6) / 2.0, Vec3(1, 2, 3));
+    EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3, DotAndCross) {
+    const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+    EXPECT_EQ(dot(x, y), 0.0);
+    EXPECT_EQ(dot(x, x), 1.0);
+    EXPECT_EQ(cross(x, y), z);
+    EXPECT_EQ(cross(y, z), x);
+    EXPECT_EQ(cross(z, x), y);
+    // Anti-commutativity.
+    EXPECT_EQ(cross(y, x), -z);
+}
+
+TEST(Vec3, NormAndDistance) {
+    const Vec3 v{3, 4, 0};
+    EXPECT_DOUBLE_EQ(norm(v), 5.0);
+    EXPECT_DOUBLE_EQ(norm2(v), 25.0);
+    EXPECT_DOUBLE_EQ(distance(Vec3{1, 1, 1}, Vec3{1, 1, 2}), 1.0);
+    const Vec3 u = normalized(v);
+    EXPECT_NEAR(norm(u), 1.0, 1e-15);
+}
+
+TEST(Vec3, StreamOutput) {
+    std::ostringstream oss;
+    oss << Vec3{1, 2, 3};
+    EXPECT_EQ(oss.str(), "(1, 2, 3)");
+}
+
+TEST(Mat3, IdentityMultiplication) {
+    const Mat3 id = Mat3::identity();
+    const Vec3 v{1, 2, 3};
+    EXPECT_EQ(id * v, v);
+    const Mat3 prod = id * id;
+    EXPECT_EQ(prod * v, v);
+}
+
+TEST(Mat3, TransposeAndTrace) {
+    Mat3 m;
+    m(0, 1) = 2.0;
+    m(1, 0) = 3.0;
+    m(0, 0) = 1.0;
+    m(1, 1) = 4.0;
+    m(2, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(trace(m), 10.0);
+    const Mat3 t = transpose(m);
+    EXPECT_EQ(t(1, 0), 2.0);
+    EXPECT_EQ(t(0, 1), 3.0);
+}
+
+TEST(Mat3, DeterminantOfIdentity) {
+    EXPECT_DOUBLE_EQ(determinant(Mat3::identity()), 1.0);
+}
+
+TEST(Mat3, RotationPreservesNormAndDeterminant) {
+    const Mat3 r = rotationMatrix(normalized(Vec3{1, 2, 3}), 0.7);
+    const Vec3 v{4, -5, 6};
+    EXPECT_NEAR(norm(r * v), norm(v), 1e-12);
+    EXPECT_NEAR(determinant(r), 1.0, 1e-12);
+}
+
+TEST(Mat3, RotationByTwoPiIsIdentity) {
+    const Mat3 r = rotationMatrix(Vec3{0, 0, 1}, 2.0 * M_PI);
+    const Vec3 v{1, 2, 3};
+    const Vec3 rv = r * v;
+    EXPECT_NEAR(rv.x, v.x, 1e-12);
+    EXPECT_NEAR(rv.y, v.y, 1e-12);
+    EXPECT_NEAR(rv.z, v.z, 1e-12);
+}
+
+TEST(Mat3, RotationComposition) {
+    const Vec3 axis = normalized(Vec3{1, 1, 0});
+    const Mat3 half = rotationMatrix(axis, 0.4);
+    const Mat3 full = rotationMatrix(axis, 0.8);
+    const Vec3 v{2, -1, 3};
+    const Vec3 a = (half * half) * v;
+    const Vec3 b = full * v;
+    EXPECT_NEAR(a.x, b.x, 1e-12);
+    EXPECT_NEAR(a.y, b.y, 1e-12);
+    EXPECT_NEAR(a.z, b.z, 1e-12);
+}
+
+} // namespace
+} // namespace cop
