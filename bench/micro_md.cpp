@@ -1,13 +1,18 @@
-/// Engineering microbenchmarks for the MD engine: force kernels (scalar
-/// vs 4-wide blocked — the paper's SIMD tier), neighbour-list builds,
-/// integrator steps and RMSD evaluation.
+/// Engineering microbenchmarks for the MD engine: force kernels (scalar /
+/// 4-wide blocked / SoA — the paper's SIMD tier), threaded force reduction
+/// (the thread tier), neighbour-list builds, integrator steps and RMSD
+/// evaluation. tools/run_bench.sh captures this binary's JSON output as
+/// BENCH_micro_md.json to track the perf trajectory across PRs.
 
 #include <benchmark/benchmark.h>
+
+#include <optional>
 
 #include "mdlib/observables.hpp"
 #include "mdlib/proteins.hpp"
 #include "mdlib/simulation.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace cop;
 using namespace cop::md;
@@ -19,8 +24,10 @@ struct LjFixture {
     Box box;
     std::vector<Vec3> positions;
 
-    explicit LjFixture(std::size_t n) : box(Box::cubic(std::cbrt(double(n)) * 1.2)) {
-        for (std::size_t i = 0; i < n; ++i) top.addParticle(1.0);
+    explicit LjFixture(std::size_t n, bool charges = false)
+        : box(Box::cubic(std::cbrt(double(n)) * 1.2)) {
+        for (std::size_t i = 0; i < n; ++i)
+            top.addParticle(1.0, charges ? (i % 2 ? 0.2 : -0.2) : 0.0);
         top.finalize();
         Rng rng(7);
         const int side = int(std::ceil(std::cbrt(double(n))));
@@ -35,14 +42,26 @@ struct LjFixture {
     }
 };
 
+KernelFlavor flavorArg(std::int64_t v) {
+    switch (v) {
+    case 0: return KernelFlavor::Scalar;
+    case 1: return KernelFlavor::Blocked4;
+    default: return KernelFlavor::Soa;
+    }
+}
+
+/// Kernel-flavor x thread-count sweep over the full nonbonded evaluation
+/// (neighbour-list check + kernel + reduction), uncharged LJ fluid.
 void BM_NonbondedKernel(benchmark::State& state) {
     LjFixture fix(std::size_t(state.range(0)));
     ForceFieldParams p;
     p.kind = NonbondedKind::LennardJonesRF;
     p.cutoff = 2.5;
-    p.flavor = state.range(1) == 0 ? KernelFlavor::Scalar
-                                   : KernelFlavor::Blocked4;
-    ForceField ff(fix.top, fix.box, p);
+    p.flavor = flavorArg(state.range(1));
+    const auto nThreads = std::size_t(state.range(2));
+    std::optional<ThreadPool> pool;
+    if (nThreads > 1) pool.emplace(nThreads);
+    ForceField ff(fix.top, fix.box, p, pool ? &*pool : nullptr);
     std::vector<Vec3> forces;
     for (auto _ : state) {
         auto e = ff.compute(fix.positions, forces);
@@ -52,8 +71,30 @@ void BM_NonbondedKernel(benchmark::State& state) {
                             std::int64_t(ff.neighborList().pairs().size()));
 }
 BENCHMARK(BM_NonbondedKernel)
-    ->ArgsProduct({{216, 1000}, {0, 1}})
-    ->ArgNames({"atoms", "blocked"});
+    ->ArgsProduct({{1000, 10000}, {0, 1, 2}, {1, 2, 4}})
+    ->ArgNames({"atoms", "flavor", "threads"});
+
+/// Same sweep with reaction-field Coulomb on (exercises the charged
+/// bucket's precomputed qq path).
+void BM_NonbondedKernelCharged(benchmark::State& state) {
+    LjFixture fix(std::size_t(state.range(0)), /*charges=*/true);
+    ForceFieldParams p;
+    p.kind = NonbondedKind::LennardJonesRF;
+    p.cutoff = 2.5;
+    p.useCoulombRF = true;
+    p.flavor = flavorArg(state.range(1));
+    ForceField ff(fix.top, fix.box, p);
+    std::vector<Vec3> forces;
+    for (auto _ : state) {
+        auto e = ff.compute(fix.positions, forces);
+        benchmark::DoNotOptimize(e.coulomb);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            std::int64_t(ff.neighborList().pairs().size()));
+}
+BENCHMARK(BM_NonbondedKernelCharged)
+    ->ArgsProduct({{10000}, {0, 1, 2}})
+    ->ArgNames({"atoms", "flavor"});
 
 void BM_NeighborListBuild(benchmark::State& state) {
     LjFixture fix(std::size_t(state.range(0)));

@@ -3,10 +3,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "msm/clustering.hpp"
 #include "msm/markov_model.hpp"
 #include "msm/pipeline.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace cop;
 using namespace cop::msm;
@@ -31,15 +34,19 @@ void BM_KCenters(benchmark::State& state) {
         randomConformations(std::size_t(state.range(0)), 35, 3);
     KCentersParams p;
     p.numClusters = std::size_t(state.range(1));
+    const auto nThreads = std::size_t(state.range(2));
+    std::optional<ThreadPool> pool;
+    if (nThreads > 1) pool.emplace(nThreads);
     for (auto _ : state) {
-        auto r = kCenters(data, p);
+        auto r = kCenters(data, p, pool ? &*pool : nullptr);
         benchmark::DoNotOptimize(r.centers.size());
     }
+    state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                            state.range(0) * state.range(1));
 }
 BENCHMARK(BM_KCenters)
-    ->Args({500, 50})
-    ->Args({2000, 100})
-    ->ArgNames({"snapshots", "k"});
+    ->ArgsProduct({{500, 2000}, {50, 100}, {1, 4}})
+    ->ArgNames({"snapshots", "k", "threads"});
 
 std::vector<DiscreteTrajectory> randomDiscrete(std::size_t trajs,
                                                std::size_t len,

@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file force_workspace.hpp
+/// Persistent scratch state for the nonbonded engine. Everything a force
+/// evaluation needs beyond the caller's positions/forces lives here and is
+/// allocated once (then reused across steps), so steady-state compute() is
+/// allocation-free:
+///   - flat, cache-aligned position and force arrays in xyz-interleaved
+///     triplet layout (the SoA kernels stream pair indices and shift codes
+///     as separate channels, but a pair's scattered j-access touches one
+///     or two cache lines of `pos3` instead of one line in each of three
+///     split x/y/z arrays — measured ~12% of kernel time at N=10000);
+///   - per-chunk force stripes for the threaded path, padded so adjacent
+///     stripes never share a cache line;
+///   - the pair list split by interaction kind (LJ-only / LJ+Coulomb-RF /
+///     Gō-repulsive) with per-pair charge products and periodic shift codes
+///     precomputed, so the SoA inner loops are branch-free;
+///   - AoS per-chunk buffers and energy slots for the legacy Scalar/Blocked4
+///     threaded path.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/aligned_buffer.hpp"
+#include "util/vec3.hpp"
+
+namespace cop::md {
+
+/// Neighbour pairs bucketed by the interaction they compute, as parallel
+/// per-pair channels (SoA). `qq` holds coulombPrefactor * q_i * q_j for
+/// the charged bucket so the kernel never touches the topology.
+///
+/// Pairs keep the cell-major emission order of the neighbour list, so
+/// equal i slots arrive as consecutive runs; each bucket stores those runs
+/// explicitly (the run's i slot plus its [runStart[r], runStart[r+1])
+/// pair range, with a sentinel entry at the end). The kernels then iterate
+/// a plain counted loop per run instead of re-testing the i index every
+/// pair, and the i position/force live in registers for the whole run.
+struct PairBuckets {
+    AlignedVector<int> ljJ;   ///< plain 12-6 LJ: j slot per pair
+    AlignedVector<int> qJ;    ///< LJ + reaction-field Coulomb: j slot
+    AlignedVector<double> qq; ///< charge products for the q bucket
+    AlignedVector<int> goJ;   ///< Gō repulsive 1/r^12: j slot per pair
+    /// Run tables: i slot per run, exclusive pair-offset per run plus one
+    /// trailing sentinel (so run r spans [runStart[r], runStart[r+1])).
+    /// A run also breaks when the periodic shift code changes, so the
+    /// code is a per-run property (see below) and the kernels hoist the
+    /// shift out of the pair loop.
+    AlignedVector<int> ljRunI, ljRunStart;
+    AlignedVector<int> qRunI, qRunStart;
+    AlignedVector<int> goRunI, goRunStart;
+    /// Per-run periodic-shift codes (0..26, one per run-table entry),
+    /// meaningful when `shifted` is true: a pair's minimum image is the
+    /// wrapped displacement plus a shift vector chosen at list build,
+    /// looked up from a 27-entry table — no rounding in the inner loop,
+    /// and the lookup happens once per run because pairs are emitted
+    /// cell-pair by cell-pair, so consecutive pairs almost always share
+    /// a code (runs split at the rare code change).
+    /// Valid between rebuilds by the Verlet-skin argument (no particle
+    /// moves more than skin/2 before the list is rebuilt, and the cell
+    /// build requires box lengths >= 3 list cutoffs).
+    AlignedVector<unsigned char> ljRunS, qRunS, goRunS;
+    bool shifted = false;
+
+    /// NeighborList::numBuilds() value the buckets were split from;
+    /// mismatch means the pair list changed and the split is stale.
+    std::size_t sourceBuild = std::numeric_limits<std::size_t>::max();
+
+    void clear() {
+        ljJ.clear();
+        qJ.clear();
+        qq.clear();
+        goJ.clear();
+        ljRunI.clear();
+        ljRunStart.clear();
+        qRunI.clear();
+        qRunStart.clear();
+        goRunI.clear();
+        goRunStart.clear();
+        ljRunS.clear();
+        qRunS.clear();
+        goRunS.clear();
+        shifted = false;
+    }
+};
+
+struct ForceWorkspace {
+    // Positions in xyz-interleaved triplets (slot r at pos3[3r .. 3r+2]),
+    // scattered from the caller's Vec3 array each evaluation (O(N),
+    // cache-friendly).
+    AlignedVector<double> pos3;
+    // Original-index -> slot permutation. When the neighbour list was
+    // cell-built, slot order is cell order, so a cell's particles sit in
+    // contiguous memory and the kernels' scattered j-accesses stay within
+    // a few cache lines per neighbour cell; otherwise it is the identity.
+    // Rebuilt together with the pair buckets (same staleness stamp).
+    AlignedVector<int> rank;
+    // Per-slot wrap offsets (exact multiples of the box lengths, same
+    // triplet layout as pos3), frozen at list build and added to the
+    // caller's positions when scattering. Freezing them keeps the wrapped
+    // coordinates continuous between rebuilds — a particle crossing the
+    // boundary mid-interval must not jump by a box length, or the pair
+    // shift codes would go stale.
+    AlignedVector<double> o3;
+    // Force triplets: accumulator for the single-threaded kernels and the
+    // target of the striped reduction in the threaded path.
+    AlignedVector<double> f3;
+    // Per-chunk force stripes: nStripes blocks of 3 * stride doubles.
+    // stride is n rounded up to a cache line, so stripes never false-share.
+    AlignedVector<double> sf3;
+    std::size_t stride = 0;
+    std::size_t nStripes = 0;
+
+    // Legacy AoS per-chunk buffers (Scalar / Blocked4 threaded path).
+    std::vector<std::vector<Vec3>> aosBuffers;
+    // Per-chunk energy slots: nonbonded, coulomb, virial.
+    std::vector<double> enb, ecoul, evir;
+
+    PairBuckets buckets;
+
+    /// Grows (never shrinks) all buffers for n particles and `chunks`
+    /// concurrent accumulation stripes. Idempotent and allocation-free once
+    /// sized.
+    void ensure(std::size_t n, std::size_t chunks) {
+        if (stride < n) {
+            const std::size_t padded = paddedSize(n);
+            pos3.resize(3 * padded);
+            o3.resize(3 * padded);
+            f3.resize(3 * padded);
+            stride = padded;
+            nStripes = 0;     // force stripe re-size below
+            aosBuffers.clear();
+        }
+        if (nStripes < chunks) {
+            nStripes = chunks;
+            sf3.resize(nStripes * 3 * stride);
+            enb.resize(nStripes);
+            ecoul.resize(nStripes);
+            evir.resize(nStripes);
+        }
+        if (aosBuffers.size() < chunks) aosBuffers.resize(chunks);
+        for (auto& b : aosBuffers)
+            if (b.size() < n) b.resize(n);
+    }
+};
+
+} // namespace cop::md

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -54,6 +55,230 @@ DihedralGeometry dihedralGeometry(const Vec3& ri, const Vec3& rj,
     return g;
 }
 
+/// Constants consumed by the SoA inner loops. For an open (non-periodic)
+/// box the lengths and inverse lengths are zero, which turns the
+/// minimum-image fixup into arithmetic no-ops — no branch in the loop.
+/// The tab arrays decode per-pair shift codes (0..26) into the three
+/// components of the pair's periodic shift vector.
+struct SoaParams {
+    double cut2 = 0.0, minR2 = 1e-12;
+    double Lx = 0.0, Ly = 0.0, Lz = 0.0;
+    double iLx = 0.0, iLy = 0.0, iLz = 0.0;
+    double sig2 = 0.0, eps4 = 0.0, eps24 = 0.0, ljShift = 0.0;
+    double kRF = 0.0, cRF = 0.0;
+    double repSig2 = 0.0, repEps = 0.0;
+    double tabX[27] = {}, tabY[27] = {}, tabZ[27] = {};
+};
+
+// The three SoA kernels below stream the bucketed pair indices (and shift
+// codes / charge products) as flat channels while reading positions and
+// accumulating forces in xyz-interleaved triplets: the j-side access
+// pattern is a scatter, and a packed triplet costs one or two cache lines
+// where split x/y/z arrays cost three (measured ~12% of kernel time at
+// N=10000).
+//
+// They also share a shape: per-pair minimum image,
+// branch-free in/out selection (cutoff and r^2 > 0 folded into one `keep`
+// multiplier, with the excluded distance replaced by cut2 so no division
+// blows up), scatter-accumulate of the force. Splitting the pair list by
+// interaction kind ahead of time is what removes the per-pair dispatch the
+// Scalar/Blocked4 kernels pay for.
+//
+// Shifted kernels (cell-built lists) image with a table lookup of the
+// run's precomputed shift vector, folded into the i position once per run
+// — the inner loop then does no imaging work at all, where the
+// rounding-based loop pays three multiply-round-multiply-subtract chains
+// per pair (its single largest cost). Shift codes can live on runs
+// because runs split when the code changes; pairs are emitted cell-pair
+// by cell-pair, so such splits are rare. Unshifted kernels (brute-force
+// lists: open boxes or boxes too small for cells) keep the per-pair rint
+// minimum image, which is correct for arbitrary positions.
+//
+// The pair buckets preserve the cell-major emission order of the neighbour
+// list, so equal i indices arrive in consecutive runs, and the buckets
+// store the run boundaries explicitly (built once per list rebuild). Each
+// kernel iterates runs with a plain counted inner loop, keeping the
+// i-particle position and force in registers for the whole run: without
+// this, every pair re-executes a load-add-store on f[i] whose
+// store-to-load forwarding serializes the loop (the j side has distinct
+// indices within a run, so its scatter stores are independent), plus a
+// load-compare-branch just to detect the run boundary.
+//
+// SoaParams is passed by value on purpose: through a reference the
+// compiler must assume the force scatter stores (double* fx) may alias
+// the parameter block's doubles and reload every constant after each
+// store; a by-value copy's address never escapes the kernel, so the
+// constants stay in registers. The copy happens once per bucket slice,
+// the reloads would happen per pair.
+
+template <bool Shifted>
+void soaLjKernel(const int* runI, const int* runStart, const int* pj,
+                 const unsigned char* rs, std::size_t rLo, std::size_t rHi,
+                 const double* xyz, double* f, const SoaParams k,
+                 double& enbOut, double& evirOut) {
+    double enb = 0.0, evir = 0.0;
+    for (std::size_t r = rLo; r < rHi; ++r) {
+        const std::size_t i3 = 3 * std::size_t(runI[r]);
+        double xi = xyz[i3], yi = xyz[i3 + 1], zi = xyz[i3 + 2];
+        if constexpr (Shifted) {
+            const unsigned c = rs[r];
+            xi += k.tabX[c];
+            yi += k.tabY[c];
+            zi += k.tabZ[c];
+        }
+        double fxi = 0.0, fyi = 0.0, fzi = 0.0;
+        const std::size_t pEnd = std::size_t(runStart[r + 1]);
+        for (std::size_t p = std::size_t(runStart[r]); p < pEnd; ++p) {
+            const std::size_t j3 = 3 * std::size_t(pj[p]);
+            double dx = xi - xyz[j3], dy = yi - xyz[j3 + 1],
+                   dz = zi - xyz[j3 + 2];
+            if constexpr (!Shifted) {
+                dx -= k.Lx * std::rint(dx * k.iLx);
+                dy -= k.Ly * std::rint(dy * k.iLy);
+                dz -= k.Lz * std::rint(dz * k.iLz);
+            }
+            const double r2 = dx * dx + dy * dy + dz * dz;
+            const bool in = r2 <= k.cut2 && r2 >= k.minR2;
+            const double keep = in ? 1.0 : 0.0;
+            const double r2s = in ? r2 : k.cut2;
+            const double inv2 = 1.0 / r2s;
+            const double s2 = k.sig2 * inv2;
+            const double s6 = s2 * s2 * s2;
+            const double s12 = s6 * s6;
+            enb += keep * (k.eps4 * (s12 - s6) - k.ljShift);
+            const double fOverR = keep * k.eps24 * (2.0 * s12 - s6) * inv2;
+            evir += fOverR * r2s;
+            const double fxp = dx * fOverR, fyp = dy * fOverR,
+                         fzp = dz * fOverR;
+            fxi += fxp;
+            fyi += fyp;
+            fzi += fzp;
+            f[j3] -= fxp;
+            f[j3 + 1] -= fyp;
+            f[j3 + 2] -= fzp;
+        }
+        f[i3] += fxi;
+        f[i3 + 1] += fyi;
+        f[i3 + 2] += fzi;
+    }
+    enbOut += enb;
+    evirOut += evir;
+}
+
+template <bool Shifted>
+void soaLjCoulKernel(const int* runI, const int* runStart, const int* pj,
+                     const unsigned char* rs, const double* qq,
+                     std::size_t rLo, std::size_t rHi, const double* xyz,
+                     double* f, const SoaParams k, double& enbOut,
+                     double& ecoulOut, double& evirOut) {
+    double enb = 0.0, ecoul = 0.0, evir = 0.0;
+    for (std::size_t r = rLo; r < rHi; ++r) {
+        const std::size_t i3 = 3 * std::size_t(runI[r]);
+        double xi = xyz[i3], yi = xyz[i3 + 1], zi = xyz[i3 + 2];
+        if constexpr (Shifted) {
+            const unsigned c = rs[r];
+            xi += k.tabX[c];
+            yi += k.tabY[c];
+            zi += k.tabZ[c];
+        }
+        double fxi = 0.0, fyi = 0.0, fzi = 0.0;
+        const std::size_t pEnd = std::size_t(runStart[r + 1]);
+        for (std::size_t p = std::size_t(runStart[r]); p < pEnd; ++p) {
+            const std::size_t j3 = 3 * std::size_t(pj[p]);
+            double dx = xi - xyz[j3], dy = yi - xyz[j3 + 1],
+                   dz = zi - xyz[j3 + 2];
+            if constexpr (!Shifted) {
+                dx -= k.Lx * std::rint(dx * k.iLx);
+                dy -= k.Ly * std::rint(dy * k.iLy);
+                dz -= k.Lz * std::rint(dz * k.iLz);
+            }
+            const double r2 = dx * dx + dy * dy + dz * dz;
+            const bool in = r2 <= k.cut2 && r2 >= k.minR2;
+            const double keep = in ? 1.0 : 0.0;
+            const double r2s = in ? r2 : k.cut2;
+            const double inv2 = 1.0 / r2s;
+            const double s2 = k.sig2 * inv2;
+            const double s6 = s2 * s2 * s2;
+            const double s12 = s6 * s6;
+            const double invR = 1.0 / std::sqrt(r2s);
+            enb += keep * (k.eps4 * (s12 - s6) - k.ljShift);
+            ecoul += keep * qq[p] * (invR + k.kRF * r2s - k.cRF);
+            const double fOverR =
+                keep * (k.eps24 * (2.0 * s12 - s6) * inv2 +
+                        qq[p] * (invR * inv2 - 2.0 * k.kRF));
+            evir += fOverR * r2s;
+            const double fxp = dx * fOverR, fyp = dy * fOverR,
+                         fzp = dz * fOverR;
+            fxi += fxp;
+            fyi += fyp;
+            fzi += fzp;
+            f[j3] -= fxp;
+            f[j3 + 1] -= fyp;
+            f[j3 + 2] -= fzp;
+        }
+        f[i3] += fxi;
+        f[i3 + 1] += fyi;
+        f[i3 + 2] += fzi;
+    }
+    enbOut += enb;
+    ecoulOut += ecoul;
+    evirOut += evir;
+}
+
+template <bool Shifted>
+void soaGoKernel(const int* runI, const int* runStart, const int* pj,
+                 const unsigned char* rs, std::size_t rLo, std::size_t rHi,
+                 const double* xyz, double* f, const SoaParams k,
+                 double& enbOut, double& evirOut) {
+    double enb = 0.0, evir = 0.0;
+    for (std::size_t r = rLo; r < rHi; ++r) {
+        const std::size_t i3 = 3 * std::size_t(runI[r]);
+        double xi = xyz[i3], yi = xyz[i3 + 1], zi = xyz[i3 + 2];
+        if constexpr (Shifted) {
+            const unsigned c = rs[r];
+            xi += k.tabX[c];
+            yi += k.tabY[c];
+            zi += k.tabZ[c];
+        }
+        double fxi = 0.0, fyi = 0.0, fzi = 0.0;
+        const std::size_t pEnd = std::size_t(runStart[r + 1]);
+        for (std::size_t p = std::size_t(runStart[r]); p < pEnd; ++p) {
+            const std::size_t j3 = 3 * std::size_t(pj[p]);
+            double dx = xi - xyz[j3], dy = yi - xyz[j3 + 1],
+                   dz = zi - xyz[j3 + 2];
+            if constexpr (!Shifted) {
+                dx -= k.Lx * std::rint(dx * k.iLx);
+                dy -= k.Ly * std::rint(dy * k.iLy);
+                dz -= k.Lz * std::rint(dz * k.iLz);
+            }
+            const double r2 = dx * dx + dy * dy + dz * dz;
+            const bool in = r2 <= k.cut2 && r2 >= k.minR2;
+            const double keep = in ? 1.0 : 0.0;
+            const double r2s = in ? r2 : k.cut2;
+            const double inv2 = 1.0 / r2s;
+            const double s2 = k.repSig2 * inv2;
+            const double s6 = s2 * s2 * s2;
+            const double s12 = s6 * s6;
+            enb += keep * k.repEps * s12;
+            const double fOverR = keep * 12.0 * k.repEps * s12 * inv2;
+            evir += fOverR * r2s;
+            const double fxp = dx * fOverR, fyp = dy * fOverR,
+                         fzp = dz * fOverR;
+            fxi += fxp;
+            fyi += fyp;
+            fzi += fzp;
+            f[j3] -= fxp;
+            f[j3 + 1] -= fyp;
+            f[j3 + 2] -= fzp;
+        }
+        f[i3] += fxi;
+        f[i3 + 1] += fyi;
+        f[i3 + 2] += fzi;
+    }
+    enbOut += enb;
+    evirOut += evir;
+}
+
 } // namespace
 
 ForceField::ForceField(const Topology& top, const Box& box,
@@ -68,12 +293,17 @@ Energies ForceField::compute(const std::vector<Vec3>& positions,
                              std::vector<Vec3>& forces) {
     COP_REQUIRE(positions.size() == top_.numParticles(),
                 "positions size mismatch");
+    // assign() reuses the caller's capacity, so the steady state (same
+    // vector passed every step) performs no allocation here.
     forces.assign(positions.size(), Vec3{});
-    neighborList_.update(top_, box_, positions);
+    neighborList_.update(top_, box_, positions, pool_);
 
     Energies e = computeBonded(positions, forces);
     e.contact = computeContacts(positions, forces, e.pairVirial);
-    computeNonbonded(positions, forces, e);
+    if (params_.flavor == KernelFlavor::Soa)
+        computeNonbondedSoa(positions, forces, e);
+    else
+        computeNonbonded(positions, forces, e);
     return e;
 }
 
@@ -169,7 +399,7 @@ double ForceField::computeContacts(const std::vector<Vec3>& positions,
 
 void ForceField::computeNonbonded(const std::vector<Vec3>& positions,
                                   std::vector<Vec3>& forces,
-                                  Energies& e) const {
+                                  Energies& e) {
     const auto& pairs = neighborList_.pairs();
     const double cut2 = params_.cutoff * params_.cutoff;
 
@@ -261,29 +491,337 @@ void ForceField::computeNonbonded(const std::vector<Vec3>& positions,
     };
 
     if (pool_ != nullptr && pairs.size() >= 1024 && pool_->size() > 1) {
-        const std::size_t nChunks = pool_->size();
+        // Per-chunk accumulation into persistent workspace buffers, then a
+        // striped parallel reduction: each stripe of particle indices is
+        // summed across all chunk buffers by one thread, so the reduction
+        // is O(N) wall-clock instead of O(chunks * N) serial.
+        const std::size_t nChunks = pool_->size() + 1;
+        ws_.ensure(positions.size(), nChunks);
         const std::size_t chunk = (pairs.size() + nChunks - 1) / nChunks;
-        std::vector<std::vector<Vec3>> fbufs(
-            nChunks, std::vector<Vec3>(positions.size()));
-        std::vector<double> enbs(nChunks, 0.0), ecouls(nChunks, 0.0),
-            evirs(nChunks, 0.0);
-        pool_->parallelFor(0, nChunks, [&](std::size_t c) {
-            const std::size_t lo = c * chunk;
-            const std::size_t hi = std::min(lo + chunk, pairs.size());
-            if (lo < hi)
-                processRange(lo, hi, fbufs[c], enbs[c], ecouls[c],
-                             evirs[c]);
+        pool_->forChunks(0, nChunks, [&](std::size_t, std::size_t cLo,
+                                         std::size_t cHi) {
+            for (std::size_t c = cLo; c < cHi; ++c) {
+                auto& fbuf = ws_.aosBuffers[c];
+                std::fill(fbuf.begin(), fbuf.end(), Vec3{});
+                ws_.enb[c] = ws_.ecoul[c] = ws_.evir[c] = 0.0;
+                const std::size_t lo = c * chunk;
+                const std::size_t hi = std::min(lo + chunk, pairs.size());
+                if (lo < hi)
+                    processRange(lo, hi, fbuf, ws_.enb[c], ws_.ecoul[c],
+                                 ws_.evir[c]);
+            }
+        });
+        pool_->forChunks(0, forces.size(), [&](std::size_t, std::size_t lo,
+                                               std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                for (std::size_t c = 0; c < nChunks; ++c)
+                    forces[i] += ws_.aosBuffers[c][i];
         });
         for (std::size_t c = 0; c < nChunks; ++c) {
-            for (std::size_t i = 0; i < forces.size(); ++i)
-                forces[i] += fbufs[c][i];
-            e.nonbonded += enbs[c];
-            e.coulomb += ecouls[c];
-            e.pairVirial += evirs[c];
+            e.nonbonded += ws_.enb[c];
+            e.coulomb += ws_.ecoul[c];
+            e.pairVirial += ws_.evir[c];
         }
     } else {
         processRange(0, pairs.size(), forces, e.nonbonded, e.coulomb,
                      e.pairVirial);
+    }
+}
+
+void ForceField::splitPairBuckets(const std::vector<Vec3>& positions) {
+    auto& bk = ws_.buckets;
+    if (bk.sourceBuild == neighborList_.numBuilds()) return;
+    bk.clear();
+
+    // Renumber atoms into the cell order the list was built with (identity
+    // when the brute-force path ran): the buckets then index SoA slots
+    // where a cell's particles are contiguous, so the kernels' j-accesses
+    // touch a few cache lines per neighbour cell instead of one per pair.
+    const std::size_t n = top_.numParticles();
+    const auto& ord = neighborList_.cellOrder();
+    auto& rank = ws_.rank;
+    rank.resize(n);
+    const bool reordered = ord.size() == n;
+    if (reordered) {
+        for (std::size_t r = 0; r < n; ++r)
+            rank[std::size_t(ord[r])] = int(r);
+    } else {
+        for (std::size_t i = 0; i < n; ++i) rank[i] = int(i);
+    }
+
+    // Cell-built lists (always periodic, box >= 3 list cutoffs per
+    // dimension) get precomputed per-pair shift codes: freeze each atom's
+    // wrap offset now, and record which of the 27 shift vectors makes the
+    // wrapped displacement the minimum image. Until the next rebuild no
+    // atom moves more than skin/2, so the recorded shift stays the right
+    // image for every pair that can still be inside the cutoff.
+    bk.shifted = reordered && box_.periodic;
+    if (bk.shifted) {
+        const Vec3 L = box_.lengths;
+        for (std::size_t r = 0; r < n; ++r) {
+            const Vec3& p = positions[std::size_t(ord[r])];
+            ws_.o3[3 * r] = -L.x * std::floor(p.x / L.x);
+            ws_.o3[3 * r + 1] = -L.y * std::floor(p.y / L.y);
+            ws_.o3[3 * r + 2] = -L.z * std::floor(p.z / L.z);
+            // ws_.pos3 doubles as scratch for the wrapped coordinates the
+            // shift codes are derived from; compute() re-scatters them
+            // (same values) before the kernels run.
+            ws_.pos3[3 * r] = p.x + ws_.o3[3 * r];
+            ws_.pos3[3 * r + 1] = p.y + ws_.o3[3 * r + 1];
+            ws_.pos3[3 * r + 2] = p.z + ws_.o3[3 * r + 2];
+        }
+    }
+    auto shiftCode = [&](int ri, int rj) {
+        const std::size_t i3 = 3 * std::size_t(ri), j3 = 3 * std::size_t(rj);
+        const int sx = int(std::rint((ws_.pos3[i3] - ws_.pos3[j3]) /
+                                     box_.lengths.x));
+        const int sy = int(std::rint((ws_.pos3[i3 + 1] - ws_.pos3[j3 + 1]) /
+                                     box_.lengths.y));
+        const int sz = int(std::rint((ws_.pos3[i3 + 2] - ws_.pos3[j3 + 2]) /
+                                     box_.lengths.z));
+        return static_cast<unsigned char>((sx + 1) * 9 + (sy + 1) * 3 +
+                                          (sz + 1));
+    };
+
+    // Opens a new run when the i slot or the shift code changes (pairs
+    // arrive grouped by i and emitted cell-pair by cell-pair, so both are
+    // near-constant along the scan and a linear pass finds every
+    // boundary). Making the shift a per-run property lets the kernels
+    // fold it into the i position once per run instead of per pair.
+    auto pushRun = [](AlignedVector<int>& runI, AlignedVector<int>& runStart,
+                      AlignedVector<unsigned char>& runS, int ri,
+                      unsigned char code, std::size_t nPairs) {
+        if (runI.empty() || runI.back() != ri || runS.back() != code) {
+            runI.push_back(ri);
+            runS.push_back(code);
+            runStart.push_back(int(nPairs));
+        }
+    };
+    // Code 13 is the zero shift; used as a constant for unshifted buckets
+    // so it never splits a run.
+    auto codeOf = [&](int ri, int rj) {
+        return bk.shifted ? shiftCode(ri, rj)
+                          : static_cast<unsigned char>(13);
+    };
+
+    if (params_.kind == NonbondedKind::GoRepulsive) {
+        for (const auto& p : neighborList_.pairs()) {
+            const int ri = rank[std::size_t(p.i)];
+            const int rj = rank[std::size_t(p.j)];
+            pushRun(bk.goRunI, bk.goRunStart, bk.goRunS, ri, codeOf(ri, rj),
+                    bk.goJ.size());
+            bk.goJ.push_back(rj);
+        }
+    } else {
+        const bool coul = params_.useCoulombRF;
+        for (const auto& p : neighborList_.pairs()) {
+            const double qq = coul ? params_.coulombPrefactor *
+                                         top_.charge(std::size_t(p.i)) *
+                                         top_.charge(std::size_t(p.j))
+                                   : 0.0;
+            const int ri = rank[std::size_t(p.i)];
+            const int rj = rank[std::size_t(p.j)];
+            if (qq != 0.0) {
+                pushRun(bk.qRunI, bk.qRunStart, bk.qRunS, ri,
+                        codeOf(ri, rj), bk.qJ.size());
+                bk.qJ.push_back(rj);
+                bk.qq.push_back(qq);
+            } else {
+                pushRun(bk.ljRunI, bk.ljRunStart, bk.ljRunS, ri,
+                        codeOf(ri, rj), bk.ljJ.size());
+                bk.ljJ.push_back(rj);
+            }
+        }
+    }
+    // Close the run tables with their end sentinels.
+    bk.ljRunStart.push_back(int(bk.ljJ.size()));
+    bk.qRunStart.push_back(int(bk.qJ.size()));
+    bk.goRunStart.push_back(int(bk.goJ.size()));
+    bk.sourceBuild = neighborList_.numBuilds();
+}
+
+void ForceField::computeNonbondedSoa(const std::vector<Vec3>& positions,
+                                     std::vector<Vec3>& forces, Energies& e) {
+    const std::size_t n = positions.size();
+    const bool threaded = pool_ != nullptr && pool_->size() > 1;
+    const std::size_t maxChunks = threaded ? pool_->size() + 1 : 1;
+    ws_.ensure(n, maxChunks);
+    splitPairBuckets(positions);
+    const auto& bk = ws_.buckets;
+
+    // Scatter positions into SoA slots, in cell order when available (the
+    // buckets were renumbered the same way by splitPairBuckets). Shifted
+    // buckets work on wrapped coordinates: the frozen per-slot offsets are
+    // exact multiples of the box lengths, applied every step so wrapped
+    // positions move continuously between rebuilds.
+    const auto& ord = neighborList_.cellOrder();
+    const bool reordered = ord.size() == n;
+    if (bk.shifted) {
+        for (std::size_t r = 0; r < n; ++r) {
+            const auto a = std::size_t(ord[r]);
+            ws_.pos3[3 * r] = positions[a].x + ws_.o3[3 * r];
+            ws_.pos3[3 * r + 1] = positions[a].y + ws_.o3[3 * r + 1];
+            ws_.pos3[3 * r + 2] = positions[a].z + ws_.o3[3 * r + 2];
+        }
+    } else if (reordered) {
+        for (std::size_t r = 0; r < n; ++r) {
+            const auto a = std::size_t(ord[r]);
+            ws_.pos3[3 * r] = positions[a].x;
+            ws_.pos3[3 * r + 1] = positions[a].y;
+            ws_.pos3[3 * r + 2] = positions[a].z;
+        }
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            ws_.pos3[3 * i] = positions[i].x;
+            ws_.pos3[3 * i + 1] = positions[i].y;
+            ws_.pos3[3 * i + 2] = positions[i].z;
+        }
+    }
+
+    SoaParams k;
+    k.cut2 = params_.cutoff * params_.cutoff;
+    if (box_.periodic) {
+        k.Lx = box_.lengths.x;
+        k.Ly = box_.lengths.y;
+        k.Lz = box_.lengths.z;
+        k.iLx = 1.0 / k.Lx;
+        k.iLy = 1.0 / k.Ly;
+        k.iLz = 1.0 / k.Lz;
+    }
+    const double rc = params_.cutoff;
+    const double epsRF = params_.rfDielectric;
+    k.kRF = (epsRF - 1.0) / ((2.0 * epsRF + 1.0) * rc * rc * rc);
+    k.cRF = 1.0 / rc + k.kRF * rc * rc;
+    k.sig2 = params_.ljSigma * params_.ljSigma;
+    k.eps4 = 4.0 * params_.ljEpsilon;
+    k.eps24 = 24.0 * params_.ljEpsilon;
+    if (params_.kind == NonbondedKind::LennardJonesRF && params_.shiftLJ) {
+        const double s2 = k.sig2 / k.cut2;
+        const double s6 = s2 * s2 * s2;
+        k.ljShift = k.eps4 * (s6 * s6 - s6);
+    }
+    k.repSig2 = params_.repSigma * params_.repSigma;
+    k.repEps = params_.repEpsilon;
+    if (bk.shifted) {
+        for (int c = 0; c < 27; ++c) {
+            k.tabX[c] = -double(c / 9 - 1) * box_.lengths.x;
+            k.tabY[c] = -double((c / 3) % 3 - 1) * box_.lengths.y;
+            k.tabZ[c] = -double(c % 3 - 1) * box_.lengths.z;
+        }
+    }
+
+    const double* xyz = ws_.pos3.data();
+
+    // Runs slice `c` of `nSlices` of every bucket, accumulating into the
+    // given force-triplet array and energy slots. Buckets are sliced on
+    // run boundaries (runs average a couple dozen pairs, so the per-chunk
+    // imbalance is negligible) and each bucket is sliced independently to
+    // keep chunks balanced regardless of the LJ/charged/Gō mix.
+    auto runSlice = [&](std::size_t c, std::size_t nSlices, double* f,
+                        double& enb, double& ecoul, double& evir) {
+        auto slice = [&](std::size_t len) {
+            return std::pair<std::size_t, std::size_t>{c * len / nSlices,
+                                                       (c + 1) * len / nSlices};
+        };
+        const auto [ljLo, ljHi] = slice(bk.ljRunI.size());
+        if (ljLo < ljHi) {
+            if (bk.shifted)
+                soaLjKernel<true>(bk.ljRunI.data(), bk.ljRunStart.data(),
+                                  bk.ljJ.data(), bk.ljRunS.data(), ljLo,
+                                  ljHi, xyz, f, k, enb, evir);
+            else
+                soaLjKernel<false>(bk.ljRunI.data(), bk.ljRunStart.data(),
+                                   bk.ljJ.data(), nullptr, ljLo, ljHi, xyz,
+                                   f, k, enb, evir);
+        }
+        const auto [qLo, qHi] = slice(bk.qRunI.size());
+        if (qLo < qHi) {
+            if (bk.shifted)
+                soaLjCoulKernel<true>(bk.qRunI.data(), bk.qRunStart.data(),
+                                      bk.qJ.data(), bk.qRunS.data(),
+                                      bk.qq.data(), qLo, qHi, xyz, f, k, enb,
+                                      ecoul, evir);
+            else
+                soaLjCoulKernel<false>(bk.qRunI.data(), bk.qRunStart.data(),
+                                       bk.qJ.data(), nullptr, bk.qq.data(),
+                                       qLo, qHi, xyz, f, k, enb, ecoul,
+                                       evir);
+        }
+        const auto [goLo, goHi] = slice(bk.goRunI.size());
+        if (goLo < goHi) {
+            if (bk.shifted)
+                soaGoKernel<true>(bk.goRunI.data(), bk.goRunStart.data(),
+                                  bk.goJ.data(), bk.goRunS.data(), goLo,
+                                  goHi, xyz, f, k, enb, evir);
+            else
+                soaGoKernel<false>(bk.goRunI.data(), bk.goRunStart.data(),
+                                   bk.goJ.data(), nullptr, goLo, goHi, xyz,
+                                   f, k, enb, evir);
+        }
+    };
+
+    const std::size_t nPairs =
+        bk.ljJ.size() + bk.qJ.size() + bk.goJ.size();
+
+    if (!threaded || nPairs < 1024) {
+        // f3 is all-zero on entry: it is value-initialized when allocated
+        // and the writeback below re-zeroes every slot it reads (the
+        // threaded path never touches it), so the kernels accumulate into
+        // a clean buffer without a separate O(N) clear.
+        double enb = 0.0, ecoul = 0.0, evir = 0.0;
+        runSlice(0, 1, ws_.f3.data(), enb, ecoul, evir);
+        double* f3 = ws_.f3.data();
+        if (reordered) {
+            for (std::size_t r = 0; r < n; ++r) {
+                forces[std::size_t(ord[r])] +=
+                    Vec3{f3[3 * r], f3[3 * r + 1], f3[3 * r + 2]};
+                f3[3 * r] = f3[3 * r + 1] = f3[3 * r + 2] = 0.0;
+            }
+        } else {
+            for (std::size_t i = 0; i < n; ++i) {
+                forces[i] += Vec3{f3[3 * i], f3[3 * i + 1], f3[3 * i + 2]};
+                f3[3 * i] = f3[3 * i + 1] = f3[3 * i + 2] = 0.0;
+            }
+        }
+        e.nonbonded += enb;
+        e.coulomb += ecoul;
+        e.pairVirial += evir;
+        return;
+    }
+
+    // Threaded path: each chunk owns one padded force-triplet stripe
+    // (zeroed by its owner, so no O(chunks * N) serial clearing), then a
+    // striped parallel reduction folds all stripes into the caller's force
+    // array — O(N) wall-clock regardless of thread count, no allocation.
+    const std::size_t nChunks = maxChunks;
+    const std::size_t stride3 = 3 * ws_.stride;
+    pool_->forChunks(0, nChunks, [&](std::size_t, std::size_t cLo,
+                                     std::size_t cHi) {
+        for (std::size_t c = cLo; c < cHi; ++c) {
+            double* f = ws_.sf3.data() + c * stride3;
+            std::fill_n(f, 3 * n, 0.0);
+            ws_.enb[c] = ws_.ecoul[c] = ws_.evir[c] = 0.0;
+            runSlice(c, nChunks, f, ws_.enb[c], ws_.ecoul[c], ws_.evir[c]);
+        }
+    });
+    pool_->forChunks(0, n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            double sx = 0.0, sy = 0.0, sz = 0.0;
+            for (std::size_t c = 0; c < nChunks; ++c) {
+                const double* f = ws_.sf3.data() + c * stride3 + 3 * i;
+                sx += f[0];
+                sy += f[1];
+                sz += f[2];
+            }
+            // ord is a permutation, so the scattered writes of disjoint
+            // index chunks never collide.
+            forces[reordered ? std::size_t(ord[i]) : i] += Vec3{sx, sy, sz};
+        }
+    });
+    for (std::size_t c = 0; c < nChunks; ++c) {
+        e.nonbonded += ws_.enb[c];
+        e.coulomb += ws_.ecoul[c];
+        e.pairVirial += ws_.evir[c];
     }
 }
 

@@ -36,13 +36,18 @@ struct Box {
         return lengths.x * lengths.y * lengths.z;
     }
 
-    /// Minimum-image displacement a - b.
+    /// Minimum-image displacement a - b. Uses rint (round-half-to-even)
+    /// rather than round: the two differ only when d/L is an exact half,
+    /// where either image is a valid minimum image — and rint inlines to a
+    /// two-instruction SSE2 sequence while round is a libm call on
+    /// baseline x86-64. The force kernels image the same way, so all
+    /// kernel flavors see bit-identical displacements.
     Vec3 minimumImage(const Vec3& a, const Vec3& b) const {
         Vec3 d = a - b;
         if (periodic) {
-            d.x -= lengths.x * std::round(d.x / lengths.x);
-            d.y -= lengths.y * std::round(d.y / lengths.y);
-            d.z -= lengths.z * std::round(d.z / lengths.z);
+            d.x -= lengths.x * std::rint(d.x / lengths.x);
+            d.y -= lengths.y * std::rint(d.y / lengths.y);
+            d.z -= lengths.z * std::rint(d.z / lengths.z);
         }
         return d;
     }

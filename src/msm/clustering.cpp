@@ -5,6 +5,7 @@
 
 #include "mdlib/observables.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cop::msm {
 
@@ -32,7 +33,7 @@ std::vector<std::size_t> ClusteringResult::clusterSizes() const {
 }
 
 ClusteringResult kCenters(const ConformationSet& data,
-                          const KCentersParams& params) {
+                          const KCentersParams& params, ThreadPool* pool) {
     COP_REQUIRE(!data.empty(), "cannot cluster an empty set");
     COP_REQUIRE(params.numClusters >= 1, "need at least one cluster");
     const std::size_t n = data.size();
@@ -42,27 +43,52 @@ ClusteringResult kCenters(const ConformationSet& data,
     result.assignments.assign(n, 0);
     result.distances.assign(n, std::numeric_limits<double>::max());
 
+    // Relaxes [lo, hi) against the new center c and returns the local
+    // farthest point. Writes to distances/assignments are disjoint per i,
+    // so chunks can run concurrently.
+    struct Farthest {
+        double dist = -1.0;
+        std::size_t idx = 0;
+    };
+    auto relaxRange = [&](std::size_t lo, std::size_t hi,
+                          std::size_t center, int c) {
+        Farthest far;
+        for (std::size_t i = lo; i < hi; ++i) {
+            const double d = data.distance(i, center);
+            if (d < result.distances[i]) {
+                result.distances[i] = d;
+                result.assignments[i] = c;
+            }
+            if (result.distances[i] > far.dist) {
+                far.dist = result.distances[i];
+                far.idx = i;
+            }
+        }
+        return far;
+    };
+
     Rng rng(params.seed);
     std::size_t nextCenter = rng.uniformInt(n);
     for (std::size_t c = 0; c < k; ++c) {
         result.centers.push_back(nextCenter);
         // Relax assignments against the new center and find the farthest
-        // point, which becomes the next center.
-        double maxDist = -1.0;
-        std::size_t farthest = nextCenter;
-        for (std::size_t i = 0; i < n; ++i) {
-            const double d = data.distance(i, nextCenter);
-            if (d < result.distances[i]) {
-                result.distances[i] = d;
-                result.assignments[i] = int(c);
-            }
-            if (result.distances[i] > maxDist) {
-                maxDist = result.distances[i];
-                farthest = i;
-            }
+        // point, which becomes the next center. Chunks combine in order
+        // with a strict >, reproducing the serial smallest-index argmax.
+        Farthest far;
+        if (pool != nullptr && pool->size() > 1 && n >= 64) {
+            far = pool->parallelReduceChunked(
+                std::size_t{0}, n, Farthest{},
+                [&](std::size_t lo, std::size_t hi) {
+                    return relaxRange(lo, hi, nextCenter, int(c));
+                },
+                [](Farthest a, const Farthest& b) {
+                    return b.dist > a.dist ? b : a;
+                });
+        } else {
+            far = relaxRange(0, n, nextCenter, int(c));
         }
-        if (params.stopRadius > 0.0 && maxDist < params.stopRadius) break;
-        nextCenter = farthest;
+        if (params.stopRadius > 0.0 && far.dist < params.stopRadius) break;
+        nextCenter = far.idx;
     }
     return result;
 }

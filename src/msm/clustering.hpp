@@ -14,6 +14,10 @@
 #include "util/random.hpp"
 #include "util/vec3.hpp"
 
+namespace cop {
+class ThreadPool;
+}
+
 namespace cop::msm {
 
 /// A set of conformations (each a Calpha coordinate vector) with the
@@ -61,9 +65,13 @@ struct KCentersParams {
 
 /// Gonzalez k-centers: repeatedly promote the point farthest from all
 /// existing centers. Guarantees max-radius within 2x of optimal; O(k N)
-/// metric evaluations.
+/// metric evaluations. With a pool, the per-center RMSD sweep (the hot
+/// loop) is chunked across threads; the result is identical to the serial
+/// run — chunk results combine in deterministic order with the same
+/// smallest-index-argmax tie-break the serial scan uses.
 ClusteringResult kCenters(const ConformationSet& data,
-                          const KCentersParams& params);
+                          const KCentersParams& params,
+                          ThreadPool* pool = nullptr);
 
 /// K-medoids refinement: alternately recompute each cluster's medoid and
 /// reassign, for `sweeps` passes over the data. Improves cluster

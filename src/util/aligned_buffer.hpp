@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file aligned_buffer.hpp
+/// Cache-line-aligned storage for hot structure-of-arrays data. The force
+/// kernels stream through contiguous double arrays; 64-byte alignment keeps
+/// every vector load within one cache line and lets the auto-vectorizer use
+/// aligned moves. AlignedVector is a std::vector with an aligning allocator,
+/// so it composes with the usual growth/assign idioms (capacity is reused
+/// across steps — the workspace pattern relies on that for zero-allocation
+/// steady state).
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace cop {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Minimal C++17 aligned allocator; all instances compare equal.
+template <typename T, std::size_t Alignment = kCacheLineSize>
+struct AlignedAllocator {
+    using value_type = T;
+
+    static_assert(Alignment >= alignof(T), "alignment weaker than type's");
+    static_assert((Alignment & (Alignment - 1)) == 0,
+                  "alignment must be a power of two");
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+    template <typename U>
+    struct rebind {
+        using other = AlignedAllocator<U, Alignment>;
+    };
+
+    T* allocate(std::size_t n) {
+        return static_cast<T*>(::operator new(
+            n * sizeof(T), std::align_val_t{Alignment}));
+    }
+    void deallocate(T* p, std::size_t) noexcept {
+        ::operator delete(p, std::align_val_t{Alignment});
+    }
+
+    friend bool operator==(const AlignedAllocator&,
+                           const AlignedAllocator&) noexcept {
+        return true;
+    }
+};
+
+template <typename T, std::size_t Alignment = kCacheLineSize>
+using AlignedVector = std::vector<T, AlignedAllocator<T, Alignment>>;
+
+/// Rounds n up so each per-thread stripe of a shared buffer starts on its
+/// own cache line (avoids false sharing between adjacent stripes).
+inline std::size_t paddedSize(std::size_t n,
+                              std::size_t elemSize = sizeof(double)) {
+    const std::size_t per = kCacheLineSize / elemSize;
+    return (n + per - 1) / per * per;
+}
+
+} // namespace cop

@@ -61,6 +61,81 @@ public:
         std::size_t begin, std::size_t end,
         const std::function<void(std::size_t, std::size_t)>& f);
 
+    /// Number of chunks forChunks/parallelReduce* split an n-element range
+    /// into: one per worker plus the calling thread, never more than n.
+    std::size_t chunkCountFor(std::size_t n) const {
+        return std::min(n, workers_.size() + 1);
+    }
+
+    /// Runs f(chunkIndex, lo, hi) for chunkCountFor(end - begin) contiguous
+    /// chunks covering [begin, end). Fully templated — the callable is
+    /// invoked once per chunk with no per-index std::function dispatch, so
+    /// the chunk body stays inlinable/vectorizable. The calling thread runs
+    /// the last chunk (a 1-thread pool still makes progress when called
+    /// from inside a pool task). chunkIndex is dense in [0, nChunks), so it
+    /// can index per-thread accumulation buffers.
+    template <typename F>
+    void forChunks(std::size_t begin, std::size_t end, F&& f) {
+        if (begin >= end) return;
+        const std::size_t n = end - begin;
+        const std::size_t nChunks = chunkCountFor(n);
+        const std::size_t chunk = (n + nChunks - 1) / nChunks;
+        std::vector<std::future<void>> futures;
+        futures.reserve(nChunks - 1);
+        std::size_t lo = begin;
+        for (std::size_t c = 0; c + 1 < nChunks; ++c) {
+            const std::size_t hi = std::min(lo + chunk, end);
+            futures.push_back(submit([&f, c, lo, hi] { f(c, lo, hi); }));
+            lo = hi;
+        }
+        if (lo < end) f(nChunks - 1, lo, end);
+        for (auto& fut : futures) fut.get();
+    }
+
+    /// Striped parallel reduction: evaluates chunkFn(lo, hi) -> T on each
+    /// chunk concurrently, then combines the partial results **in chunk
+    /// order** on the calling thread, so the result is deterministic for a
+    /// fixed pool size. This is the O(N)-total replacement for the
+    /// serial-loop-over-thread-buffers reduction pattern.
+    template <typename T, typename ChunkFn, typename Combine>
+    T parallelReduceChunked(std::size_t begin, std::size_t end, T init,
+                            ChunkFn&& chunkFn, Combine&& combine) {
+        if (begin >= end) return init;
+        const std::size_t nChunks = chunkCountFor(end - begin);
+        std::vector<T> partials(nChunks, init);
+        forChunks(begin, end,
+                  [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                      partials[c] = chunkFn(lo, hi);
+                  });
+        T result = std::move(init);
+        for (auto& p : partials) result = combine(std::move(result), p);
+        return result;
+    }
+
+    /// Per-index reduction convenience: combines f(i) over [begin, end).
+    /// The per-index call is a template parameter, not a std::function, so
+    /// simple bodies inline into the chunk loop.
+    template <typename T, typename F, typename Combine>
+    T parallelReduce(std::size_t begin, std::size_t end, T init, F&& f,
+                     Combine&& combine) {
+        return parallelReduceChunked(
+            begin, end, std::move(init),
+            [&](std::size_t lo, std::size_t hi) {
+                T acc{};
+                bool first = true;
+                for (std::size_t i = lo; i < hi; ++i) {
+                    if (first) {
+                        acc = f(i);
+                        first = false;
+                    } else {
+                        acc = combine(std::move(acc), f(i));
+                    }
+                }
+                return acc;
+            },
+            combine);
+    }
+
 private:
     void workerLoop();
 

@@ -83,6 +83,92 @@ TEST(ForceField, NewtonsThirdLaw) {
     EXPECT_NEAR(norm(total), 0.0, 1e-9);
 }
 
+/// Computes forces/energies for `sys` under the given kernel flavor.
+Energies runFlavor(const LjSystem& sys, KernelFlavor flavor,
+                   std::vector<Vec3>& forces, cop::ThreadPool* pool = nullptr) {
+    auto params = sys.params;
+    params.flavor = flavor;
+    ForceField ff(sys.top, sys.box, params, pool);
+    return ff.compute(sys.positions, forces);
+}
+
+void expectFlavorsAgree(const LjSystem& sys, double tol = 1e-10) {
+    std::vector<Vec3> fScalar, fBlocked, fSoa;
+    const auto eS = runFlavor(sys, KernelFlavor::Scalar, fScalar);
+    const auto eB = runFlavor(sys, KernelFlavor::Blocked4, fBlocked);
+    const auto eA = runFlavor(sys, KernelFlavor::Soa, fSoa);
+    EXPECT_NEAR(eS.nonbonded, eB.nonbonded, tol);
+    EXPECT_NEAR(eS.nonbonded, eA.nonbonded, tol);
+    EXPECT_NEAR(eS.coulomb, eB.coulomb, tol);
+    EXPECT_NEAR(eS.coulomb, eA.coulomb, tol);
+    EXPECT_NEAR(eS.pairVirial, eA.pairVirial, 1e-8);
+    for (std::size_t i = 0; i < fScalar.size(); ++i) {
+        EXPECT_NEAR(norm(fScalar[i] - fBlocked[i]), 0.0, tol);
+        EXPECT_NEAR(norm(fScalar[i] - fSoa[i]), 0.0, tol);
+    }
+}
+
+TEST(ForceField, AllKernelFlavorsAgreeOnChargedLJ) {
+    expectFlavorsAgree(makeLj(125, 9.0, 19, /*charges=*/true));
+}
+
+TEST(ForceField, AllKernelFlavorsAgreeOnUnchargedLJ) {
+    expectFlavorsAgree(makeLj(125, 9.0, 23, /*charges=*/false));
+}
+
+TEST(ForceField, AllKernelFlavorsAgreeOnGoRepulsive) {
+    const auto model = villinGoModel();
+    cop::Rng rng(31);
+    auto pos = model.native;
+    for (auto& p : pos) p += rng.gaussianVec3(0.3);
+
+    std::vector<Vec3> fScalar, fSoa;
+    auto scalarParams = model.forceFieldParams();
+    scalarParams.flavor = KernelFlavor::Scalar;
+    auto soaParams = model.forceFieldParams();
+    soaParams.flavor = KernelFlavor::Soa;
+    ForceField ffS(model.topology, Box::open(), scalarParams);
+    ForceField ffA(model.topology, Box::open(), soaParams);
+    const auto eS = ffS.compute(pos, fScalar);
+    const auto eA = ffA.compute(pos, fSoa);
+    EXPECT_NEAR(eS.nonbonded, eA.nonbonded, 1e-10);
+    EXPECT_NEAR(eS.potential(), eA.potential(), 1e-10);
+    for (std::size_t i = 0; i < fScalar.size(); ++i)
+        EXPECT_NEAR(norm(fScalar[i] - fSoa[i]), 0.0, 1e-10);
+}
+
+TEST(ForceField, SoaForcesMatchFiniteDifferences) {
+    auto sys = makeLj(27, 6.0, 7, /*charges=*/true);
+    sys.params.flavor = KernelFlavor::Soa;
+    ForceField ff(sys.top, sys.box, sys.params);
+    EXPECT_LT(maxForceError(ff, sys.positions), 2e-4);
+}
+
+TEST(ForceField, ThreadedSoaMatchesSerialSoa) {
+    auto sys = makeLj(343, 12.0, 29, /*charges=*/true);
+    sys.params.flavor = KernelFlavor::Soa;
+    cop::ThreadPool pool(4);
+    std::vector<Vec3> fSerial, fThreaded;
+    const auto e1 = runFlavor(sys, KernelFlavor::Soa, fSerial);
+    const auto e2 = runFlavor(sys, KernelFlavor::Soa, fThreaded, &pool);
+    EXPECT_NEAR(e1.nonbonded, e2.nonbonded, 1e-9);
+    EXPECT_NEAR(e1.coulomb, e2.coulomb, 1e-9);
+    for (std::size_t i = 0; i < fSerial.size(); ++i)
+        EXPECT_NEAR(norm(fSerial[i] - fThreaded[i]), 0.0, 1e-9);
+}
+
+TEST(ForceField, ThreadedSoaIsDeterministicAcrossRuns) {
+    auto sys = makeLj(343, 12.0, 37, /*charges=*/true);
+    sys.params.flavor = KernelFlavor::Soa;
+    cop::ThreadPool pool(4);
+    std::vector<Vec3> f1, f2;
+    ForceField ff(sys.top, sys.box, sys.params, &pool);
+    ff.compute(sys.positions, f1);
+    ff.compute(sys.positions, f2);
+    for (std::size_t i = 0; i < f1.size(); ++i)
+        EXPECT_EQ(norm(f1[i] - f2[i]), 0.0);
+}
+
 TEST(ForceField, ScalarAndBlockedKernelsAgree) {
     auto sys = makeLj(64, 8.0, 11, /*charges=*/true);
     auto scalarParams = sys.params;

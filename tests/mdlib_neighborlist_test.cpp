@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cop::md {
 namespace {
@@ -124,6 +125,83 @@ TEST(NeighborList, BufferedListStaysValidWithinSkin) {
     movedSys.top.finalize();
     for (const auto& p : bruteForcePairs(movedSys, cutoff))
         EXPECT_TRUE(listed.count(p)) << p.first << "," << p.second;
+}
+
+TEST(NeighborList, ParticlesOnBoundariesMatchBruteForce) {
+    // Particles exactly on faces, edges and corners of the box (0 and L in
+    // each dimension) plus a random filler population. Exercises the wrap
+    // + cell-index clamping path of the counting-sort build.
+    const double L = 12.0;
+    auto sys = makeRandom(80, L, 31);
+    const double coords[] = {0.0, L, L / 2.0};
+    for (double cx : coords)
+        for (double cy : coords)
+            for (double cz : coords) sys.positions.push_back({cx, cy, cz});
+    sys.top = Topology(sys.positions.size());
+    sys.top.finalize();
+    NeighborList nl(2.5, 0.3);
+    nl.build(sys.top, sys.box, sys.positions);
+    EXPECT_EQ(toSet(nl.pairs()), bruteForcePairs(sys, 2.8));
+}
+
+TEST(NeighborList, BoxBarelyThreeCellsMatchesBruteForce) {
+    // listCut = 2.8; boxes exactly at and just above the 3x listCut
+    // threshold where the cell path switches on with the minimum 3x3x3
+    // grid (every cell is its own neighbour's neighbour — the wrap
+    // arithmetic must still visit each cell pair exactly once).
+    for (double L : {3.0 * 2.8, 3.0 * 2.8 + 1e-9, 3.0 * 2.8 + 0.5}) {
+        auto sys = makeRandom(150, L, 37);
+        NeighborList nl(2.5, 0.3);
+        nl.build(sys.top, sys.box, sys.positions);
+        EXPECT_EQ(toSet(nl.pairs()), bruteForcePairs(sys, 2.8)) << "L=" << L;
+        // Deterministic, duplicate-free emission without a sort pass.
+        auto seen = toSet(nl.pairs());
+        EXPECT_EQ(seen.size(), nl.pairs().size()) << "duplicate pairs";
+    }
+}
+
+TEST(NeighborList, NegativeAndFarOutOfBoxPositionsMatchBruteForce) {
+    // Positions outside [0, L) must wrap into the correct cell.
+    auto sys = makeRandom(60, 12.0, 41);
+    for (std::size_t i = 0; i < sys.positions.size(); i += 3)
+        sys.positions[i] += Vec3{-12.0, 24.0, -36.0};
+    NeighborList nl(2.5, 0.3);
+    nl.build(sys.top, sys.box, sys.positions);
+    EXPECT_EQ(toSet(nl.pairs()), bruteForcePairs(sys, 2.8));
+}
+
+TEST(NeighborList, ParallelDisplacementScanMatchesSerial) {
+    auto sys = makeRandom(5000, 24.0, 43);
+    cop::ThreadPool pool(4);
+    NeighborList serial(2.0, 0.4), parallel(2.0, 0.4);
+    serial.build(sys.top, sys.box, sys.positions);
+    parallel.build(sys.top, sys.box, sys.positions);
+
+    auto moved = sys.positions;
+    for (auto& p : moved) p += Vec3{0.05, 0.0, 0.0};
+    EXPECT_FALSE(serial.update(sys.top, sys.box, moved));
+    EXPECT_FALSE(parallel.update(sys.top, sys.box, moved, &pool));
+
+    moved[4321] += Vec3{0.5, 0.0, 0.0};
+    EXPECT_TRUE(serial.update(sys.top, sys.box, moved));
+    EXPECT_TRUE(parallel.update(sys.top, sys.box, moved, &pool));
+    EXPECT_EQ(toSet(serial.pairs()), toSet(parallel.pairs()));
+}
+
+TEST(NeighborList, HotParticleShortCircuitStillRebuilds) {
+    // After one rebuild triggered by a mover, the same particle moving
+    // again must trigger the fast path (rebuild count goes up each time).
+    auto sys = makeRandom(200, 12.0, 47);
+    NeighborList nl(2.0, 0.4);
+    nl.build(sys.top, sys.box, sys.positions);
+    auto moved = sys.positions;
+    for (int step = 1; step <= 3; ++step) {
+        moved[7] += Vec3{0.5, 0.0, 0.0};
+        EXPECT_TRUE(nl.update(sys.top, sys.box, moved));
+        EXPECT_EQ(nl.numBuilds(), std::size_t(step) + 1);
+        EXPECT_EQ(toSet(nl.pairs()),
+                  bruteForcePairs({sys.top, sys.box, moved}, 2.4));
+    }
 }
 
 TEST(NeighborList, RejectsBadParameters) {

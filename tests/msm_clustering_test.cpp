@@ -7,6 +7,7 @@
 
 #include "util/error.hpp"
 #include "util/random.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cop::msm {
 namespace {
@@ -150,6 +151,33 @@ TEST(ClusteringResult, ClusterSizesSumToData) {
     std::size_t total = 0;
     for (auto s : sizes) total += s;
     EXPECT_EQ(total, data.size());
+}
+
+TEST(KCenters, PooledSweepMatchesSerialExactly) {
+    // The threaded per-center RMSD sweep must reproduce the serial result
+    // bit-for-bit: same centers, same assignments, same distances.
+    const auto data = threeBlobs(40, 5); // 120 points >= parallel threshold
+    KCentersParams p;
+    p.numClusters = 7;
+    p.seed = 3;
+    const auto serial = kCenters(data, p);
+    cop::ThreadPool pool(4);
+    const auto pooled = kCenters(data, p, &pool);
+    EXPECT_EQ(pooled.centers, serial.centers);
+    EXPECT_EQ(pooled.assignments, serial.assignments);
+    for (std::size_t i = 0; i < serial.distances.size(); ++i)
+        EXPECT_EQ(pooled.distances[i], serial.distances[i]);
+}
+
+TEST(KCenters, PooledStopRadiusMatchesSerial) {
+    const auto data = threeBlobs(30, 9);
+    KCentersParams p;
+    p.numClusters = 50;
+    p.stopRadius = 1.0;
+    cop::ThreadPool pool(3);
+    const auto serial = kCenters(data, p);
+    const auto pooled = kCenters(data, p, &pool);
+    EXPECT_EQ(pooled.centers, serial.centers);
 }
 
 TEST(KCenters, DeterministicForFixedSeed) {

@@ -1,5 +1,7 @@
 // Tests for histogram, thread pool, serialization, strings and tables.
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <filesystem>
 
@@ -79,6 +81,56 @@ TEST(ThreadPool, SingleThreadPoolStillWorks) {
     std::atomic<int> sum{0};
     pool.parallelFor(0, 100, [&](std::size_t i) { sum += int(i); });
     EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ForChunksPartitionsRangeWithDenseChunkIds) {
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(997);
+    std::array<std::atomic<int>, 4> chunkSeen{}; // size() + 1 chunk slots
+    pool.forChunks(0, hits.size(),
+                   [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                       ASSERT_LT(c, chunkSeen.size());
+                       chunkSeen[c].fetch_add(1);
+                       for (std::size_t i = lo; i < hi; ++i)
+                           hits[i].fetch_add(1);
+                   });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    for (const auto& c : chunkSeen) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, ParallelReduceChunkedSumsDeterministically) {
+    ThreadPool pool(4);
+    auto sum = [&] {
+        return pool.parallelReduceChunked(
+            std::size_t{0}, std::size_t{100000}, 0.0,
+            [](std::size_t lo, std::size_t hi) {
+                double s = 0.0;
+                for (std::size_t i = lo; i < hi; ++i) s += double(i) * 1e-3;
+                return s;
+            },
+            [](double a, double b) { return a + b; });
+    };
+    const double first = sum();
+    EXPECT_NEAR(first, 99999.0 * 100000.0 / 2.0 * 1e-3, 1e-3);
+    // Chunk-order combine: bitwise identical on every run.
+    for (int r = 0; r < 5; ++r) EXPECT_EQ(sum(), first);
+}
+
+TEST(ThreadPool, ParallelReducePerIndexMax) {
+    ThreadPool pool(3);
+    const auto best = pool.parallelReduce(
+        std::size_t{0}, std::size_t{1237}, std::size_t{0},
+        [](std::size_t i) { return (i * 7919) % 1237; },
+        [](std::size_t a, std::size_t b) { return std::max(a, b); });
+    EXPECT_EQ(best, 1236u);
+}
+
+TEST(ThreadPool, ParallelReduceEmptyRangeReturnsInit) {
+    ThreadPool pool(2);
+    const int r = pool.parallelReduce(
+        std::size_t{5}, std::size_t{5}, -7, [](std::size_t) { return 1; },
+        [](int a, int b) { return a + b; });
+    EXPECT_EQ(r, -7);
 }
 
 TEST(ThreadPool, ChunkedCoversRange) {

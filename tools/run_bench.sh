@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Builds and runs the MD microbenchmarks, emitting google-benchmark JSON to
+# BENCH_micro_md.json (and BENCH_micro_msm.json) in the repo root so the
+# perf trajectory — kernel flavors x thread counts — is tracked PR over PR.
+#
+# Usage:
+#   tools/run_bench.sh                 # full sweep
+#   FILTER=BM_NonbondedKernel tools/run_bench.sh
+#   BUILD_DIR=build-release tools/run_bench.sh -- --benchmark_min_time=0.1s
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+FILTER=${FILTER:-.}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_md micro_msm
+
+extra=()
+for arg in "$@"; do
+  [[ "$arg" == "--" ]] && continue
+  extra+=("$arg")
+done
+
+"$BUILD_DIR"/bench/micro_md \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out=BENCH_micro_md.json \
+  --benchmark_out_format=json \
+  "${extra[@]+"${extra[@]}"}"
+
+"$BUILD_DIR"/bench/micro_msm \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out=BENCH_micro_msm.json \
+  --benchmark_out_format=json \
+  "${extra[@]+"${extra[@]}"}"
+
+echo "Wrote BENCH_micro_md.json and BENCH_micro_msm.json"
