@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <optional>
 
 #include "msm/clustering.hpp"
@@ -107,6 +108,125 @@ void BM_ImpliedTimescales(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_ImpliedTimescales);
+
+// --- Adaptive-generation sweep: full rebuild vs incremental update -------
+//
+// Models the MSM controller's workload: every generation spawns
+// kTrajsPerGen new trajectories of kSnapsPerTraj snapshots, and the MSM is
+// re-built over everything accumulated so far. BM_MsmFullGeneration pays
+// the from-scratch pipeline at generation g; BM_MsmIncrementalGeneration
+// replays generations 1..g-1 untimed and measures only the g-th update.
+// Compare the two at gen:8 for the headline speedup.
+
+constexpr int kTrajsPerGen = 30;
+constexpr std::size_t kSnapsPerTraj = 30;
+constexpr std::size_t kBenchAtoms = 35;
+constexpr int kMaxGenerations = 8;
+
+const std::vector<md::Trajectory>& generationTrajectories() {
+    static const std::vector<md::Trajectory> all = [] {
+        Rng rng(21);
+        // Basin-structured shapes (RMSD is superposition-invariant, so the
+        // basins differ in shape): incremental assignment stays within the
+        // frozen centers' coverage and the builder never falls back.
+        std::vector<std::vector<Vec3>> basins;
+        for (int b = 0; b < 10; ++b) {
+            std::vector<Vec3> proto;
+            for (std::size_t a = 0; a < kBenchAtoms; ++a)
+                proto.push_back(rng.gaussianVec3(2.0));
+            basins.push_back(std::move(proto));
+        }
+        std::vector<md::Trajectory> trajs;
+        for (int g = 0; g < kMaxGenerations; ++g) {
+            for (int t = 0; t < kTrajsPerGen; ++t) {
+                md::Trajectory traj;
+                for (std::size_t f = 0; f < kSnapsPerTraj; ++f) {
+                    auto conf = basins[rng.uniformInt(basins.size())];
+                    for (auto& v : conf) v += rng.gaussianVec3(0.05);
+                    traj.append(std::int64_t(f), double(f), std::move(conf));
+                }
+                trajs.push_back(std::move(traj));
+            }
+        }
+        return trajs;
+    }();
+    return all;
+}
+
+MsmPipelineParams generationPipelineParams() {
+    MsmPipelineParams p;
+    p.numClusters = 100;
+    p.snapshotStride = 1;
+    p.lag = 1;
+    // Row-normalized estimator: the estimation tail is shared by both
+    // variants, so keep it cheap to expose the rebuild cost difference.
+    p.estimator = EstimatorKind::RowNormalized;
+    p.medoidSweeps = 1;
+    p.seed = 13;
+    return p;
+}
+
+std::vector<std::pair<int, const md::Trajectory*>> generationRefs(int gen) {
+    const auto& all = generationTrajectories();
+    std::vector<std::pair<int, const md::Trajectory*>> refs;
+    for (int t = 0; t < gen * kTrajsPerGen; ++t)
+        refs.emplace_back(t, &all[std::size_t(t)]);
+    return refs;
+}
+
+void recordMsmCounters(benchmark::State& state, const MsmStats& stats) {
+    state.counters["snapshots"] = double(stats.snapshotsTotal);
+    state.counters["rmsd_calls"] = double(stats.rmsd.calls);
+    state.counters["rmsd_pruned"] = double(stats.rmsd.pruned);
+    state.counters["prune_rate"] = stats.rmsd.pruneFraction();
+    state.counters["full_rebuild"] = stats.fullRebuild ? 1.0 : 0.0;
+}
+
+void BM_MsmFullGeneration(benchmark::State& state) {
+    const int gen = int(state.range(0));
+    const auto refs = generationRefs(gen);
+    TrajectoryRefs trajs;
+    for (const auto& [id, traj] : refs) trajs.push_back(traj);
+    const auto params = generationPipelineParams();
+    MsmStats last;
+    for (auto _ : state) {
+        auto r = buildMsm(trajs, params);
+        benchmark::DoNotOptimize(r.model.numStates());
+        last = r.stats;
+    }
+    recordMsmCounters(state, last);
+}
+BENCHMARK(BM_MsmFullGeneration)
+    ->DenseRange(1, kMaxGenerations)
+    ->ArgNames({"gen"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MsmIncrementalGeneration(benchmark::State& state) {
+    const int gen = int(state.range(0));
+    IncrementalMsmParams ip;
+    ip.pipeline = generationPipelineParams();
+    ip.rebuildRadiusFactor = 1.5;
+    MsmStats last;
+    for (auto _ : state) {
+        // Replay history untimed; measure only the generation under test.
+        IncrementalMsmBuilder builder(ip);
+        for (int g = 1; g < gen; ++g) (void)builder.update(generationRefs(g));
+        const auto refs = generationRefs(gen);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto r = builder.update(refs);
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        state.SetIterationTime(dt.count());
+        benchmark::DoNotOptimize(r.model.numStates());
+        last = r.stats;
+    }
+    recordMsmCounters(state, last);
+}
+BENCHMARK(BM_MsmIncrementalGeneration)
+    ->DenseRange(1, kMaxGenerations)
+    ->ArgNames({"gen"})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -15,7 +15,9 @@
 namespace cop::core {
 
 MsmController::MsmController(MsmControllerParams params)
-    : params_(std::move(params)), rng_(params_.seed) {
+    : params_(std::move(params)), rng_(params_.seed),
+      msmBuilder_(msm::IncrementalMsmParams{
+          params_.pipeline, params_.msmRebuildRadiusFactor}) {
     COP_REQUIRE(!params_.startingConformations.empty(),
                 "need at least one starting conformation");
     COP_REQUIRE(params_.tasksPerStart >= 1, "tasksPerStart must be >= 1");
@@ -105,42 +107,51 @@ void MsmController::clusteringStep(ProjectContext& ctx) {
     resultsSinceClustering_ = 0;
     ++generation_;
 
-    std::vector<md::Trajectory> trajs;
+    // The incremental builder keeps clustering state between generations,
+    // so the controller hands it non-owning pointers instead of deep
+    // copies; only newly appended frames are snapshotted and assigned.
+    std::vector<std::pair<int, const md::Trajectory*>> trajs;
     trajs.reserve(trajectories_.size());
-    std::vector<int> trajIds;
     for (const auto& [id, traj] : trajectories_) {
         if (traj.numFrames() == 0) continue;
-        trajs.push_back(traj);
-        trajIds.push_back(id);
+        trajs.emplace_back(id, &traj);
     }
     COP_REQUIRE(!trajs.empty(), "clustering with no data");
 
-    msm::MsmPipelineParams pp = params_.pipeline;
-    pp.seed = rng_.next();
-    lastMsm_ = msm::buildMsm(trajs, pp);
+    msmBuilder_.setNumClusters(params_.pipeline.numClusters);
+    msmBuilder_.setSeed(rng_.next());
+    lastMsm_ = msmBuilder_.update(trajs, params_.analysisPool);
     const auto& msmResult = *lastMsm_;
+    COP_LOG_INFO("msm") << msmResult.stats.summary();
 
     GenerationRecord rec;
     rec.generation = generation_;
     rec.wallClockSimTime = ctx.now();
     rec.numClusters = msmResult.clustering.numClusters();
     rec.minRmsdAngstrom = minRmsdAngstrom_;
+    rec.msmStats = msmResult.stats;
 
-    // Generation-level snapshot statistics.
-    RunningStats rmsdStats;
-    std::size_t folded = 0, total = 0;
-    for (const auto& traj : trajs) {
-        for (std::size_t f = 0; f < traj.numFrames(); f += pp.snapshotStride) {
+    // Snapshot monitoring statistics, extended by the frames that arrived
+    // since the last clustering step (rmsd-to-native per frame is
+    // immutable, so accumulating is equivalent to the full rescan).
+    for (const auto& [id, traj] : trajectories_) {
+        if (traj.numFrames() == 0) continue;
+        std::size_t& from = statScanFrom_[id];
+        for (std::size_t f = from; f < traj.numFrames();
+             f += params_.pipeline.snapshotStride) {
             const double r = md::toAngstrom(
                 md::rmsd(params_.model.native, traj.frame(f).positions));
-            rmsdStats.add(r);
-            if (r < md::kFoldedRmsdAngstrom) ++folded;
-            ++total;
+            snapshotRmsdStats_.add(r);
+            if (r < md::kFoldedRmsdAngstrom) ++snapshotsFolded_;
+            ++snapshotsSeen_;
+            from = f + params_.pipeline.snapshotStride;
         }
     }
-    rec.totalSnapshots = total;
-    rec.meanRmsdAngstrom = rmsdStats.mean();
-    rec.foldedFraction = total ? double(folded) / double(total) : 0.0;
+    rec.totalSnapshots = snapshotsSeen_;
+    rec.meanRmsdAngstrom = snapshotRmsdStats_.mean();
+    rec.foldedFraction = snapshotsSeen_ ? double(snapshotsFolded_) /
+                                              double(snapshotsSeen_)
+                                        : 0.0;
     rec.predictedRmsdAngstrom = scoreBlindPrediction(msmResult);
 
     if (generation_ >= params_.maxGenerations) {

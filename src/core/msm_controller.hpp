@@ -16,6 +16,7 @@
 #include "mdlib/proteins.hpp"
 #include "msm/adaptive.hpp"
 #include "msm/pipeline.hpp"
+#include "util/statistics.hpp"
 
 namespace cop::core {
 
@@ -33,6 +34,12 @@ struct MsmControllerParams {
     int maxGenerations = 8;
     /// Clustering / MSM estimation settings.
     msm::MsmPipelineParams pipeline;
+    /// Radius-degradation threshold for the incremental MSM builder's
+    /// fall-back to a full re-cluster (<= 0 re-clusters every generation).
+    double msmRebuildRadiusFactor = 1.5;
+    /// Optional thread pool for the MSM analysis (clustering, assignment,
+    /// counting). Not owned; may be null (serial analysis).
+    ThreadPool* analysisPool = nullptr;
     /// Weighting for respawns; the first `evenGenerations` use Even
     /// regardless (paper §3.2: even early, adaptive once states settle).
     msm::WeightingScheme weighting = msm::WeightingScheme::Adaptive;
@@ -54,6 +61,9 @@ struct GenerationRecord {
     double foldedFraction = 0.0;        ///< frames within 3.5 A of native
     double predictedRmsdAngstrom = 0.0; ///< blind prediction score (§3.2)
     int seedsSpawned = 0;
+    /// Work accounting for this generation's MSM build (incremental vs
+    /// full rebuild, RMSD calls vs pruned, per-stage wall time).
+    msm::MsmStats msmStats;
 };
 
 class MsmController : public Controller {
@@ -109,6 +119,7 @@ private:
 
     MsmControllerParams params_;
     Rng rng_;
+    msm::IncrementalMsmBuilder msmBuilder_;
     int nextTrajectoryId_ = 0;
     int generation_ = 0;
     int resultsSinceClustering_ = 0;
@@ -119,7 +130,13 @@ private:
     double minRmsdAngstrom_ = 1e30;
     double firstFoldedTime_ = -1.0;
     int firstFoldedGeneration_ = -1;
-    std::size_t snapshotsAtLastClustering_ = 0;
+    // Cumulative snapshot monitoring statistics, extended per generation by
+    // scanning only frames not seen before (statScanFrom_ per trajectory)
+    // instead of re-walking every trajectory from frame 0.
+    RunningStats snapshotRmsdStats_;
+    std::size_t snapshotsFolded_ = 0;
+    std::size_t snapshotsSeen_ = 0;
+    std::map<int, std::size_t> statScanFrom_;
 };
 
 } // namespace cop::core

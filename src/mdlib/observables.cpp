@@ -126,10 +126,18 @@ double rmsd(std::span<const Vec3> a, std::span<const Vec3> b) {
         ga += norm2(ca[i]);
         gb += norm2(cb[i]);
     }
+    return rmsdCentered(ca, cb, ga, gb);
+}
+
+double rmsdCentered(std::span<const Vec3> a, std::span<const Vec3> b,
+                    double squaredNormA, double squaredNormB) {
+    COP_REQUIRE(a.size() == b.size(), "coordinate set size mismatch");
+    COP_REQUIRE(!a.empty(), "empty coordinate set");
     double lambdaMax = 0.0;
-    largestEigenvector4(hornMatrix(ca, cb), lambdaMax);
-    const double msd =
-        std::max(0.0, (ga + gb - 2.0 * lambdaMax) / double(ca.size()));
+    largestEigenvector4(hornMatrix(a, b), lambdaMax);
+    const double msd = std::max(
+        0.0,
+        (squaredNormA + squaredNormB - 2.0 * lambdaMax) / double(a.size()));
     return std::sqrt(msd);
 }
 

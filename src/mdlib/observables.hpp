@@ -22,6 +22,15 @@ Vec3 centerCoordinates(std::vector<Vec3>& xs);
 /// Does not modify its inputs.
 double rmsd(std::span<const Vec3> a, std::span<const Vec3> b);
 
+/// RMSD between coordinate sets that are *already centered* on their
+/// centroids, with precomputed squared norms (sum of |x_i|^2). Skips the
+/// copy/center/norm work of rmsd(); bit-identical to rmsd() on the
+/// uncentered originals, since rmsd() derives exactly these quantities
+/// with the same accumulation order. This is the hot call of the MSM
+/// clustering layer, where one conformation is compared against many.
+double rmsdCentered(std::span<const Vec3> a, std::span<const Vec3> b,
+                    double squaredNormA, double squaredNormB);
+
 /// Optimal rotation matrix that superimposes centered `b` onto centered
 /// `a` (i.e. minimizes |a - R b|). Inputs must already be centered.
 Mat3 optimalRotation(std::span<const Vec3> a, std::span<const Vec3> b);

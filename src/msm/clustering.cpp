@@ -9,21 +9,46 @@
 
 namespace cop::msm {
 
+namespace {
+
+/// Centers a probe conformation and accumulates its squared norm with the
+/// same loop order md::rmsd uses, so cached-path results stay bit-identical.
+std::vector<Vec3> centerProbe(const std::vector<Vec3>& x, double& squaredNorm) {
+    std::vector<Vec3> cx(x);
+    md::centerCoordinates(cx);
+    squaredNorm = 0.0;
+    for (const auto& v : cx) squaredNorm += norm2(v);
+    return cx;
+}
+
+} // namespace
+
 void ConformationSet::add(std::vector<Vec3> conformation) {
     COP_REQUIRE(!conformation.empty(), "empty conformation");
     if (!conformations_.empty())
         COP_REQUIRE(conformation.size() == conformations_.front().size(),
                     "conformation size mismatch");
+    double g = 0.0;
+    centered_.push_back(centerProbe(conformation, g));
+    norm2_.push_back(g);
     conformations_.push_back(std::move(conformation));
 }
 
 double ConformationSet::distance(std::size_t i, std::size_t j) const {
-    return md::rmsd(conformations_[i], conformations_[j]);
+    return md::rmsdCentered(centered_[i], centered_[j], norm2_[i], norm2_[j]);
 }
 
 double ConformationSet::distanceTo(std::size_t i,
                                    const std::vector<Vec3>& x) const {
-    return md::rmsd(conformations_[i], x);
+    double g = 0.0;
+    const auto cx = centerProbe(x, g);
+    return distanceToCentered(i, cx, g);
+}
+
+double ConformationSet::distanceToCentered(std::size_t i,
+                                           std::span<const Vec3> x,
+                                           double squaredNormX) const {
+    return md::rmsdCentered(centered_[i], x, norm2_[i], squaredNormX);
 }
 
 std::vector<std::size_t> ClusteringResult::clusterSizes() const {
@@ -43,52 +68,87 @@ ClusteringResult kCenters(const ConformationSet& data,
     result.assignments.assign(n, 0);
     result.distances.assign(n, std::numeric_limits<double>::max());
 
-    // Relaxes [lo, hi) against the new center c and returns the local
-    // farthest point. Writes to distances/assignments are disjoint per i,
-    // so chunks can run concurrently.
+    // Lower-triangular center-center distances: ccRows[c][b] is the RMSD
+    // between centers c and b (b < c), filled as center c is promoted. The
+    // relax pass for center c skips point i when
+    //   ccRows[c][assignment(i)] >= 2 * distance(i),
+    // since then d(i, c) >= cc - d(i, b) >= d(i, b): the new center cannot
+    // strictly beat the incumbent, and the strict < below means skipping
+    // leaves the result bit-identical.
+    std::vector<std::vector<double>> ccRows(k);
+
     struct Farthest {
         double dist = -1.0;
         std::size_t idx = 0;
     };
+    struct ChunkOut {
+        Farthest far;
+        RmsdCounters rmsd;
+    };
+    // Relaxes [lo, hi) against the new center c and returns the local
+    // farthest point. Writes to distances/assignments are disjoint per i,
+    // so chunks can run concurrently; the counters are per-i decisions and
+    // do not depend on the chunking.
     auto relaxRange = [&](std::size_t lo, std::size_t hi,
                           std::size_t center, int c) {
-        Farthest far;
+        ChunkOut out;
+        const bool prune = params.prune && c > 0;
+        const std::vector<double>& ccRow = ccRows[std::size_t(c)];
         for (std::size_t i = lo; i < hi; ++i) {
-            const double d = data.distance(i, center);
-            if (d < result.distances[i]) {
-                result.distances[i] = d;
-                result.assignments[i] = c;
+            if (prune &&
+                ccRow[std::size_t(result.assignments[i])] >=
+                    2.0 * result.distances[i]) {
+                ++out.rmsd.pruned;
+            } else {
+                ++out.rmsd.calls;
+                const double d = data.distance(i, center);
+                if (d < result.distances[i]) {
+                    result.distances[i] = d;
+                    result.assignments[i] = c;
+                }
             }
-            if (result.distances[i] > far.dist) {
-                far.dist = result.distances[i];
-                far.idx = i;
+            if (result.distances[i] > out.far.dist) {
+                out.far.dist = result.distances[i];
+                out.far.idx = i;
             }
         }
-        return far;
+        return out;
     };
 
     Rng rng(params.seed);
     std::size_t nextCenter = rng.uniformInt(n);
     for (std::size_t c = 0; c < k; ++c) {
         result.centers.push_back(nextCenter);
+        if (params.prune && c > 0) {
+            auto& row = ccRows[c];
+            row.reserve(c);
+            for (std::size_t b = 0; b < c; ++b) {
+                row.push_back(data.distance(nextCenter, result.centers[b]));
+                ++result.rmsd.calls;
+            }
+        }
         // Relax assignments against the new center and find the farthest
         // point, which becomes the next center. Chunks combine in order
         // with a strict >, reproducing the serial smallest-index argmax.
-        Farthest far;
+        ChunkOut out;
         if (pool != nullptr && pool->size() > 1 && n >= 64) {
-            far = pool->parallelReduceChunked(
-                std::size_t{0}, n, Farthest{},
+            out = pool->parallelReduceChunked(
+                std::size_t{0}, n, ChunkOut{},
                 [&](std::size_t lo, std::size_t hi) {
                     return relaxRange(lo, hi, nextCenter, int(c));
                 },
-                [](Farthest a, const Farthest& b) {
-                    return b.dist > a.dist ? b : a;
+                [](ChunkOut a, const ChunkOut& b) {
+                    if (b.far.dist > a.far.dist) a.far = b.far;
+                    a.rmsd += b.rmsd;
+                    return a;
                 });
         } else {
-            far = relaxRange(0, n, nextCenter, int(c));
+            out = relaxRange(0, n, nextCenter, int(c));
         }
-        if (params.stopRadius > 0.0 && far.dist < params.stopRadius) break;
-        nextCenter = far.idx;
+        result.rmsd += out.rmsd;
+        if (params.stopRadius > 0.0 && out.far.dist < params.stopRadius)
+            break;
+        nextCenter = out.far.idx;
     }
     return result;
 }
@@ -117,6 +177,7 @@ ClusteringResult kMedoidsRefine(const ConformationSet& data,
             for (std::size_t m : members[c]) {
                 curCost += data.distance(m, cur);
                 candCost += data.distance(m, cand);
+                initial.rmsd.calls += 2;
             }
             if (candCost < curCost) initial.centers[c] = cand;
         }
@@ -126,6 +187,7 @@ ClusteringResult kMedoidsRefine(const ConformationSet& data,
             int bestC = initial.assignments[i];
             for (std::size_t c = 0; c < k; ++c) {
                 const double d = data.distance(i, initial.centers[c]);
+                ++initial.rmsd.calls;
                 if (d < best) {
                     best = d;
                     bestC = int(c);
@@ -138,6 +200,99 @@ ClusteringResult kMedoidsRefine(const ConformationSet& data,
     return initial;
 }
 
+std::vector<double> centerDistanceMatrix(
+    const ConformationSet& data, const std::vector<std::size_t>& centers,
+    ThreadPool* pool, RmsdCounters* counters) {
+    const std::size_t k = centers.size();
+    std::vector<double> m(k * k, 0.0);
+    // Each chunk owns rows [lo, hi) and writes the (c, j > c) pairs plus
+    // their mirrors; every cell is written by exactly one chunk.
+    auto rows = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c)
+            for (std::size_t j = c + 1; j < k; ++j) {
+                const double d = data.distance(centers[c], centers[j]);
+                m[c * k + j] = d;
+                m[j * k + c] = d;
+            }
+    };
+    if (pool != nullptr && pool->size() > 1 && k >= 16) {
+        pool->forChunksGrained(
+            0, k, 4,
+            [&](std::size_t, std::size_t lo, std::size_t hi) {
+                rows(lo, hi);
+            });
+    } else {
+        rows(0, k);
+    }
+    if (counters != nullptr) counters->calls += k * (k - 1) / 2;
+    return m;
+}
+
+AssignResult assignRangeToCenters(const ConformationSet& data,
+                                  std::size_t first, std::size_t last,
+                                  const std::vector<std::size_t>& centers,
+                                  const std::vector<double>& centerDist,
+                                  ThreadPool* pool) {
+    COP_REQUIRE(!centers.empty(), "no centers");
+    COP_REQUIRE(first <= last && last <= data.size(),
+                "assignment range out of bounds");
+    COP_REQUIRE(centerDist.empty() ||
+                    centerDist.size() == centers.size() * centers.size(),
+                "center distance matrix size mismatch");
+    const std::size_t k = centers.size();
+    const std::size_t n = last - first;
+
+    AssignResult out;
+    out.assignments.assign(n, 0);
+    out.distances.assign(n, 0.0);
+
+    // Per-probe scan: evaluate center 0, then visit centers in index order,
+    // skipping any candidate whose distance to the incumbent proves it
+    // cannot strictly win: d(x, c) >= cc(best, c) - d(x, best) >= d(x, best)
+    // whenever cc(best, c) >= 2 d(x, best). Ties keep the smaller index,
+    // exactly like the unpruned scan's strict <.
+    auto assignChunk = [&](std::size_t lo, std::size_t hi) {
+        RmsdCounters counters;
+        for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t member = first + i;
+            double best = data.distance(member, centers[0]);
+            ++counters.calls;
+            std::size_t bestC = 0;
+            for (std::size_t c = 1; c < k; ++c) {
+                if (!centerDist.empty() &&
+                    centerDist[bestC * k + c] >= 2.0 * best) {
+                    ++counters.pruned;
+                    continue;
+                }
+                ++counters.calls;
+                const double d = data.distance(member, centers[c]);
+                if (d < best) {
+                    best = d;
+                    bestC = c;
+                }
+            }
+            out.assignments[i] = int(bestC);
+            out.distances[i] = best;
+        }
+        return counters;
+    };
+
+    if (pool != nullptr && pool->size() > 1 && n >= 2) {
+        // Writes are disjoint per probe; counters are per-probe decisions,
+        // so the totals do not depend on the chunking.
+        const std::size_t nChunks = pool->chunkCountForGrained(n, 16);
+        std::vector<RmsdCounters> partial(nChunks);
+        pool->forChunksGrained(
+            0, n, 16, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                partial[c] = assignChunk(lo, hi);
+            });
+        for (const auto& p : partial) out.rmsd += p;
+    } else {
+        out.rmsd = assignChunk(0, n);
+    }
+    return out;
+}
+
 std::vector<int> assignToCenters(const ConformationSet& data,
                                  const std::vector<std::size_t>& centers,
                                  const std::vector<std::vector<Vec3>>& xs) {
@@ -145,10 +300,12 @@ std::vector<int> assignToCenters(const ConformationSet& data,
     std::vector<int> out;
     out.reserve(xs.size());
     for (const auto& x : xs) {
+        double g = 0.0;
+        const auto cx = centerProbe(x, g);
         double best = std::numeric_limits<double>::max();
         int bestC = 0;
         for (std::size_t c = 0; c < centers.size(); ++c) {
-            const double d = data.distanceTo(centers[c], x);
+            const double d = data.distanceToCentered(centers[c], cx, g);
             if (d < best) {
                 best = d;
                 bestC = int(c);

@@ -6,9 +6,17 @@
 /// similarity; the standard algorithm (used by MSMBuilder, which grew out
 /// of the same group) is k-centers on the pairwise RMSD metric, optionally
 /// refined by a few k-medoids sweeps. Both are implemented here.
+///
+/// Two optimisations keep the metric evaluations cheap and countable:
+///  - every conformation added to a ConformationSet is cached centered with
+///    its squared norm, so member-to-member RMSD skips the copy / center /
+///    norm passes of md::rmsd (bit-identical result);
+///  - k-centers and assignment prune provably-futile RMSD evaluations with
+///    the triangle inequality against a center-center distance matrix, and
+///    report calls-vs-pruned counters so the skip rate is observable.
 
 #include <cstdint>
-#include <functional>
+#include <span>
 #include <vector>
 
 #include "util/random.hpp"
@@ -21,7 +29,10 @@ class ThreadPool;
 namespace cop::msm {
 
 /// A set of conformations (each a Calpha coordinate vector) with the
-/// optimal-superposition RMSD metric.
+/// optimal-superposition RMSD metric. Each member is stored twice: the
+/// original coordinates (returned by operator[]; representatives seed new
+/// simulations, so they must stay untranslated) and a centered copy with
+/// its squared norm, which every distance call uses.
 class ConformationSet {
 public:
     void add(std::vector<Vec3> conformation);
@@ -31,14 +42,47 @@ public:
         return conformations_[i];
     }
 
+    /// Centered copy of member i / its squared norm (the RMSD cache).
+    const std::vector<Vec3>& centered(std::size_t i) const {
+        return centered_[i];
+    }
+    double squaredNorm(std::size_t i) const { return norm2_[i]; }
+
     /// RMSD between members i and j.
     double distance(std::size_t i, std::size_t j) const;
 
     /// RMSD between member i and an external conformation.
     double distanceTo(std::size_t i, const std::vector<Vec3>& x) const;
 
+    /// RMSD between member i and an external conformation that the caller
+    /// has already centered (with its squared norm); lets assignment center
+    /// each probe once instead of once per center.
+    double distanceToCentered(std::size_t i, std::span<const Vec3> x,
+                              double squaredNormX) const;
+
 private:
     std::vector<std::vector<Vec3>> conformations_;
+    std::vector<std::vector<Vec3>> centered_;
+    std::vector<double> norm2_;
+};
+
+/// RMSD evaluations performed vs skipped by the triangle-inequality bound.
+/// Pruning never changes a result: an evaluation is skipped only when the
+/// bound proves it could not strictly beat the current best distance.
+struct RmsdCounters {
+    std::uint64_t calls = 0;  ///< RMSD evaluations actually performed
+    std::uint64_t pruned = 0; ///< evaluations skipped by the bound
+
+    RmsdCounters& operator+=(const RmsdCounters& o) {
+        calls += o.calls;
+        pruned += o.pruned;
+        return *this;
+    }
+    /// Fraction of candidate evaluations skipped (0 when nothing ran).
+    double pruneFraction() const {
+        const std::uint64_t total = calls + pruned;
+        return total == 0 ? 0.0 : double(pruned) / double(total);
+    }
 };
 
 struct ClusteringResult {
@@ -48,6 +92,8 @@ struct ClusteringResult {
     std::vector<std::size_t> centers;
     /// Distance from each conformation to its assigned center.
     std::vector<double> distances;
+    /// Metric-evaluation accounting for the run that produced this result.
+    RmsdCounters rmsd;
 
     std::size_t numClusters() const { return centers.size(); }
 
@@ -61,6 +107,9 @@ struct KCentersParams {
     /// this radius (0 disables the radius criterion).
     double stopRadius = 0.0;
     std::uint64_t seed = 0; ///< selects the first center
+    /// Skip RMSD evaluations the triangle inequality proves futile. The
+    /// result is identical either way; off exists for tests/benchmarks.
+    bool prune = true;
 };
 
 /// Gonzalez k-centers: repeatedly promote the point farthest from all
@@ -79,6 +128,35 @@ ClusteringResult kCenters(const ConformationSet& data,
 ClusteringResult kMedoidsRefine(const ConformationSet& data,
                                 ClusteringResult initial, int sweeps = 2,
                                 std::uint64_t seed = 0);
+
+/// Pairwise center-center RMSD matrix (row-major k*k), the lookup table the
+/// triangle-inequality bound prunes against. O(k^2 / 2) RMSD evaluations,
+/// chunked across the pool when given; adds the work to `counters` if
+/// non-null.
+std::vector<double> centerDistanceMatrix(const ConformationSet& data,
+                                         const std::vector<std::size_t>& centers,
+                                         ThreadPool* pool = nullptr,
+                                         RmsdCounters* counters = nullptr);
+
+/// Nearest-center assignment of a contiguous member range with distances
+/// and counters — the incremental-build hot path.
+struct AssignResult {
+    std::vector<int> assignments; ///< one per assigned conformation
+    std::vector<double> distances;
+    RmsdCounters rmsd;
+};
+
+/// Assigns members [first, last) of `data` to the nearest of `centers`
+/// (smallest center index wins ties, matching the serial scan). When
+/// `centerDist` (from centerDistanceMatrix) is non-empty, candidate centers
+/// the triangle inequality rules out are skipped without evaluating RMSD.
+/// Chunked across the pool when given; bit-identical to the serial,
+/// unpruned scan in all configurations.
+AssignResult assignRangeToCenters(const ConformationSet& data,
+                                  std::size_t first, std::size_t last,
+                                  const std::vector<std::size_t>& centers,
+                                  const std::vector<double>& centerDist = {},
+                                  ThreadPool* pool = nullptr);
 
 /// Assigns external conformations to the nearest existing center.
 std::vector<int> assignToCenters(const ConformationSet& data,

@@ -10,15 +10,33 @@ namespace cop::msm {
 MarkovStateModel MarkovStateModel::fromCounts(const DenseMatrix& counts,
                                               const MarkovModelParams& params) {
     COP_REQUIRE(counts.rows() == counts.cols(), "counts must be square");
+    auto active = largestConnectedSet(counts);
+    COP_REQUIRE(!active.empty(), "no connected states");
+    auto restricted = restrictToStates(counts, active);
+    return fromActiveCounts(std::move(active), std::move(restricted),
+                            counts.rows(), params);
+}
+
+MarkovStateModel MarkovStateModel::fromCounts(const SparseCounts& counts,
+                                              const MarkovModelParams& params) {
+    auto active = largestConnectedSet(counts);
+    COP_REQUIRE(!active.empty(), "no connected states");
+    auto restricted = restrictToStates(counts, active);
+    return fromActiveCounts(std::move(active), std::move(restricted),
+                            counts.numStates(), params);
+}
+
+MarkovStateModel MarkovStateModel::fromActiveCounts(
+    std::vector<int> activeStates, DenseMatrix activeCounts,
+    std::size_t numMicrostates, const MarkovModelParams& params) {
     COP_REQUIRE(params.lag >= 1, "lag must be >= 1");
 
     MarkovStateModel model;
     model.params_ = params;
-    model.activeStates_ = largestConnectedSet(counts);
-    COP_REQUIRE(!model.activeStates_.empty(), "no connected states");
-    model.activeCounts_ = restrictToStates(counts, model.activeStates_);
+    model.activeStates_ = std::move(activeStates);
+    model.activeCounts_ = std::move(activeCounts);
 
-    model.toActive_.assign(counts.rows(), -1);
+    model.toActive_.assign(numMicrostates, -1);
     for (std::size_t a = 0; a < model.activeStates_.size(); ++a)
         model.toActive_[std::size_t(model.activeStates_[a])] = int(a);
 

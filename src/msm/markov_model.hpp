@@ -48,6 +48,13 @@ public:
     static MarkovStateModel fromCounts(const DenseMatrix& counts,
                                        const MarkovModelParams& params);
 
+    /// Sparse overload: restriction runs on the sparse counts (touching
+    /// only nonzeros); estimation then proceeds on the dense restricted
+    /// matrix exactly as the dense overload does, so the two produce
+    /// identical models for equal counts.
+    static MarkovStateModel fromCounts(const SparseCounts& counts,
+                                       const MarkovModelParams& params);
+
     /// Convenience: count + estimate in one step.
     static MarkovStateModel fromTrajectories(
         const std::vector<DiscreteTrajectory>& trajs, std::size_t numStates,
@@ -94,6 +101,13 @@ public:
                                   const std::vector<int>& sinkB) const;
 
 private:
+    /// Shared estimation tail of both fromCounts overloads: takes the
+    /// already-restricted active-set counts and runs the estimator.
+    static MarkovStateModel fromActiveCounts(std::vector<int> activeStates,
+                                             DenseMatrix activeCounts,
+                                             std::size_t numMicrostates,
+                                             const MarkovModelParams& params);
+
     DenseMatrix transition_;
     DenseMatrix activeCounts_;
     std::vector<int> activeStates_;

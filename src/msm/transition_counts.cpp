@@ -3,8 +3,74 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cop::msm {
+
+void SparseCounts::resize(std::size_t numStates) {
+    COP_REQUIRE(numStates >= rows_.size(), "SparseCounts cannot shrink");
+    rows_.resize(numStates);
+}
+
+void SparseCounts::add(int i, int j, double w) {
+    COP_REQUIRE(i >= 0 && std::size_t(i) < rows_.size() && j >= 0 &&
+                    std::size_t(j) < rows_.size(),
+                "state index out of range");
+    Row& row = rows_[std::size_t(i)];
+    auto it = std::lower_bound(
+        row.begin(), row.end(), j,
+        [](const Entry& e, int col) { return e.first < col; });
+    if (it != row.end() && it->first == j)
+        it->second += w;
+    else
+        row.insert(it, {j, w});
+}
+
+double SparseCounts::at(int i, int j) const {
+    COP_REQUIRE(i >= 0 && std::size_t(i) < rows_.size() && j >= 0 &&
+                    std::size_t(j) < rows_.size(),
+                "state index out of range");
+    const Row& row = rows_[std::size_t(i)];
+    auto it = std::lower_bound(
+        row.begin(), row.end(), j,
+        [](const Entry& e, int col) { return e.first < col; });
+    return (it != row.end() && it->first == j) ? it->second : 0.0;
+}
+
+double SparseCounts::rowSum(std::size_t i) const {
+    double s = 0.0;
+    for (const auto& [j, w] : rows_[i]) s += w;
+    return s;
+}
+
+std::size_t SparseCounts::nonZeros() const {
+    std::size_t n = 0;
+    for (const auto& row : rows_) n += row.size();
+    return n;
+}
+
+void SparseCounts::addAll(const SparseCounts& other) {
+    COP_REQUIRE(other.numStates() == numStates(),
+                "SparseCounts state-space mismatch");
+    for (std::size_t i = 0; i < other.rows_.size(); ++i)
+        for (const auto& [j, w] : other.rows_[i]) add(int(i), j, w);
+}
+
+DenseMatrix SparseCounts::toDense() const {
+    DenseMatrix m(rows_.size(), rows_.size());
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+        for (const auto& [j, w] : rows_[i]) m(i, std::size_t(j)) = w;
+    return m;
+}
+
+SparseCounts SparseCounts::fromDense(const DenseMatrix& m) {
+    COP_REQUIRE(m.rows() == m.cols(), "counts must be square");
+    SparseCounts out(m.rows());
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            if (m(i, j) != 0.0) out.rows_[i].push_back({int(j), m(i, j)});
+    return out;
+}
 
 DenseMatrix countTransitions(const std::vector<DiscreteTrajectory>& trajs,
                              std::size_t numStates, std::size_t lag) {
@@ -23,13 +89,66 @@ DenseMatrix countTransitions(const std::vector<DiscreteTrajectory>& trajs,
     return counts;
 }
 
+SparseCounts countTransitionsSparse(
+    const std::vector<DiscreteTrajectory>& trajs, std::size_t numStates,
+    std::size_t lag, ThreadPool* pool) {
+    COP_REQUIRE(lag >= 1, "lag must be >= 1");
+    auto countRange = [&](std::size_t lo, std::size_t hi) {
+        SparseCounts partial(numStates);
+        for (std::size_t t = lo; t < hi; ++t)
+            addSuffixTransitions(partial, trajs[t], lag, 0);
+        return partial;
+    };
+    if (pool != nullptr && pool->size() > 1 && trajs.size() >= 4) {
+        // Partial matrices merge in chunk order; every cell is an integer
+        // sum, so the merged result equals the serial count exactly.
+        return pool->parallelReduceChunked(
+            std::size_t{0}, trajs.size(), SparseCounts(numStates),
+            countRange, [](SparseCounts acc, const SparseCounts& p) {
+                acc.addAll(p);
+                return acc;
+            });
+    }
+    return countRange(0, trajs.size());
+}
+
+void addSuffixTransitions(SparseCounts& counts,
+                          const DiscreteTrajectory& traj, std::size_t lag,
+                          std::size_t oldLength) {
+    COP_REQUIRE(lag >= 1, "lag must be >= 1");
+    COP_REQUIRE(oldLength <= traj.size(), "suffix start past end");
+    // Windows already counted end before oldLength; new ones end at
+    // [oldLength, size), i.e. start at [oldLength - lag, size - lag).
+    const std::size_t start = oldLength > lag ? oldLength - lag : 0;
+    for (std::size_t t = start; t + lag < traj.size(); ++t)
+        counts.add(traj[t], traj[t + lag]);
+}
+
+std::vector<SparseCounts> countTransitionsMultiLag(
+    const std::vector<DiscreteTrajectory>& trajs, std::size_t numStates,
+    const std::vector<std::size_t>& lags) {
+    std::vector<SparseCounts> out(lags.size(), SparseCounts(numStates));
+    for (const auto& traj : trajs) {
+        for (std::size_t t = 0; t < traj.size(); ++t) {
+            for (std::size_t l = 0; l < lags.size(); ++l) {
+                COP_REQUIRE(lags[l] >= 1, "lag must be >= 1");
+                if (t + lags[l] < traj.size())
+                    out[l].add(traj[t], traj[t + lags[l]]);
+            }
+        }
+    }
+    return out;
+}
+
 namespace {
 
-/// Iterative Tarjan SCC (explicit stack to avoid recursion-depth limits).
+/// Iterative Tarjan SCC over ascending adjacency lists (explicit stack to
+/// avoid recursion-depth limits). Both matrix forms lower to the same
+/// adjacency representation, so component ids agree between them.
 class TarjanScc {
 public:
-    explicit TarjanScc(const DenseMatrix& counts)
-        : n_(counts.rows()), counts_(counts) {
+    explicit TarjanScc(std::vector<std::vector<int>> adjacency)
+        : n_(adjacency.size()), adj_(std::move(adjacency)) {
         index_.assign(n_, -1);
         lowlink_.assign(n_, 0);
         onStack_.assign(n_, false);
@@ -41,8 +160,6 @@ public:
             if (index_[v] < 0) strongConnect(v);
         return component_;
     }
-
-    int numComponents() const { return nextComponent_; }
 
 private:
     struct Frame {
@@ -61,9 +178,8 @@ private:
                 onStack_[v] = true;
             }
             bool descended = false;
-            while (f.nextChild < n_) {
-                const std::size_t w = f.nextChild++;
-                if (counts_(v, w) <= 0.0 || v == w) continue;
+            while (f.nextChild < adj_[v].size()) {
+                const std::size_t w = std::size_t(adj_[v][f.nextChild++]);
                 if (index_[w] < 0) {
                     callStack.push_back({w, 0});
                     descended = true;
@@ -92,7 +208,7 @@ private:
     }
 
     std::size_t n_;
-    const DenseMatrix& counts_;
+    std::vector<std::vector<int>> adj_;
     std::vector<int> index_;
     std::vector<int> lowlink_;
     std::vector<bool> onStack_;
@@ -102,27 +218,35 @@ private:
     int nextComponent_ = 0;
 };
 
-} // namespace
-
-std::vector<int> stronglyConnectedComponents(const DenseMatrix& counts) {
-    COP_REQUIRE(counts.rows() == counts.cols(), "counts must be square");
-    TarjanScc scc(counts);
-    return scc.run();
+std::vector<std::vector<int>> adjacencyOf(const DenseMatrix& counts) {
+    std::vector<std::vector<int>> adj(counts.rows());
+    for (std::size_t v = 0; v < counts.rows(); ++v)
+        for (std::size_t w = 0; w < counts.cols(); ++w)
+            if (counts(v, w) > 0.0 && v != w) adj[v].push_back(int(w));
+    return adj;
 }
 
-std::vector<int> largestConnectedSet(const DenseMatrix& counts) {
-    const auto comp = stronglyConnectedComponents(counts);
-    const std::size_t n = counts.rows();
+std::vector<std::vector<int>> adjacencyOf(const SparseCounts& counts) {
+    std::vector<std::vector<int>> adj(counts.numStates());
+    for (std::size_t v = 0; v < counts.numStates(); ++v)
+        for (const auto& [w, c] : counts.row(v))
+            if (c > 0.0 && std::size_t(w) != v) adj[v].push_back(w);
+    return adj;
+}
+
+/// Shared tail of largestConnectedSet: pick the component with the most
+/// members (ties by total outgoing counts) and list its states ascending.
+template <typename RowWeight>
+std::vector<int> largestComponent(const std::vector<int>& comp,
+                                  std::size_t n, RowWeight&& rowWeight) {
     int nComp = 0;
     for (int c : comp) nComp = std::max(nComp, c + 1);
 
-    // Score components by (member count, total transition counts).
     std::vector<std::size_t> sizes(std::size_t(nComp), 0);
     std::vector<double> weight(std::size_t(nComp), 0.0);
     for (std::size_t i = 0; i < n; ++i) {
         ++sizes[std::size_t(comp[i])];
-        for (std::size_t j = 0; j < n; ++j)
-            weight[std::size_t(comp[i])] += counts(i, j);
+        weight[std::size_t(comp[i])] += rowWeight(i);
     }
     int best = 0;
     for (int c = 1; c < nComp; ++c) {
@@ -137,12 +261,55 @@ std::vector<int> largestConnectedSet(const DenseMatrix& counts) {
     return states;
 }
 
+} // namespace
+
+std::vector<int> stronglyConnectedComponents(const DenseMatrix& counts) {
+    COP_REQUIRE(counts.rows() == counts.cols(), "counts must be square");
+    return TarjanScc(adjacencyOf(counts)).run();
+}
+
+std::vector<int> stronglyConnectedComponents(const SparseCounts& counts) {
+    return TarjanScc(adjacencyOf(counts)).run();
+}
+
+std::vector<int> largestConnectedSet(const DenseMatrix& counts) {
+    const auto comp = stronglyConnectedComponents(counts);
+    const std::size_t n = counts.rows();
+    return largestComponent(comp, n, [&](std::size_t i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < n; ++j) s += counts(i, j);
+        return s;
+    });
+}
+
+std::vector<int> largestConnectedSet(const SparseCounts& counts) {
+    const auto comp = stronglyConnectedComponents(counts);
+    return largestComponent(comp, counts.numStates(),
+                            [&](std::size_t i) { return counts.rowSum(i); });
+}
+
 DenseMatrix restrictToStates(const DenseMatrix& counts,
                              const std::vector<int>& states) {
     DenseMatrix out(states.size(), states.size());
     for (std::size_t a = 0; a < states.size(); ++a)
         for (std::size_t b = 0; b < states.size(); ++b)
             out(a, b) = counts(std::size_t(states[a]), std::size_t(states[b]));
+    return out;
+}
+
+DenseMatrix restrictToStates(const SparseCounts& counts,
+                             const std::vector<int>& states) {
+    // Scatter the kept rows through an old-state -> new-index map; touches
+    // only the nonzeros instead of the |states|^2 dense probe.
+    std::vector<int> toNew(counts.numStates(), -1);
+    for (std::size_t a = 0; a < states.size(); ++a)
+        toNew[std::size_t(states[a])] = int(a);
+    DenseMatrix out(states.size(), states.size());
+    for (std::size_t a = 0; a < states.size(); ++a)
+        for (const auto& [j, w] : counts.row(std::size_t(states[a]))) {
+            const int b = toNew[std::size_t(j)];
+            if (b >= 0) out(a, std::size_t(b)) = w;
+        }
     return out;
 }
 

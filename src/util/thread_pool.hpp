@@ -67,6 +67,17 @@ public:
         return std::min(n, workers_.size() + 1);
     }
 
+    /// Like chunkCountFor, but never splits below `minGrain` elements per
+    /// chunk, so tiny ranges stay on the calling thread instead of paying
+    /// submit/future overhead. Used by the incremental MSM layer, whose
+    /// per-generation ranges shrink to "new snapshots only".
+    std::size_t chunkCountForGrained(std::size_t n,
+                                     std::size_t minGrain) const {
+        const std::size_t byGrain =
+            minGrain > 1 ? std::max<std::size_t>(1, n / minGrain) : n;
+        return std::min(chunkCountFor(n), byGrain);
+    }
+
     /// Runs f(chunkIndex, lo, hi) for chunkCountFor(end - begin) contiguous
     /// chunks covering [begin, end). Fully templated — the callable is
     /// invoked once per chunk with no per-index std::function dispatch, so
@@ -77,19 +88,21 @@ public:
     template <typename F>
     void forChunks(std::size_t begin, std::size_t end, F&& f) {
         if (begin >= end) return;
-        const std::size_t n = end - begin;
-        const std::size_t nChunks = chunkCountFor(n);
-        const std::size_t chunk = (n + nChunks - 1) / nChunks;
-        std::vector<std::future<void>> futures;
-        futures.reserve(nChunks - 1);
-        std::size_t lo = begin;
-        for (std::size_t c = 0; c + 1 < nChunks; ++c) {
-            const std::size_t hi = std::min(lo + chunk, end);
-            futures.push_back(submit([&f, c, lo, hi] { f(c, lo, hi); }));
-            lo = hi;
-        }
-        if (lo < end) f(nChunks - 1, lo, end);
-        for (auto& fut : futures) fut.get();
+        forChunksN(begin, end, chunkCountFor(end - begin),
+                   std::forward<F>(f));
+    }
+
+    /// forChunks with a minimum per-chunk grain: a range smaller than
+    /// 2*minGrain runs entirely on the calling thread. Chunk boundaries must
+    /// not affect the caller's result (per-index disjoint writes, or partial
+    /// results merged value-exactly), which holds for every use in this
+    /// repo — see the deterministic-reduction notes on parallelReduceChunked.
+    template <typename F>
+    void forChunksGrained(std::size_t begin, std::size_t end,
+                          std::size_t minGrain, F&& f) {
+        if (begin >= end) return;
+        forChunksN(begin, end, chunkCountForGrained(end - begin, minGrain),
+                   std::forward<F>(f));
     }
 
     /// Striped parallel reduction: evaluates chunkFn(lo, hi) -> T on each
@@ -137,6 +150,25 @@ public:
     }
 
 private:
+    /// Shared body of forChunks/forChunksGrained: f(chunkIndex, lo, hi) over
+    /// exactly nChunks contiguous chunks, the last on the calling thread.
+    template <typename F>
+    void forChunksN(std::size_t begin, std::size_t end, std::size_t nChunks,
+                    F&& f) {
+        const std::size_t n = end - begin;
+        const std::size_t chunk = (n + nChunks - 1) / nChunks;
+        std::vector<std::future<void>> futures;
+        futures.reserve(nChunks - 1);
+        std::size_t lo = begin;
+        for (std::size_t c = 0; c + 1 < nChunks; ++c) {
+            const std::size_t hi = std::min(lo + chunk, end);
+            futures.push_back(submit([&f, c, lo, hi] { f(c, lo, hi); }));
+            lo = hi;
+        }
+        if (lo < end) f(nChunks - 1, lo, end);
+        for (auto& fut : futures) fut.get();
+    }
+
     void workerLoop();
 
     std::vector<std::thread> workers_;

@@ -60,6 +60,19 @@ TEST(MsmControllerTest, RunsGenerationsAndBuildsModel) {
     // The hairpin folds easily: minimum RMSD should reach the folded zone.
     EXPECT_LT(c->minRmsdAngstrom(), md::kFoldedRmsdAngstrom);
     EXPECT_GE(c->firstFoldedGeneration(), 0);
+    // MSM build accounting: generation 1 is always a full (first) build
+    // and sees every snapshot as new; later generations only pay for the
+    // data that arrived since.
+    const auto& s1 = c->history()[0].msmStats;
+    const auto& s2 = c->history()[1].msmStats;
+    EXPECT_TRUE(s1.fullRebuild);
+    EXPECT_EQ(s1.snapshotsNew, s1.snapshotsTotal);
+    EXPECT_GT(s1.rmsd.calls, 0u);
+    EXPECT_EQ(s2.generation, 2u);
+    EXPECT_EQ(s2.snapshotsTotal, c->history()[1].totalSnapshots);
+    if (!s2.fullRebuild)
+        EXPECT_LT(s2.snapshotsNew, s2.snapshotsTotal);
+    EXPECT_FALSE(s2.summary().empty());
 }
 
 TEST(MsmControllerTest, StatusReportMentionsGeneration) {

@@ -97,7 +97,8 @@ TEST(Pipeline, ImpliedTimescaleSweepShapes) {
 
 TEST(Pipeline, RejectsEmptyInput) {
     MsmPipelineParams p;
-    EXPECT_THROW(buildMsm({}, p), cop::InvalidArgument);
+    EXPECT_THROW(buildMsm(std::vector<md::Trajectory>{}, p),
+                 cop::InvalidArgument);
     std::vector<md::Trajectory> empties(2);
     EXPECT_THROW(buildMsm(empties, p), cop::InvalidArgument);
 }

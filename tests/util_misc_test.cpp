@@ -98,6 +98,31 @@ TEST(ThreadPool, ForChunksPartitionsRangeWithDenseChunkIds) {
     for (const auto& c : chunkSeen) EXPECT_EQ(c.load(), 1);
 }
 
+TEST(ThreadPool, ForChunksGrainedCoversRangeAndRespectsGrain) {
+    ThreadPool pool(3);
+    // A range below 2 * minGrain must run as a single chunk (the calling
+    // thread), larger ranges split but never below the grain.
+    for (const std::size_t n : {std::size_t(7), std::size_t(31),
+                                std::size_t(64), std::size_t(997)}) {
+        const std::size_t minGrain = 16;
+        const std::size_t nChunks = pool.chunkCountForGrained(n, minGrain);
+        EXPECT_GE(nChunks, 1u);
+        EXPECT_LE(nChunks, pool.chunkCountFor(n));
+        if (n < 2 * minGrain) EXPECT_EQ(nChunks, 1u);
+
+        std::vector<std::atomic<int>> hits(n);
+        std::vector<std::atomic<int>> chunkSeen(nChunks);
+        pool.forChunksGrained(
+            0, n, minGrain, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+                ASSERT_LT(c, chunkSeen.size());
+                chunkSeen[c].fetch_add(1);
+                for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+            });
+        for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+        for (const auto& c : chunkSeen) EXPECT_EQ(c.load(), 1);
+    }
+}
+
 TEST(ThreadPool, ParallelReduceChunkedSumsDeterministically) {
     ThreadPool pool(4);
     auto sum = [&] {

@@ -35,3 +35,25 @@ done
   "${extra[@]+"${extra[@]}"}"
 
 echo "Wrote BENCH_micro_md.json and BENCH_micro_msm.json"
+
+# Headline for the adaptive-MSM sweep: from-scratch rebuild vs incremental
+# update of the same generation (BM_MsmFullGeneration / gen:N against
+# BM_MsmIncrementalGeneration / gen:N, single-threaded).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF' || true
+import json
+with open("BENCH_micro_msm.json") as f:
+    runs = json.load(f).get("benchmarks", [])
+def real(name):
+    for b in runs:
+        if b.get("name", "").startswith(name):
+            return b.get("real_time")
+    return None
+for gen in (4, 8):
+    full = real(f"BM_MsmFullGeneration/gen:{gen}")
+    inc = real(f"BM_MsmIncrementalGeneration/gen:{gen}")
+    if full and inc:
+        print(f"msm gen {gen}: full {full:.1f} ms, incremental {inc:.1f} ms "
+              f"({full / inc:.1f}x)")
+EOF
+fi
