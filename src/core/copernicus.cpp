@@ -4,13 +4,15 @@ namespace cop::core {
 
 Client::Client(net::OverlayNetwork& network, std::string name,
                net::KeyPair keys)
-    : network_(&network), node_(network, std::move(name), keys) {
-    node_.setHandler([this](const net::Message& msg) {
-        if (msg.type != net::MessageType::ClientResponse) return;
-        BinaryReader r(msg.payload);
-        lastStatus_ = r.readString();
-        ++responses_;
-    });
+    : network_(&network), node_(network, std::move(name), keys),
+      endpoint_(network, node_) {
+    endpoint_.onEnvelope(
+        [this](const wire::Envelope& env, const net::Message&) {
+            const auto* reply = std::get_if<ClientResponsePayload>(&env.payload);
+            if (!reply) return;
+            lastStatus_ = reply->text;
+            ++responses_;
+        });
 }
 
 void Client::requestStatus(net::NodeId server, ProjectId project) {
@@ -19,15 +21,10 @@ void Client::requestStatus(net::NodeId server, ProjectId project) {
 
 void Client::sendCommand(net::NodeId server, ProjectId project,
                          const std::string& command) {
-    BinaryWriter w;
-    w.write(std::uint64_t(project));
-    w.write(command);
-    net::Message msg;
-    msg.type = net::MessageType::ClientRequest;
-    msg.source = id();
-    msg.destination = server;
-    msg.payload = w.takeBuffer();
-    network_->send(std::move(msg));
+    ClientRequestPayload request;
+    request.projectId = project;
+    request.command = command;
+    endpoint_.send(server, request);
 }
 
 namespace links {
@@ -79,6 +76,15 @@ Worker& Deployment::addWorker(const std::string& name, Server& closest,
     network_.connect(worker.id(), closest.id(), props);
     worker.start(closest.id());
     return worker;
+}
+
+void Deployment::addFallbackServer(Worker& worker, Server& fallback,
+                                   net::LinkProperties props) {
+    worker.node().trust(fallback.node().publicKey());
+    fallback.node().trust(worker.node().publicKey());
+    if (!network_.connected(worker.id(), fallback.id()))
+        network_.connect(worker.id(), fallback.id(), props);
+    worker.addFallbackServer(fallback.id());
 }
 
 Client& Deployment::addClient(const std::string& name, Server& server,

@@ -42,6 +42,7 @@ public:
 private:
     net::OverlayNetwork* network_;
     net::Node node_;
+    wire::Endpoint endpoint_;
     std::string lastStatus_;
     std::size_t responses_ = 0;
 };
@@ -75,6 +76,17 @@ public:
     Worker& addWorker(const std::string& name, Server& closest,
                       WorkerConfig config, ExecutableRegistry registry,
                       net::LinkProperties props);
+
+    /// Gives `worker` a direct link to `fallback` and registers it as a
+    /// failover target for when the worker's current server becomes
+    /// unreachable.
+    void addFallbackServer(Worker& worker, Server& fallback,
+                           net::LinkProperties props);
+
+    /// Installs a fault plan on the underlying overlay network.
+    void setFaultPlan(const net::FaultPlan& plan) {
+        network_.setFaultPlan(plan);
+    }
 
     Client& addClient(const std::string& name, Server& server,
                       net::LinkProperties props);

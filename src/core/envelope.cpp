@@ -1,0 +1,191 @@
+#include "core/envelope.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace cop::core::wire {
+
+namespace {
+
+constexpr std::size_t kDedupWindow = 8192;
+
+} // namespace
+
+std::optional<AnyPayload> decodePayload(const net::Message& msg) {
+    using net::MessageType;
+    try {
+        switch (msg.type) {
+        case MessageType::WorkerAnnounce:
+        case MessageType::WorkloadRequest:
+            return WorkloadRequestPayload::decode(msg.payload);
+        case MessageType::WorkloadAssign:
+            return WorkloadAssignPayload::decode(msg.payload);
+        case MessageType::Heartbeat:
+            return HeartbeatPayload::decode(msg.payload);
+        case MessageType::CheckpointData:
+            return CheckpointPayload::decode(msg.payload);
+        case MessageType::CommandOutput:
+        case MessageType::CommandFailed:
+        case MessageType::ProjectData:
+            return CommandOutputPayload::decode(msg.payload);
+        case MessageType::WorkerFailed:
+            return WorkerFailedPayload::decode(msg.payload);
+        case MessageType::LeaseRenew:
+            return LeaseRenewPayload::decode(msg.payload);
+        case MessageType::NoWorkAvailable:
+            return NoWorkPayload::decode(msg.payload);
+        case MessageType::ClientRequest:
+            return ClientRequestPayload::decode(msg.payload);
+        case MessageType::ClientResponse:
+            return ClientResponsePayload::decode(msg.payload);
+        case MessageType::Ack:
+            return AckPayload::decode(msg.payload);
+        }
+    } catch (const std::exception&) {
+        return std::nullopt; // truncated or corrupt payload
+    }
+    return std::nullopt;
+}
+
+Endpoint::Endpoint(net::OverlayNetwork& net, net::Node& node,
+                   RetryPolicy policy)
+    : net_(&net), node_(&node), policy_(policy), rng_(node.keys().publicKey) {
+    node_->setHandler([this](const net::Message& msg) { receive(msg); });
+}
+
+net::NodeId Endpoint::id() const { return node_->id(); }
+
+std::uint64_t Endpoint::sendRaw(net::MessageType type, net::NodeId to,
+                                std::vector<std::uint8_t> payload,
+                                bool reliable) {
+    if (down_) return 0;
+    net::Message msg;
+    msg.type = type;
+    msg.source = node_->id();
+    msg.destination = to;
+    msg.id = net_->nextMessageId();
+    msg.requireAck = reliable;
+    msg.payload = std::move(payload);
+    ++stats_.sent;
+    if (reliable) {
+        const std::uint64_t id = msg.id;
+        auto [it, inserted] = pending_.emplace(id, Pending{msg, 1, 0});
+        (void)inserted;
+        net_->send(std::move(msg));
+        armRetry(id);
+        return id;
+    }
+    const std::uint64_t id = msg.id;
+    net_->send(std::move(msg));
+    return id;
+}
+
+std::uint64_t Endpoint::resend(const net::Message& failed,
+                               net::NodeId newDestination) {
+    if (down_) return 0;
+    net::Message msg = failed;
+    msg.source = node_->id();
+    msg.destination = newDestination;
+    msg.id = net_->nextMessageId();
+    msg.requireAck = true;
+    ++stats_.sent;
+    const std::uint64_t id = msg.id;
+    pending_.emplace(id, Pending{msg, 1, 0});
+    net_->send(std::move(msg));
+    armRetry(id);
+    return id;
+}
+
+void Endpoint::armRetry(std::uint64_t id) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    const double delay = policy_.backoff.delay(it->second.attempt - 1, rng_);
+    it->second.timer =
+        net_->loop().scheduleTimer(delay, [this, id] { onRetryTimer(id); });
+}
+
+void Endpoint::onRetryTimer(std::uint64_t id) {
+    auto it = pending_.find(id);
+    if (it == pending_.end() || down_) return;
+    Pending& p = it->second;
+    p.timer = 0;
+    if (p.attempt >= policy_.maxAttempts) {
+        ++stats_.deliveriesFailed;
+        net::Message failed = std::move(p.msg);
+        pending_.erase(it);
+        if (failureHandler_) failureHandler_(failed);
+        return;
+    }
+    ++p.attempt;
+    ++stats_.retransmits;
+    net_->send(p.msg); // same message id: receiver dedups redeliveries
+    armRetry(id);
+}
+
+void Endpoint::receive(const net::Message& msg) {
+    if (down_) return;
+    if (msg.type == net::MessageType::Ack) {
+        const auto decoded = decodePayload(msg);
+        if (!decoded) {
+            ++stats_.undecodable;
+            return;
+        }
+        const auto& ack = std::get<AckPayload>(*decoded);
+        auto it = pending_.find(ack.ackedMessageId);
+        if (it != pending_.end()) {
+            if (it->second.timer != 0)
+                net_->loop().cancelTimer(it->second.timer);
+            pending_.erase(it);
+        }
+        return;
+    }
+    if (msg.requireAck) {
+        // Ack every copy: the ack for an earlier copy may have been lost.
+        AckPayload ack;
+        ack.ackedMessageId = msg.id;
+        ++stats_.acksSent;
+        net::Message reply;
+        reply.type = net::MessageType::Ack;
+        reply.source = node_->id();
+        reply.destination = msg.source;
+        reply.id = net_->nextMessageId();
+        reply.payload = ack.encode();
+        net_->send(std::move(reply));
+    }
+    if (seen(msg.id)) {
+        ++stats_.duplicatesDropped;
+        return;
+    }
+    rememberSeen(msg.id);
+    const auto decoded = decodePayload(msg);
+    if (!decoded) {
+        ++stats_.undecodable;
+        return;
+    }
+    if (!handler_) return;
+    Envelope env;
+    env.from = msg.source;
+    env.messageId = msg.id;
+    env.type = msg.type;
+    env.payload = *decoded;
+    handler_(env, msg);
+}
+
+void Endpoint::rememberSeen(std::uint64_t id) {
+    seenSet_.insert(id);
+    seenOrder_.push_back(id);
+    while (seenOrder_.size() > kDedupWindow) {
+        seenSet_.erase(seenOrder_.front());
+        seenOrder_.pop_front();
+    }
+}
+
+void Endpoint::shutdown() {
+    down_ = true;
+    for (auto& [id, p] : pending_) {
+        if (p.timer != 0) net_->loop().cancelTimer(p.timer);
+    }
+    pending_.clear();
+}
+
+} // namespace cop::core::wire

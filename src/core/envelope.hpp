@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file envelope.hpp
+/// Typed RPC layer over the overlay network. An Endpoint owns a node's
+/// message handling: outgoing payload structs are serialized and tagged
+/// with their message type in one place, incoming messages are decoded
+/// into a variant (`AnyPayload`) and dispatched as an Envelope, and the
+/// reliability machinery — end-to-end acks, capped-exponential-backoff
+/// retransmits with seeded jitter, duplicate suppression by message id —
+/// lives entirely below the application protocol. Server, Worker and
+/// Client speak typed payloads; none of them touch raw byte vectors.
+///
+/// Retransmits reuse the original message id, so the receiver's dedup
+/// window makes redelivery idempotent; acks are sent for every copy of an
+/// ack-requiring message (the previous ack may itself have been lost).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "net/backoff.hpp"
+#include "net/overlay.hpp"
+#include "util/random.hpp"
+
+namespace cop::core::wire {
+
+/// Every framework payload that can cross the overlay.
+using AnyPayload =
+    std::variant<WorkloadRequestPayload, WorkloadAssignPayload,
+                 HeartbeatPayload, CheckpointPayload, CommandOutputPayload,
+                 WorkerFailedPayload, LeaseRenewPayload, NoWorkPayload,
+                 ClientRequestPayload, ClientResponsePayload, AckPayload>;
+
+/// A decoded incoming message.
+struct Envelope {
+    net::NodeId from = net::kInvalidNode;
+    std::uint64_t messageId = 0;
+    net::MessageType type = net::MessageType::Heartbeat;
+    AnyPayload payload;
+};
+
+/// Decodes a raw message's payload by its type tag; nullopt when the type
+/// is unknown or the bytes do not parse.
+std::optional<AnyPayload> decodePayload(const net::Message& msg);
+
+/// Reliability knobs for ack-requiring sends.
+struct RetryPolicy {
+    net::BackoffPolicy backoff{10.0, 2.0, 120.0, 0.2};
+    int maxAttempts = 6; ///< total transmissions before giving up
+};
+
+struct EndpointStats {
+    std::uint64_t sent = 0;              ///< distinct messages sent
+    std::uint64_t acksSent = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t duplicatesDropped = 0; ///< redeliveries suppressed
+    std::uint64_t deliveriesFailed = 0;  ///< gave up after maxAttempts
+    std::uint64_t undecodable = 0;       ///< payloads that failed to parse
+};
+
+/// The typed, reliable endpoint attached to one overlay node. Installs
+/// itself as the node's message handler.
+class Endpoint {
+public:
+    using Handler = std::function<void(const Envelope&, const net::Message&)>;
+    using FailureHandler = std::function<void(const net::Message&)>;
+
+    Endpoint(net::OverlayNetwork& net, net::Node& node, RetryPolicy policy = {});
+
+    /// Registers the application dispatch for decoded envelopes.
+    void onEnvelope(Handler handler) { handler_ = std::move(handler); }
+    /// Called when a reliable send exhausts its attempts; receives the
+    /// undelivered message (same id and payload as originally sent).
+    void onDeliveryFailure(FailureHandler handler) {
+        failureHandler_ = std::move(handler);
+    }
+
+    /// Sends a typed payload. Reliable sends request an end-to-end ack and
+    /// retransmit with backoff until acked or maxAttempts transmissions.
+    /// Returns the message id (0 if the endpoint is shut down).
+    template <typename T>
+    std::uint64_t send(net::NodeId to, const T& payload, bool reliable = true) {
+        return sendRaw(T::kType, to, payload.encode(), reliable);
+    }
+
+    std::uint64_t sendRaw(net::MessageType type, net::NodeId to,
+                          std::vector<std::uint8_t> payload, bool reliable);
+
+    /// Re-targets an undelivered message (from onDeliveryFailure) to a new
+    /// destination under a fresh id, reliably. Used for server failover.
+    std::uint64_t resend(const net::Message& failed, net::NodeId newDestination);
+
+    /// Crash semantics: stop receiving, sending and retrying. Pending
+    /// retransmit timers are cancelled.
+    void shutdown();
+    bool isShutdown() const { return down_; }
+
+    const EndpointStats& stats() const { return stats_; }
+    net::NodeId id() const;
+
+private:
+    struct Pending {
+        net::Message msg;
+        int attempt = 1; ///< transmissions so far
+        net::EventLoop::TimerId timer = 0;
+    };
+
+    void receive(const net::Message& msg);
+    void armRetry(std::uint64_t id);
+    void onRetryTimer(std::uint64_t id);
+    bool seen(std::uint64_t id) const { return seenSet_.count(id) > 0; }
+    void rememberSeen(std::uint64_t id);
+
+    net::OverlayNetwork* net_;
+    net::Node* node_;
+    RetryPolicy policy_;
+    Rng rng_;
+    Handler handler_;
+    FailureHandler failureHandler_;
+    std::map<std::uint64_t, Pending> pending_;
+    std::unordered_set<std::uint64_t> seenSet_;
+    std::deque<std::uint64_t> seenOrder_; ///< bounds the dedup window
+    EndpointStats stats_;
+    bool down_ = false;
+};
+
+} // namespace cop::core::wire

@@ -74,6 +74,17 @@ std::vector<CommandId> CommandQueue::requeueWorker(net::NodeId worker) {
     return requeued;
 }
 
+bool CommandQueue::requeueCommand(CommandId id) {
+    auto it = inFlight_.find(id);
+    if (it == inFlight_.end()) return false;
+    auto pos = pending_.begin();
+    while (pos != pending_.end() && pos->priority > it->second.spec.priority)
+        ++pos;
+    pending_.insert(pos, std::move(it->second.spec));
+    inFlight_.erase(it);
+    return true;
+}
+
 void CommandQueue::updateCheckpoint(CommandId id,
                                     std::vector<std::uint8_t> checkpoint) {
     auto it = inFlight_.find(id);

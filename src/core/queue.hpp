@@ -43,6 +43,10 @@ public:
     /// returns their ids.
     std::vector<CommandId> requeueWorker(net::NodeId worker);
 
+    /// Requeues a single in-flight command (lease expiry, lost
+    /// assignment); no-op returning false if it is not in flight.
+    bool requeueCommand(CommandId id);
+
     /// Records a fresher input payload (checkpoint) for an in-flight
     /// command so a requeue resumes from it rather than from scratch.
     void updateCheckpoint(CommandId id, std::vector<std::uint8_t> checkpoint);

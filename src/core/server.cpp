@@ -40,10 +40,16 @@ private:
 Server::Server(net::OverlayNetwork& network, std::string name,
                net::KeyPair keys, ServerConfig config)
     : network_(&network), node_(network, std::move(name), keys),
-      config_(config) {
+      endpoint_(network, node_, config.rpc), config_(config) {
     COP_REQUIRE(config.heartbeatInterval > 0.0, "bad heartbeat interval");
     COP_REQUIRE(config.failureMultiplier >= 1.0, "bad failure multiplier");
-    node_.setHandler([this](const net::Message& msg) { handleMessage(msg); });
+    COP_REQUIRE(config.leaseMultiplier >= 1.0, "bad lease multiplier");
+    endpoint_.onEnvelope(
+        [this](const wire::Envelope& env, const net::Message& msg) {
+            handleEnvelope(env, msg);
+        });
+    endpoint_.onDeliveryFailure(
+        [this](const net::Message& failed) { handleDeliveryFailure(failed); });
 }
 
 Server::~Server() = default;
@@ -94,50 +100,56 @@ CommandId Server::nextCommandId() {
     return (std::uint64_t(id()) + 1) << 40 | ++commandCounter_;
 }
 
-void Server::sendMessage(net::MessageType type, net::NodeId to,
-                         std::vector<std::uint8_t> payload,
-                         std::uint64_t payloadKey) {
-    net::Message msg;
-    msg.type = type;
-    msg.source = id();
-    msg.destination = to;
-    msg.payload = std::move(payload);
-    msg.payloadKey = payloadKey;
-    network_->send(std::move(msg));
+void Server::handleEnvelope(const wire::Envelope& env,
+                            const net::Message& msg) {
+    std::visit(
+        [&](const auto& payload) {
+            using T = std::decay_t<decltype(payload)>;
+            if constexpr (std::is_same_v<T, WorkloadRequestPayload>)
+                handleWorkloadRequest(payload, msg);
+            else if constexpr (std::is_same_v<T, CommandOutputPayload>)
+                handleCommandOutput(payload);
+            else if constexpr (std::is_same_v<T, HeartbeatPayload>)
+                handleHeartbeat(payload);
+            else if constexpr (std::is_same_v<T, CheckpointPayload>)
+                handleCheckpoint(payload);
+            else if constexpr (std::is_same_v<T, WorkerFailedPayload>)
+                handleWorkerFailed(payload);
+            else if constexpr (std::is_same_v<T, LeaseRenewPayload>)
+                handleLeaseRenew(payload);
+            else if constexpr (std::is_same_v<T, ClientRequestPayload>)
+                handleClientRequest(payload, msg);
+            else
+                COP_LOG_WARN("server")
+                    << name() << ": unexpected message type "
+                    << net::messageTypeName(env.type);
+        },
+        env.payload);
 }
 
-void Server::handleMessage(const net::Message& msg) {
-    switch (msg.type) {
-    case net::MessageType::WorkerAnnounce:
-    case net::MessageType::WorkloadRequest:
-        handleWorkloadRequest(msg);
-        break;
-    case net::MessageType::CommandOutput:
-    case net::MessageType::CommandFailed:
-    case net::MessageType::ProjectData:
-        handleCommandOutput(msg);
-        break;
-    case net::MessageType::Heartbeat:
-        handleHeartbeat(msg);
-        break;
-    case net::MessageType::CheckpointData:
-        handleCheckpoint(msg);
-        break;
-    case net::MessageType::WorkerFailed:
-        handleWorkerFailed(msg);
-        break;
-    case net::MessageType::ClientRequest:
-        handleClientRequest(msg);
-        break;
-    default:
-        COP_LOG_WARN("server") << name() << ": unexpected message type "
-                               << net::messageTypeName(msg.type);
+std::vector<CommandSpec> Server::claimFor(
+    const WorkloadRequestPayload& request) {
+    auto claimed =
+        queue_.claim(request.executables, request.cores, request.worker);
+    std::vector<CommandSpec> fresh;
+    fresh.reserve(claimed.size());
+    for (auto& cmd : claimed) {
+        if (completedCommands_.count(cmd.id) > 0) {
+            // Stale re-execution of a command whose first run already
+            // delivered its result (requeue raced with recovery).
+            queue_.complete(cmd.id);
+            releaseLease(cmd.id);
+            continue;
+        }
+        grantLease(cmd.id, request.worker);
+        fresh.push_back(std::move(cmd));
     }
+    return fresh;
 }
 
-void Server::handleWorkloadRequest(const net::Message& msg) {
+void Server::handleWorkloadRequest(const WorkloadRequestPayload& request,
+                                   const net::Message& msg) {
     ++stats_.workloadRequests;
-    auto request = WorkloadRequestPayload::decode(msg.payload);
 
     // Track the worker if it reports to us directly (its closest server).
     if (msg.source == request.worker) {
@@ -146,39 +158,46 @@ void Server::handleWorkloadRequest(const net::Message& msg) {
         ensureSweepScheduled();
     }
 
-    auto claimed =
-        queue_.claim(request.executables, request.cores, request.worker);
+    auto claimed = claimFor(request);
     if (!claimed.empty()) {
         stats_.commandsAssigned += claimed.size();
         WorkloadAssignPayload assign;
         assign.commands = std::move(claimed);
-        sendMessage(net::MessageType::WorkloadAssign, request.worker,
-                    assign.encode());
+        endpoint_.send(request.worker, assign);
         return;
     }
 
     // Relay towards the first peer server not yet visited (paper §2.2:
     // "routing of requests ... to the first server with available
     // commands").
-    request.visited.push_back(id());
+    WorkloadRequestPayload fwd = request;
+    fwd.visited.push_back(id());
     for (net::NodeId peer : peers_) {
-        if (std::find(request.visited.begin(), request.visited.end(), peer) !=
-            request.visited.end())
+        if (std::find(fwd.visited.begin(), fwd.visited.end(), peer) !=
+            fwd.visited.end())
             continue;
         ++stats_.requestsForwarded;
-        net::Message fwd;
-        fwd.type = net::MessageType::WorkloadRequest;
-        fwd.source = id();
-        fwd.destination = peer;
-        fwd.payload = request.encode();
-        network_->send(std::move(fwd));
+        endpoint_.send(peer, fwd);
         return;
     }
     if (config_.parkRequests && hostsUnfinishedProject()) {
-        parkedRequests_.push_back(std::move(request));
+        parkRequest(std::move(fwd));
         return;
     }
-    sendMessage(net::MessageType::NoWorkAvailable, request.worker, {});
+    endpoint_.send(request.worker, NoWorkPayload{request.worker});
+}
+
+void Server::parkRequest(WorkloadRequestPayload request) {
+    // One parked slot per worker: a re-sent request (retransmit that beat
+    // its ack, or a poll after a timeout) replaces the stale one instead
+    // of producing double assignments later.
+    for (auto& parked : parkedRequests_) {
+        if (parked.worker == request.worker) {
+            parked = std::move(request);
+            return;
+        }
+    }
+    parkedRequests_.push_back(std::move(request));
 }
 
 bool Server::hostsUnfinishedProject() const {
@@ -199,51 +218,55 @@ void Server::scheduleServiceWaiting() {
 void Server::serviceWaitingRequests() {
     std::vector<WorkloadRequestPayload> stillParked;
     for (auto& request : parkedRequests_) {
-        auto claimed =
-            queue_.claim(request.executables, request.cores, request.worker);
+        auto claimed = claimFor(request);
         if (!claimed.empty()) {
             stats_.commandsAssigned += claimed.size();
             WorkloadAssignPayload assign;
             assign.commands = std::move(claimed);
-            sendMessage(net::MessageType::WorkloadAssign, request.worker,
-                        assign.encode());
+            endpoint_.send(request.worker, assign);
         } else if (hostsUnfinishedProject()) {
             stillParked.push_back(std::move(request));
         } else {
-            sendMessage(net::MessageType::NoWorkAvailable, request.worker,
-                        {});
+            endpoint_.send(request.worker, NoWorkPayload{request.worker});
         }
     }
     parkedRequests_ = std::move(stillParked);
 }
 
-void Server::handleCommandOutput(const net::Message& msg) {
-    BinaryReader r(msg.payload);
-    CommandResult result = CommandResult::deserialize(r);
-
+void Server::handleCommandOutput(const CommandOutputPayload& payload) {
     // Drop any cached checkpoints: the command is over.
-    checkpointCache_.erase(result.commandId);
+    checkpointCache_.erase(payload.result.commandId);
 
-    if (projects_.find(result.projectId) != projects_.end()) {
-        dispatchResult(std::move(result));
+    if (projects_.find(payload.result.projectId) != projects_.end()) {
+        dispatchResult(payload.result);
         return;
     }
-    // Not ours: relay towards the project server (payloadKey carries it).
-    const auto projectServer = net::NodeId(msg.payloadKey);
-    if (projectServer == net::kInvalidNode || projectServer == id()) {
+    // Not ours: relay towards the project server named in the payload.
+    if (payload.projectServer == net::kInvalidNode ||
+        payload.projectServer == id()) {
         COP_LOG_WARN("server") << name() << ": orphan command output "
-                               << result.commandId;
+                               << payload.result.commandId;
         return;
     }
-    sendMessage(net::MessageType::ProjectData, projectServer,
-                std::vector<std::uint8_t>(msg.payload), msg.payloadKey);
+    endpoint_.send(payload.projectServer, payload);
 }
 
 void Server::dispatchResult(CommandResult result) {
+    if (completedCommands_.count(result.commandId) > 0) {
+        // A requeued copy of this command also ran to completion; the
+        // first result won. Clear any in-flight record so the re-execution
+        // does not linger (and its lease with it).
+        queue_.complete(result.commandId);
+        releaseLease(result.commandId);
+        ++stats_.duplicateResultsDropped;
+        return;
+    }
     auto spec = queue_.complete(result.commandId);
+    releaseLease(result.commandId);
     auto& entry = projects_.at(result.projectId);
     entry.outstanding.erase(result.commandId);
     if (result.success) {
+        completedCommands_.insert(result.commandId);
         ++stats_.commandsCompleted;
         entry.controller->onCommandFinished(*entry.context, result);
     } else {
@@ -253,29 +276,50 @@ void Server::dispatchResult(CommandResult result) {
     }
 }
 
-void Server::handleHeartbeat(const net::Message& msg) {
+void Server::handleHeartbeat(const HeartbeatPayload& hb) {
     ++stats_.heartbeatsReceived;
-    auto hb = HeartbeatPayload::decode(msg.payload);
     auto& rec = workers_[hb.worker];
     rec.lastHeartbeat = network_->loop().now();
-    rec.lastPayload = std::move(hb);
+    rec.lastPayload = hb;
     ensureSweepScheduled();
+
+    // Renew leases: locally for commands we host, via LeaseRenew towards
+    // remote project servers (heartbeats themselves never leave the
+    // closest server, paper §2.3).
+    std::map<net::NodeId, LeaseRenewPayload> remote;
+    for (std::size_t i = 0; i < hb.running.size(); ++i) {
+        const net::NodeId ps = i < hb.projectServers.size()
+                                   ? hb.projectServers[i]
+                                   : net::kInvalidNode;
+        if (ps == id()) {
+            renewLease(hb.running[i], hb.worker);
+        } else if (ps != net::kInvalidNode) {
+            auto& renew = remote[ps];
+            renew.worker = hb.worker;
+            renew.commands.push_back(hb.running[i]);
+        }
+    }
+    for (auto& [ps, renew] : remote)
+        endpoint_.send(ps, renew, /*reliable=*/false);
 }
 
-void Server::handleCheckpoint(const net::Message& msg) {
+void Server::handleLeaseRenew(const LeaseRenewPayload& payload) {
+    for (CommandId id : payload.commands)
+        renewLease(id, payload.worker);
+}
+
+void Server::handleCheckpoint(const CheckpointPayload& cp) {
     if (!config_.cacheCheckpoints) return;
-    auto cp = CheckpointPayload::decode(msg.payload);
     // If we host the project ourselves, feed the checkpoint straight into
     // the in-flight record; otherwise cache it for failure handoff.
     if (projects_.find(cp.projectId) != projects_.end()) {
         queue_.updateCheckpoint(cp.commandId, cp.blob);
         return;
     }
-    checkpointCache_[cp.commandId] = std::move(cp);
+    checkpointCache_[cp.commandId] = cp;
 }
 
-void Server::handleWorkerFailed(const net::Message& msg) {
-    auto payload = WorkerFailedPayload::decode(msg.payload);
+void Server::handleWorkerFailed(const WorkerFailedPayload& payload) {
     for (std::size_t i = 0; i < payload.commands.size(); ++i) {
         if (i < payload.checkpoints.size() && !payload.checkpoints[i].empty())
             queue_.updateCheckpoint(payload.commands[i],
@@ -283,32 +327,86 @@ void Server::handleWorkerFailed(const net::Message& msg) {
     }
     const auto requeued = queue_.requeueWorker(payload.worker);
     stats_.commandsRequeued += requeued.size();
+    for (CommandId id : requeued) releaseLease(id);
+    if (!requeued.empty()) scheduleServiceWaiting();
     COP_LOG_INFO("server") << name() << ": worker "
                            << network_->node(payload.worker).name()
                            << " failed; requeued " << requeued.size()
                            << " commands";
 }
 
-void Server::handleClientRequest(const net::Message& msg) {
-    BinaryReader r(msg.payload);
-    const auto projectId = r.read<std::uint64_t>();
-    const std::string command = r.atEnd() ? std::string() : r.readString();
+void Server::handleClientRequest(const ClientRequestPayload& request,
+                                 const net::Message& msg) {
     std::string reply;
-    auto it = projects_.find(projectId);
+    auto it = projects_.find(request.projectId);
     if (it == projects_.end()) {
-        reply = "unknown project " + std::to_string(projectId);
-    } else if (command.empty() || command == "status") {
-        reply = projectStatus(projectId);
+        reply = "unknown project " + std::to_string(request.projectId);
+    } else if (request.command.empty() || request.command == "status") {
+        reply = projectStatus(request.projectId);
     } else {
         // Control command: routed to the project's controller (dynamic
         // parameter changes, §3.2 "future versions").
         reply = it->second.controller->handleClientCommand(
-            *it->second.context, command);
+            *it->second.context, request.command);
     }
-    BinaryWriter w;
-    w.write(reply);
-    sendMessage(net::MessageType::ClientResponse, msg.source,
-                w.takeBuffer());
+    endpoint_.send(msg.source, ClientResponsePayload{reply});
+}
+
+void Server::handleDeliveryFailure(const net::Message& failed) {
+    // A reliable send exhausted its retransmits. For assignments, put the
+    // commands straight back on the queue (the worker never confirmed
+    // receiving them); everything else is covered by leases and polling.
+    if (failed.type != net::MessageType::WorkloadAssign) return;
+    const auto decoded = wire::decodePayload(failed);
+    if (!decoded) return;
+    const auto& assign = std::get<WorkloadAssignPayload>(*decoded);
+    std::size_t requeued = 0;
+    for (const auto& cmd : assign.commands) {
+        const auto holder = queue_.holderOf(cmd.id);
+        if (holder && *holder == failed.destination &&
+            queue_.requeueCommand(cmd.id)) {
+            releaseLease(cmd.id);
+            ++requeued;
+        }
+    }
+    stats_.commandsRequeued += requeued;
+    if (requeued > 0) scheduleServiceWaiting();
+}
+
+void Server::grantLease(CommandId id, net::NodeId worker) {
+    leases_[id] = Lease{worker, network_->loop().now() + leaseDuration()};
+    ensureLeaseSweepScheduled();
+}
+
+void Server::renewLease(CommandId id, net::NodeId worker) {
+    auto it = leases_.find(id);
+    if (it == leases_.end() || it->second.worker != worker) return;
+    it->second.expires = network_->loop().now() + leaseDuration();
+}
+
+void Server::ensureLeaseSweepScheduled() {
+    if (leaseSweepScheduled_ || leases_.empty()) return;
+    leaseSweepScheduled_ = true;
+    network_->loop().schedule(config_.heartbeatInterval,
+                              [this] { sweepLeases(); });
+}
+
+void Server::sweepLeases() {
+    leaseSweepScheduled_ = false;
+    const double now = network_->loop().now();
+    std::size_t requeued = 0;
+    for (auto it = leases_.begin(); it != leases_.end();) {
+        if (it->second.expires <= now) {
+            ++stats_.leasesExpired;
+            if (queue_.requeueCommand(it->first)) ++requeued;
+            it = leases_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    stats_.commandsRequeued += requeued;
+    if (requeued > 0) scheduleServiceWaiting();
+    ensureLeaseSweepScheduled();
 }
 
 void Server::ensureSweepScheduled() {
@@ -352,15 +450,18 @@ void Server::sweepWorkers() {
                                                     payload.checkpoints[i]);
                     const auto requeued = queue_.requeueWorker(it->first);
                     stats_.commandsRequeued += requeued.size();
+                    for (CommandId cid : requeued) releaseLease(cid);
+                    if (!requeued.empty()) scheduleServiceWaiting();
                 } else {
-                    sendMessage(net::MessageType::WorkerFailed, ps,
-                                payload.encode());
+                    endpoint_.send(ps, payload);
                 }
             }
             // If the worker ran commands we host but never heartbeated them
             // (edge case), requeue those too.
             const auto extra = queue_.requeueWorker(it->first);
             stats_.commandsRequeued += extra.size();
+            for (CommandId cid : extra) releaseLease(cid);
+            if (!extra.empty()) scheduleServiceWaiting();
             it = workers_.erase(it);
         } else {
             ++it;

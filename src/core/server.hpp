@@ -11,7 +11,14 @@
 ///   - monitors worker heartbeats and signals failures to project servers,
 ///   - caches worker checkpoints so commands can transparently continue on
 ///     another worker after a failure,
+///   - holds a lease on every assigned command, renewed by heartbeats
+///     (directly, or via LeaseRenew relayed by the worker's closest
+///     server); an expired lease requeues the command from its newest
+///     checkpoint — the backstop when failure signals themselves are lost,
 ///   - dispatches controller plugin events as command output arrives.
+///
+/// All messaging goes through a typed wire::Endpoint: payload structs in
+/// and out, acks/retransmits/duplicate suppression below the protocol.
 
 #include <map>
 #include <memory>
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "core/envelope.hpp"
 #include "core/queue.hpp"
 #include "core/wire.hpp"
 #include "net/overlay.hpp"
@@ -31,6 +39,11 @@ struct ServerConfig {
     double heartbeatInterval = 120.0;
     /// A worker is declared dead after this many missed intervals.
     double failureMultiplier = 2.0;
+    /// A command's lease lasts this many heartbeat intervals. Larger than
+    /// failureMultiplier so the cheap path (closest-server failure
+    /// detection + WorkerFailed handoff) fires first; lease expiry only
+    /// catches what that path misses (lost signals, partitions).
+    double leaseMultiplier = 3.0;
     /// Cache worker checkpoints for failure handoff.
     bool cacheCheckpoints = true;
     /// Park unsatisfiable workload requests and answer them as soon as new
@@ -39,6 +52,8 @@ struct ServerConfig {
     /// on servers hosting unfinished projects; elsewhere the worker falls
     /// back to polling.
     bool parkRequests = true;
+    /// Ack/retransmit policy for reliable sends.
+    wire::RetryPolicy rpc;
 };
 
 struct ServerStats {
@@ -50,6 +65,8 @@ struct ServerStats {
     std::uint64_t workersFailed = 0;
     std::uint64_t commandsRequeued = 0;
     std::uint64_t heartbeatsReceived = 0;
+    std::uint64_t duplicateResultsDropped = 0; ///< re-executions ignored
+    std::uint64_t leasesExpired = 0;
 };
 
 class Server {
@@ -79,6 +96,8 @@ public:
 
     const CommandQueue& queue() const { return queue_; }
     const ServerStats& stats() const { return stats_; }
+    /// Wire-layer counters (retransmits, acks, duplicates dropped).
+    const wire::EndpointStats& wireStats() const { return endpoint_.stats(); }
     const ServerConfig& config() const { return config_; }
 
 private:
@@ -96,16 +115,41 @@ private:
         HeartbeatPayload lastPayload;
     };
 
-    void handleMessage(const net::Message& msg);
-    void handleWorkloadRequest(const net::Message& msg);
-    void handleCommandOutput(const net::Message& msg);
-    void handleHeartbeat(const net::Message& msg);
-    void handleCheckpoint(const net::Message& msg);
-    void handleWorkerFailed(const net::Message& msg);
-    void handleClientRequest(const net::Message& msg);
+    struct Lease {
+        net::NodeId worker = net::kInvalidNode;
+        double expires = 0.0;
+    };
 
-    /// Routes a decoded result to the local project controller.
+    void handleEnvelope(const wire::Envelope& env, const net::Message& msg);
+    void handleWorkloadRequest(const WorkloadRequestPayload& request,
+                               const net::Message& msg);
+    void handleCommandOutput(const CommandOutputPayload& payload);
+    void handleHeartbeat(const HeartbeatPayload& hb);
+    void handleCheckpoint(const CheckpointPayload& cp);
+    void handleWorkerFailed(const WorkerFailedPayload& payload);
+    void handleLeaseRenew(const LeaseRenewPayload& payload);
+    void handleClientRequest(const ClientRequestPayload& request,
+                             const net::Message& msg);
+    void handleDeliveryFailure(const net::Message& failed);
+
+    /// Routes a decoded result to the local project controller. First
+    /// delivery wins; duplicate results of requeued-then-recovered
+    /// commands are dropped.
     void dispatchResult(CommandResult result);
+
+    /// Claims matching commands, dropping stale re-executions of commands
+    /// that already completed, and grants leases for the assignment.
+    std::vector<CommandSpec> claimFor(const WorkloadRequestPayload& request);
+    void parkRequest(WorkloadRequestPayload request);
+
+    void grantLease(CommandId id, net::NodeId worker);
+    void renewLease(CommandId id, net::NodeId worker);
+    void releaseLease(CommandId id) { leases_.erase(id); }
+    void ensureLeaseSweepScheduled();
+    void sweepLeases();
+    double leaseDuration() const {
+        return config_.leaseMultiplier * config_.heartbeatInterval;
+    }
 
     void ensureSweepScheduled();
     void sweepWorkers();
@@ -114,14 +158,11 @@ private:
     void scheduleServiceWaiting();
     void serviceWaitingRequests();
 
-    void sendMessage(net::MessageType type, net::NodeId to,
-                     std::vector<std::uint8_t> payload,
-                     std::uint64_t payloadKey = 0);
-
     CommandId nextCommandId();
 
     net::OverlayNetwork* network_;
     net::Node node_;
+    wire::Endpoint endpoint_;
     ServerConfig config_;
     CommandQueue queue_;
     std::vector<net::NodeId> peers_;
@@ -129,11 +170,14 @@ private:
     std::map<net::NodeId, WorkerRecord> workers_;
     /// commandId -> newest checkpoint blob seen from a local worker.
     std::map<CommandId, CheckpointPayload> checkpointCache_;
+    std::map<CommandId, Lease> leases_;
+    std::set<CommandId> completedCommands_;
     ServerStats stats_;
     std::vector<WorkloadRequestPayload> parkedRequests_;
     ProjectId nextProjectId_ = 1;
     std::uint64_t commandCounter_ = 0;
     bool sweepScheduled_ = false;
+    bool leaseSweepScheduled_ = false;
     bool servicePending_ = false;
 };
 

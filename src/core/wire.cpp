@@ -2,8 +2,25 @@
 
 namespace cop::core {
 
-std::vector<std::uint8_t> WorkloadRequestPayload::encode() const {
+namespace {
+
+/// Shared whole-buffer wrappers around the streaming pair.
+template <typename T>
+std::vector<std::uint8_t> encodeWhole(const T& p) {
     BinaryWriter w;
+    p.serialize(w);
+    return w.takeBuffer();
+}
+
+template <typename T>
+T decodeWhole(std::span<const std::uint8_t> data) {
+    BinaryReader r(data);
+    return T::deserialize(r);
+}
+
+} // namespace
+
+void WorkloadRequestPayload::serialize(BinaryWriter& w) const {
     w.write(std::int32_t(worker));
     w.write(platform);
     w.write(std::int32_t(cores));
@@ -11,12 +28,9 @@ std::vector<std::uint8_t> WorkloadRequestPayload::encode() const {
     for (const auto& e : executables) w.write(e);
     w.write(std::uint64_t(visited.size()));
     for (auto v : visited) w.write(std::int32_t(v));
-    return w.takeBuffer();
 }
 
-WorkloadRequestPayload WorkloadRequestPayload::decode(
-    std::span<const std::uint8_t> data) {
-    BinaryReader r(data);
+WorkloadRequestPayload WorkloadRequestPayload::deserialize(BinaryReader& r) {
     WorkloadRequestPayload p;
     p.worker = r.read<std::int32_t>();
     p.platform = r.readString();
@@ -30,16 +44,12 @@ WorkloadRequestPayload WorkloadRequestPayload::decode(
     return p;
 }
 
-std::vector<std::uint8_t> WorkloadAssignPayload::encode() const {
-    BinaryWriter w;
+void WorkloadAssignPayload::serialize(BinaryWriter& w) const {
     w.write(std::uint64_t(commands.size()));
     for (const auto& c : commands) c.serialize(w);
-    return w.takeBuffer();
 }
 
-WorkloadAssignPayload WorkloadAssignPayload::decode(
-    std::span<const std::uint8_t> data) {
-    BinaryReader r(data);
+WorkloadAssignPayload WorkloadAssignPayload::deserialize(BinaryReader& r) {
     WorkloadAssignPayload p;
     const auto n = r.read<std::uint64_t>();
     for (std::uint64_t i = 0; i < n; ++i)
@@ -47,18 +57,15 @@ WorkloadAssignPayload WorkloadAssignPayload::decode(
     return p;
 }
 
-std::vector<std::uint8_t> HeartbeatPayload::encode() const {
-    BinaryWriter w;
+void HeartbeatPayload::serialize(BinaryWriter& w) const {
     w.write(std::int32_t(worker));
     w.write(std::uint64_t(running.size()));
     for (auto id : running) w.write(id);
     w.write(std::uint64_t(projectServers.size()));
     for (auto s : projectServers) w.write(std::int32_t(s));
-    return w.takeBuffer();
 }
 
-HeartbeatPayload HeartbeatPayload::decode(std::span<const std::uint8_t> data) {
-    BinaryReader r(data);
+HeartbeatPayload HeartbeatPayload::deserialize(BinaryReader& r) {
     HeartbeatPayload p;
     p.worker = r.read<std::int32_t>();
     const auto n = r.read<std::uint64_t>();
@@ -70,18 +77,14 @@ HeartbeatPayload HeartbeatPayload::decode(std::span<const std::uint8_t> data) {
     return p;
 }
 
-std::vector<std::uint8_t> CheckpointPayload::encode() const {
-    BinaryWriter w;
+void CheckpointPayload::serialize(BinaryWriter& w) const {
     w.write(commandId);
     w.write(projectId);
     w.write(std::int32_t(projectServer));
     w.writeBytes(blob);
-    return w.takeBuffer();
 }
 
-CheckpointPayload CheckpointPayload::decode(
-    std::span<const std::uint8_t> data) {
-    BinaryReader r(data);
+CheckpointPayload CheckpointPayload::deserialize(BinaryReader& r) {
     CheckpointPayload p;
     p.commandId = r.read<std::uint64_t>();
     p.projectId = r.read<std::uint64_t>();
@@ -90,19 +93,15 @@ CheckpointPayload CheckpointPayload::decode(
     return p;
 }
 
-std::vector<std::uint8_t> WorkerFailedPayload::encode() const {
-    BinaryWriter w;
+void WorkerFailedPayload::serialize(BinaryWriter& w) const {
     w.write(std::int32_t(worker));
     w.write(std::uint64_t(commands.size()));
     for (auto id : commands) w.write(id);
     w.write(std::uint64_t(checkpoints.size()));
     for (const auto& c : checkpoints) w.writeBytes(c);
-    return w.takeBuffer();
 }
 
-WorkerFailedPayload WorkerFailedPayload::decode(
-    std::span<const std::uint8_t> data) {
-    BinaryReader r(data);
+WorkerFailedPayload WorkerFailedPayload::deserialize(BinaryReader& r) {
     WorkerFailedPayload p;
     p.worker = r.read<std::int32_t>();
     const auto n = r.read<std::uint64_t>();
@@ -113,5 +112,95 @@ WorkerFailedPayload WorkerFailedPayload::decode(
         p.checkpoints.push_back(r.readBytes());
     return p;
 }
+
+void CommandOutputPayload::serialize(BinaryWriter& w) const {
+    result.serialize(w);
+    w.write(std::int32_t(projectServer));
+}
+
+CommandOutputPayload CommandOutputPayload::deserialize(BinaryReader& r) {
+    CommandOutputPayload p;
+    p.result = CommandResult::deserialize(r);
+    p.projectServer = r.read<std::int32_t>();
+    return p;
+}
+
+void LeaseRenewPayload::serialize(BinaryWriter& w) const {
+    w.write(std::int32_t(worker));
+    w.write(std::uint64_t(commands.size()));
+    for (auto id : commands) w.write(id);
+}
+
+LeaseRenewPayload LeaseRenewPayload::deserialize(BinaryReader& r) {
+    LeaseRenewPayload p;
+    p.worker = r.read<std::int32_t>();
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i)
+        p.commands.push_back(r.read<std::uint64_t>());
+    return p;
+}
+
+void NoWorkPayload::serialize(BinaryWriter& w) const {
+    w.write(std::int32_t(worker));
+}
+
+NoWorkPayload NoWorkPayload::deserialize(BinaryReader& r) {
+    NoWorkPayload p;
+    p.worker = r.read<std::int32_t>();
+    return p;
+}
+
+void ClientRequestPayload::serialize(BinaryWriter& w) const {
+    w.write(projectId);
+    w.write(command);
+}
+
+ClientRequestPayload ClientRequestPayload::deserialize(BinaryReader& r) {
+    ClientRequestPayload p;
+    p.projectId = r.read<std::uint64_t>();
+    p.command = r.readString();
+    return p;
+}
+
+void ClientResponsePayload::serialize(BinaryWriter& w) const {
+    w.write(text);
+}
+
+ClientResponsePayload ClientResponsePayload::deserialize(BinaryReader& r) {
+    ClientResponsePayload p;
+    p.text = r.readString();
+    return p;
+}
+
+void AckPayload::serialize(BinaryWriter& w) const {
+    w.write(ackedMessageId);
+}
+
+AckPayload AckPayload::deserialize(BinaryReader& r) {
+    AckPayload p;
+    p.ackedMessageId = r.read<std::uint64_t>();
+    return p;
+}
+
+// Whole-buffer wrappers, one pair per payload.
+#define COP_WIRE_WHOLE(T)                                                    \
+    std::vector<std::uint8_t> T::encode() const { return encodeWhole(*this); } \
+    T T::decode(std::span<const std::uint8_t> data) {                        \
+        return decodeWhole<T>(data);                                         \
+    }
+
+COP_WIRE_WHOLE(WorkloadRequestPayload)
+COP_WIRE_WHOLE(WorkloadAssignPayload)
+COP_WIRE_WHOLE(HeartbeatPayload)
+COP_WIRE_WHOLE(CheckpointPayload)
+COP_WIRE_WHOLE(WorkerFailedPayload)
+COP_WIRE_WHOLE(CommandOutputPayload)
+COP_WIRE_WHOLE(LeaseRenewPayload)
+COP_WIRE_WHOLE(NoWorkPayload)
+COP_WIRE_WHOLE(ClientRequestPayload)
+COP_WIRE_WHOLE(ClientResponsePayload)
+COP_WIRE_WHOLE(AckPayload)
+
+#undef COP_WIRE_WHOLE
 
 } // namespace cop::core

@@ -2,7 +2,12 @@
 
 /// \file wire.hpp
 /// Wire formats of the framework-level message payloads exchanged between
-/// workers, relay servers and project servers.
+/// workers, relay servers, project servers and clients. Every payload
+/// struct declares its message type (`kType`) and a streaming
+/// serialize/deserialize pair; the envelope layer (core/envelope.hpp) uses
+/// these to give Server/Worker/Client a typed RPC surface instead of raw
+/// byte blobs. The `encode`/`decode` convenience wrappers produce/consume
+/// whole buffers.
 
 #include <cstdint>
 #include <string>
@@ -17,19 +22,27 @@ namespace cop::core {
 /// Worker capability announcement / workload request (paper §2.3). Also
 /// carries the list of servers already visited so relaying cannot loop.
 struct WorkloadRequestPayload {
+    static constexpr net::MessageType kType = net::MessageType::WorkloadRequest;
+
     net::NodeId worker = net::kInvalidNode;
     std::string platform;
     int cores = 0;
     std::vector<std::string> executables;
     std::vector<net::NodeId> visited;
 
+    void serialize(BinaryWriter& w) const;
+    static WorkloadRequestPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
     static WorkloadRequestPayload decode(std::span<const std::uint8_t> data);
 };
 
 struct WorkloadAssignPayload {
+    static constexpr net::MessageType kType = net::MessageType::WorkloadAssign;
+
     std::vector<CommandSpec> commands;
 
+    void serialize(BinaryWriter& w) const;
+    static WorkloadAssignPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
     static WorkloadAssignPayload decode(std::span<const std::uint8_t> data);
 };
@@ -37,21 +50,29 @@ struct WorkloadAssignPayload {
 /// Heartbeat status: which commands this worker is running and where their
 /// project servers live. Intentionally tiny (paper: < 200 bytes).
 struct HeartbeatPayload {
+    static constexpr net::MessageType kType = net::MessageType::Heartbeat;
+
     net::NodeId worker = net::kInvalidNode;
     std::vector<CommandId> running;
     std::vector<net::NodeId> projectServers; ///< parallel to `running`
 
+    void serialize(BinaryWriter& w) const;
+    static HeartbeatPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
     static HeartbeatPayload decode(std::span<const std::uint8_t> data);
 };
 
 /// Mid-run checkpoint streamed to the worker's closest server.
 struct CheckpointPayload {
+    static constexpr net::MessageType kType = net::MessageType::CheckpointData;
+
     CommandId commandId = 0;
     ProjectId projectId = 0;
     net::NodeId projectServer = net::kInvalidNode;
     std::vector<std::uint8_t> blob;
 
+    void serialize(BinaryWriter& w) const;
+    static CheckpointPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
     static CheckpointPayload decode(std::span<const std::uint8_t> data);
 };
@@ -59,12 +80,94 @@ struct CheckpointPayload {
 /// Failure signal from a worker's server to a project server, carrying the
 /// newest cached checkpoints so commands restart from them (paper §2.3).
 struct WorkerFailedPayload {
+    static constexpr net::MessageType kType = net::MessageType::WorkerFailed;
+
     net::NodeId worker = net::kInvalidNode;
     std::vector<CommandId> commands;
     std::vector<std::vector<std::uint8_t>> checkpoints; ///< may hold empties
 
+    void serialize(BinaryWriter& w) const;
+    static WorkerFailedPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
     static WorkerFailedPayload decode(std::span<const std::uint8_t> data);
+};
+
+/// A finished (or failed — see result.success) command travelling from the
+/// worker towards its project server, possibly relayed through other
+/// servers. Carries the project server explicitly so any relay can route
+/// it without side-channel state.
+struct CommandOutputPayload {
+    static constexpr net::MessageType kType = net::MessageType::CommandOutput;
+
+    CommandResult result;
+    net::NodeId projectServer = net::kInvalidNode;
+
+    void serialize(BinaryWriter& w) const;
+    static CommandOutputPayload deserialize(BinaryReader& r);
+    std::vector<std::uint8_t> encode() const;
+    static CommandOutputPayload decode(std::span<const std::uint8_t> data);
+};
+
+/// A worker's closest server vouches for the worker towards a remote
+/// project server: renews the leases of the listed commands.
+struct LeaseRenewPayload {
+    static constexpr net::MessageType kType = net::MessageType::LeaseRenew;
+
+    net::NodeId worker = net::kInvalidNode;
+    std::vector<CommandId> commands;
+
+    void serialize(BinaryWriter& w) const;
+    static LeaseRenewPayload deserialize(BinaryReader& r);
+    std::vector<std::uint8_t> encode() const;
+    static LeaseRenewPayload decode(std::span<const std::uint8_t> data);
+};
+
+/// Negative response to a workload request (no commands anywhere).
+struct NoWorkPayload {
+    static constexpr net::MessageType kType = net::MessageType::NoWorkAvailable;
+
+    net::NodeId worker = net::kInvalidNode; ///< the requester being answered
+
+    void serialize(BinaryWriter& w) const;
+    static NoWorkPayload deserialize(BinaryReader& r);
+    std::vector<std::uint8_t> encode() const;
+    static NoWorkPayload decode(std::span<const std::uint8_t> data);
+};
+
+/// Monitoring/control request from the command-line client (paper §2.4).
+struct ClientRequestPayload {
+    static constexpr net::MessageType kType = net::MessageType::ClientRequest;
+
+    ProjectId projectId = 0;
+    std::string command;
+
+    void serialize(BinaryWriter& w) const;
+    static ClientRequestPayload deserialize(BinaryReader& r);
+    std::vector<std::uint8_t> encode() const;
+    static ClientRequestPayload decode(std::span<const std::uint8_t> data);
+};
+
+struct ClientResponsePayload {
+    static constexpr net::MessageType kType = net::MessageType::ClientResponse;
+
+    std::string text;
+
+    void serialize(BinaryWriter& w) const;
+    static ClientResponsePayload deserialize(BinaryReader& r);
+    std::vector<std::uint8_t> encode() const;
+    static ClientResponsePayload decode(std::span<const std::uint8_t> data);
+};
+
+/// End-to-end delivery acknowledgement (envelope protocol).
+struct AckPayload {
+    static constexpr net::MessageType kType = net::MessageType::Ack;
+
+    std::uint64_t ackedMessageId = 0;
+
+    void serialize(BinaryWriter& w) const;
+    static AckPayload deserialize(BinaryReader& r);
+    std::vector<std::uint8_t> encode() const;
+    static AckPayload decode(std::span<const std::uint8_t> data);
 };
 
 } // namespace cop::core

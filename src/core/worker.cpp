@@ -10,10 +10,16 @@ Worker::Worker(net::OverlayNetwork& network, std::string name,
                net::KeyPair keys, WorkerConfig config,
                ExecutableRegistry registry)
     : network_(&network), node_(network, std::move(name), keys),
-      config_(std::move(config)), registry_(std::move(registry)) {
+      endpoint_(network, node_, config.rpc), config_(std::move(config)),
+      registry_(std::move(registry)), rng_(node_.keys().publicKey) {
     COP_REQUIRE(config_.cores >= 1, "worker needs at least one core");
     COP_REQUIRE(config_.heartbeatInterval > 0.0, "bad heartbeat interval");
-    node_.setHandler([this](const net::Message& msg) { handleMessage(msg); });
+    endpoint_.onEnvelope(
+        [this](const wire::Envelope& env, const net::Message&) {
+            handleEnvelope(env);
+        });
+    endpoint_.onDeliveryFailure(
+        [this](const net::Message& failed) { handleDeliveryFailure(failed); });
 }
 
 void Worker::start(net::NodeId closestServer) {
@@ -25,24 +31,20 @@ void Worker::start(net::NodeId closestServer) {
     requestWork();
 }
 
+void Worker::addFallbackServer(net::NodeId server) {
+    if (server == server_) return;
+    if (std::find(fallbackServers_.begin(), fallbackServers_.end(), server) ==
+        fallbackServers_.end())
+        fallbackServers_.push_back(server);
+}
+
 void Worker::failAfter(double delay) {
     network_->loop().schedule(delay, [this] {
         alive_ = false;
         running_.clear();
+        endpoint_.shutdown();
         COP_LOG_INFO("worker") << node_.name() << ": injected failure";
     });
-}
-
-void Worker::sendMessage(net::MessageType type,
-                         std::vector<std::uint8_t> payload,
-                         std::uint64_t payloadKey) {
-    net::Message msg;
-    msg.type = type;
-    msg.source = id();
-    msg.destination = server_;
-    msg.payload = std::move(payload);
-    msg.payloadKey = payloadKey;
-    network_->send(std::move(msg));
 }
 
 void Worker::requestWork() {
@@ -54,34 +56,83 @@ void Worker::requestWork() {
     req.platform = config_.platform;
     req.cores = config_.cores;
     req.executables = registry_.names();
-    sendMessage(net::MessageType::WorkloadRequest, req.encode());
+    // Reliable: the ack confirms the request reached the server, which
+    // then owes us an answer — assignment, NoWorkAvailable (both reliable)
+    // or a parked long-poll. Only a delivery failure needs a local retry
+    // (handleDeliveryFailure), so an idle, parked worker is quiescent.
+    endpoint_.send(server_, req);
 }
 
-void Worker::handleMessage(const net::Message& msg) {
+void Worker::handleEnvelope(const wire::Envelope& env) {
     if (!alive_) return;
-    switch (msg.type) {
-    case net::MessageType::WorkloadAssign:
+    std::visit(
+        [&](const auto& payload) {
+            using T = std::decay_t<decltype(payload)>;
+            if constexpr (std::is_same_v<T, WorkloadAssignPayload>) {
+                requestPending_ = false;
+                pollAttempt_ = 0;
+                handleAssignment(payload);
+            } else if constexpr (std::is_same_v<T, NoWorkPayload>) {
+                requestPending_ = false;
+                // The queue was empty everywhere; retry after a backoff
+                // (this is the "no more than 30 seconds per day" wait of
+                // §4, now with jitter so idle fleets desynchronize).
+                ++stats_.pollRetries;
+                const double delay =
+                    config_.pollBackoff.delay(pollAttempt_++, rng_);
+                network_->loop().schedule(delay, [this] { requestWork(); });
+            } else {
+                COP_LOG_WARN("worker")
+                    << node_.name() << ": unexpected message "
+                    << net::messageTypeName(env.type);
+            }
+        },
+        env.payload);
+}
+
+void Worker::handleDeliveryFailure(const net::Message& failed) {
+    if (!alive_) return;
+    if (failed.destination != server_) {
+        // Targeted at a server we already failed away from (several sends
+        // can be in flight when the rotation happens): re-target it at
+        // the current server instead of dropping it.
+        if (std::find(fallbackServers_.begin(), fallbackServers_.end(),
+                      failed.destination) != fallbackServers_.end())
+            endpoint_.resend(failed, server_);
+        return;
+    }
+    if (!fallbackServers_.empty()) {
+        // The current server is unreachable: rotate to the next fallback
+        // and re-target the undelivered message there.
+        fallbackServers_.push_back(server_);
+        server_ = fallbackServers_.front();
+        fallbackServers_.erase(fallbackServers_.begin());
+        ++stats_.serverFailovers;
+        COP_LOG_INFO("worker") << node_.name() << ": failing over to "
+                               << network_->node(server_).name();
+        endpoint_.resend(failed, server_);
+        return;
+    }
+    if (failed.type == net::MessageType::WorkloadRequest) {
+        // Nowhere to fail over: back off and ask again later (the outage
+        // may be a transient cut or partition).
         requestPending_ = false;
-        handleAssignment(msg);
-        break;
-    case net::MessageType::NoWorkAvailable:
-        requestPending_ = false;
-        // The queue was empty everywhere; retry after a delay (this is the
-        // "no more than 30 seconds per day" wait of §4).
-        network_->loop().schedule(config_.retryDelay,
-                                  [this] { requestWork(); });
-        break;
-    default:
-        COP_LOG_WARN("worker") << node_.name() << ": unexpected message "
-                               << net::messageTypeName(msg.type);
+        ++stats_.pollRetries;
+        const double delay = config_.pollBackoff.delay(pollAttempt_++, rng_);
+        network_->loop().schedule(delay, [this] { requestWork(); });
     }
 }
 
-void Worker::handleAssignment(const net::Message& msg) {
-    auto assign = WorkloadAssignPayload::decode(msg.payload);
+void Worker::handleAssignment(const WorkloadAssignPayload& assign) {
     if (assign.commands.empty()) return;
 
-    for (auto& cmd : assign.commands) {
+    for (const auto& assigned : assign.commands) {
+        if (running_.count(assigned.id) > 0) {
+            // Duplicate assignment (a re-sent request was answered twice).
+            ++stats_.duplicateAssignmentsDropped;
+            continue;
+        }
+        CommandSpec cmd = assigned;
         const int cores = std::min(cmd.preferredCores, config_.cores);
         Execution exec;
         try {
@@ -98,7 +149,8 @@ void Worker::handleAssignment(const net::Message& msg) {
         exec.result.simSeconds = exec.simSeconds;
         stats_.busySeconds += exec.simSeconds;
 
-        // Stream mid-run checkpoints to the closest server.
+        // Stream mid-run checkpoints to the closest server (unreliable:
+        // a lost checkpoint only costs recovery freshness).
         for (auto& [fraction, blob] : exec.checkpoints) {
             CheckpointPayload cp;
             cp.commandId = cmd.id;
@@ -110,14 +162,13 @@ void Worker::handleAssignment(const net::Message& msg) {
                 [this, cp = std::move(cp)]() mutable {
                     if (!alive_) return;
                     ++stats_.checkpointsSent;
-                    sendMessage(net::MessageType::CheckpointData,
-                                cp.encode());
+                    endpoint_.send(server_, cp, /*reliable=*/false);
                 });
         }
 
         // Deliver the result when the (virtual) run completes.
         const CommandId cid = cmd.id;
-        const auto projectServer = std::uint64_t(cmd.projectServer);
+        const auto projectServer = cmd.projectServer;
         const double duration = exec.simSeconds;
         const bool ok = exec.result.success;
         running_[cid] = Running{std::move(cmd)};
@@ -131,11 +182,10 @@ void Worker::handleAssignment(const net::Message& msg) {
                     ++stats_.commandsCompleted;
                 else
                     ++stats_.commandsFailed;
-                BinaryWriter w;
-                result.serialize(w);
-                sendMessage(ok ? net::MessageType::CommandOutput
-                               : net::MessageType::CommandFailed,
-                            w.takeBuffer(), projectServer);
+                CommandOutputPayload out;
+                out.result = std::move(result);
+                out.projectServer = projectServer;
+                endpoint_.send(server_, out);
                 if (running_.empty()) requestWork();
             });
     }
@@ -166,7 +216,7 @@ void Worker::sendHeartbeat() {
         hb.running.push_back(cid);
         hb.projectServers.push_back(run.spec.projectServer);
     }
-    sendMessage(net::MessageType::Heartbeat, hb.encode());
+    endpoint_.send(server_, hb, /*reliable=*/false);
 }
 
 } // namespace cop::core

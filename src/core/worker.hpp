@@ -7,14 +7,23 @@
 /// duration model), streams checkpoints and heartbeats, returns output,
 /// and asks for more work. Supports failure injection for the §2.3
 /// transparent-continuation experiments.
+///
+/// All messaging goes through a typed wire::Endpoint. Polling after
+/// NoWorkAvailable uses capped exponential backoff with seeded jitter;
+/// requests whose reliable delivery ultimately fails are retried after a
+/// backoff; and if its server becomes unreachable the worker fails over
+/// to the next configured fallback server.
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "core/envelope.hpp"
 #include "core/executable.hpp"
 #include "core/wire.hpp"
+#include "net/backoff.hpp"
 #include "net/overlay.hpp"
+#include "util/random.hpp"
 
 namespace cop::core {
 
@@ -22,7 +31,11 @@ struct WorkerConfig {
     std::string platform = "smp"; ///< e.g. "OpenMPI", "SMP" (paper §2.3)
     int cores = 1;
     double heartbeatInterval = 120.0; ///< seconds (paper default)
-    double retryDelay = 30.0;         ///< wait after NoWorkAvailable
+    /// Wait after NoWorkAvailable: capped exponential backoff with seeded
+    /// jitter so an idle fleet does not poll in lockstep.
+    net::BackoffPolicy pollBackoff{30.0, 2.0, 480.0, 0.25};
+    /// Ack/retransmit policy for reliable sends.
+    wire::RetryPolicy rpc;
 };
 
 struct WorkerStats {
@@ -31,6 +44,9 @@ struct WorkerStats {
     std::uint64_t workloadRequestsSent = 0;
     std::uint64_t heartbeatsSent = 0;
     std::uint64_t checkpointsSent = 0;
+    std::uint64_t pollRetries = 0;      ///< NoWorkAvailable backoffs taken
+    std::uint64_t serverFailovers = 0;  ///< switched to a fallback server
+    std::uint64_t duplicateAssignmentsDropped = 0;
     double busySeconds = 0.0; ///< virtual seconds of command execution
 };
 
@@ -44,29 +60,35 @@ public:
     net::NodeId id() const { return node_.id(); }
     const WorkerConfig& config() const { return config_; }
     const WorkerStats& stats() const { return stats_; }
+    /// Wire-layer counters (retransmits, acks, duplicates dropped).
+    const wire::EndpointStats& wireStats() const { return endpoint_.stats(); }
 
     /// Sets the closest server (must already be connected in the overlay)
     /// and sends the first announcement/work request.
     void start(net::NodeId closestServer);
 
+    /// Adds a server this worker switches to when reliable sends to the
+    /// current one keep failing (must be trusted + connected separately).
+    void addFallbackServer(net::NodeId server);
+
     /// Stops requesting new work after the current commands complete.
     void drain() { draining_ = true; }
 
     /// Injects a crash `delay` seconds from now: the worker stops dead —
-    /// no more heartbeats, checkpoints or results.
+    /// no more heartbeats, checkpoints, results, acks or retransmits.
     void failAfter(double delay);
 
     bool alive() const { return alive_; }
     std::size_t runningCommands() const { return running_.size(); }
+    net::NodeId currentServer() const { return server_; }
 
 private:
-    void handleMessage(const net::Message& msg);
-    void handleAssignment(const net::Message& msg);
+    void handleEnvelope(const wire::Envelope& env);
+    void handleAssignment(const WorkloadAssignPayload& assign);
+    void handleDeliveryFailure(const net::Message& failed);
     void requestWork();
     void sendHeartbeat();
     void ensureHeartbeatScheduled();
-    void sendMessage(net::MessageType type, std::vector<std::uint8_t> payload,
-                     std::uint64_t payloadKey = 0);
 
     struct Running {
         CommandSpec spec;
@@ -74,11 +96,15 @@ private:
 
     net::OverlayNetwork* network_;
     net::Node node_;
+    wire::Endpoint endpoint_;
     WorkerConfig config_;
     ExecutableRegistry registry_;
+    Rng rng_;
     net::NodeId server_ = net::kInvalidNode;
+    std::vector<net::NodeId> fallbackServers_;
     std::map<CommandId, Running> running_;
     WorkerStats stats_;
+    int pollAttempt_ = 0;
     bool alive_ = true;
     bool draining_ = false;
     bool heartbeatScheduled_ = false;

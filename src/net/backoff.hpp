@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file backoff.hpp
+/// Capped exponential backoff with seeded multiplicative jitter. Used by
+/// the worker's no-work poll (so a 100-worker cold start does not
+/// synchronize its retries) and by the wire-layer ack/retransmit timers.
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace cop::net {
+
+struct BackoffPolicy {
+    double initial = 30.0;    ///< seconds before the first retry
+    double multiplier = 2.0;  ///< growth factor per attempt
+    double max = 480.0;       ///< cap on the undithered delay
+    double jitter = 0.25;     ///< fraction subtracted uniformly at random
+
+    /// Delay before retry number `attempt` (0-based). Deterministic in the
+    /// rng state: delay = min(max, initial * multiplier^attempt) scaled by
+    /// a uniform factor in [1 - jitter, 1].
+    double delay(int attempt, Rng& rng) const {
+        double d = initial * std::pow(multiplier, double(attempt));
+        d = std::min(d, max);
+        if (jitter > 0.0) d *= 1.0 - jitter * rng.uniform();
+        return d;
+    }
+};
+
+} // namespace cop::net

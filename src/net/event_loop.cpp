@@ -12,7 +12,20 @@ void EventLoop::schedule(SimTime delay, Callback fn) {
 void EventLoop::scheduleAt(SimTime when, Callback fn) {
     COP_REQUIRE(when >= now_, "cannot schedule in the past");
     COP_REQUIRE(fn != nullptr, "null callback");
-    queue_.push(Event{when, nextSeq_++, std::move(fn)});
+    queue_.push(Event{when, nextSeq_++, std::move(fn), 0});
+}
+
+EventLoop::TimerId EventLoop::scheduleTimer(SimTime delay, Callback fn) {
+    COP_REQUIRE(delay >= 0.0, "cannot schedule in the past");
+    COP_REQUIRE(fn != nullptr, "null callback");
+    const TimerId id = nextTimer_++;
+    liveTimers_.insert(id);
+    queue_.push(Event{now_ + delay, nextSeq_++, std::move(fn), id});
+    return id;
+}
+
+bool EventLoop::cancelTimer(TimerId id) {
+    return liveTimers_.erase(id) > 0;
 }
 
 void EventLoop::popAndRun() {
@@ -21,6 +34,10 @@ void EventLoop::popAndRun() {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.time;
+    if (ev.timer != 0) {
+        // Cancellable timer: only fire if not cancelled in the meantime.
+        if (liveTimers_.erase(ev.timer) == 0) return;
+    }
     ev.fn();
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/error.hpp"
@@ -31,6 +32,14 @@ public:
     /// Schedules `fn` at an absolute time >= now().
     void scheduleAt(SimTime when, Callback fn);
 
+    /// Cancellable timers (used by the wire layer's ack/retransmit
+    /// machinery). The returned id can be passed to cancelTimer before
+    /// the timer fires; a cancelled timer's callback never runs.
+    using TimerId = std::uint64_t;
+    TimerId scheduleTimer(SimTime delay, Callback fn);
+    /// Returns true if the timer was still pending (and is now dead).
+    bool cancelTimer(TimerId id);
+
     /// Runs until the queue is empty or `limit` events have fired.
     /// Returns the number of events processed.
     std::size_t run(std::size_t limit = SIZE_MAX);
@@ -47,6 +56,7 @@ private:
         SimTime time;
         std::uint64_t seq;
         Callback fn;
+        TimerId timer = 0; ///< nonzero: skip unless still in liveTimers_
     };
     struct Later {
         bool operator()(const Event& a, const Event& b) const {
@@ -59,6 +69,8 @@ private:
 
     SimTime now_ = 0.0;
     std::uint64_t nextSeq_ = 0;
+    TimerId nextTimer_ = 1;
+    std::unordered_set<TimerId> liveTimers_;
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -1,0 +1,14 @@
+#include "net/fault.hpp"
+
+namespace cop::net {
+
+const char* deadLetterReasonName(DeadLetterReason r) {
+    switch (r) {
+    case DeadLetterReason::NoRoute: return "NoRoute";
+    case DeadLetterReason::NodeDown: return "NodeDown";
+    case DeadLetterReason::DestinationDown: return "DestinationDown";
+    }
+    return "Unknown";
+}
+
+} // namespace cop::net

@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file fault.hpp
+/// Scriptable fault injection for the overlay network (paper §2.2-2.3:
+/// Copernicus must keep adaptive projects running on unreliable,
+/// distributed hardware). A FaultPlan is a seeded schedule of per-link
+/// message chaos (drop / duplication / reordering / latency spikes) plus
+/// timed structural events (link cuts, network partitions, node crashes
+/// and restarts). The plan is applied hop-by-hop inside
+/// OverlayNetwork::forward, so every protocol layer above it — acks,
+/// retransmits, leases, checkpoint handoff — is exercised under loss.
+///
+/// Determinism: all probabilistic draws come from one Rng seeded by
+/// FaultPlan::seed and happen in event-loop order, so the same seed
+/// reproduces the same fault sequence (and the same overlay trace hash)
+/// bit for bit.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/message.hpp"
+
+namespace cop::net {
+
+/// Per-link message-level chaos probabilities, evaluated per hop.
+struct FaultProfile {
+    double dropProbability = 0.0;      ///< message vanishes on the link
+    double duplicateProbability = 0.0; ///< message delivered twice
+    double reorderProbability = 0.0;   ///< extra uniform [0, reorderWindow)
+    double reorderWindow = 0.05;       ///< seconds of reorder jitter
+    double spikeProbability = 0.0;     ///< latency spike on this hop
+    double spikeSeconds = 0.0;         ///< uniform [0, spikeSeconds) extra
+
+    bool active() const {
+        return dropProbability > 0.0 || duplicateProbability > 0.0 ||
+               reorderProbability > 0.0 || spikeProbability > 0.0;
+    }
+};
+
+/// A seeded, scriptable fault schedule. Install with
+/// OverlayNetwork::setFaultPlan after the topology is built; structural
+/// events are scheduled on the event loop at that point.
+struct FaultPlan {
+    std::uint64_t seed = 0;
+
+    /// Chaos applied to every link without an explicit override.
+    FaultProfile defaultProfile;
+    /// Per-link overrides, keyed by unordered node pair.
+    std::map<std::pair<NodeId, NodeId>, FaultProfile> linkProfiles;
+
+    /// One link goes down at `at` and heals at `heal` (heal < at means
+    /// the cut is permanent).
+    struct LinkCut {
+        SimTime at = 0.0;
+        SimTime heal = -1.0;
+        NodeId a = kInvalidNode;
+        NodeId b = kInvalidNode;
+    };
+    /// Every link crossing the island boundary goes down at `at` and
+    /// heals at `heal` (heal < at means permanent).
+    struct Partition {
+        SimTime at = 0.0;
+        SimTime heal = -1.0;
+        std::vector<NodeId> island;
+    };
+    /// The node drops off the network at `at` (all its messages dead-
+    /// letter) and rejoins at `restart` (restart < at means never).
+    struct Crash {
+        SimTime at = 0.0;
+        SimTime restart = -1.0;
+        NodeId node = kInvalidNode;
+    };
+
+    std::vector<LinkCut> cuts;
+    std::vector<Partition> partitions;
+    std::vector<Crash> crashes;
+
+    FaultPlan& cutLink(NodeId a, NodeId b, SimTime at, SimTime heal = -1.0) {
+        cuts.push_back({at, heal, a, b});
+        return *this;
+    }
+    FaultPlan& partition(std::vector<NodeId> island, SimTime at,
+                         SimTime heal = -1.0) {
+        partitions.push_back({at, heal, std::move(island)});
+        return *this;
+    }
+    FaultPlan& crashNode(NodeId node, SimTime at, SimTime restart = -1.0) {
+        crashes.push_back({at, restart, node});
+        return *this;
+    }
+};
+
+/// Observable effect of an installed FaultPlan plus routing failures.
+struct FaultStats {
+    std::uint64_t dropped = 0;      ///< messages dropped by chaos
+    std::uint64_t duplicated = 0;   ///< extra copies injected
+    std::uint64_t delayed = 0;      ///< reorder/spike delays applied
+    std::uint64_t deadLetters = 0;  ///< undeliverable (no route / node down)
+    std::uint64_t linkCuts = 0;     ///< structural link-down events applied
+    std::uint64_t crashes = 0;      ///< node crash events applied
+};
+
+/// Why a message could not be delivered.
+enum class DeadLetterReason : std::uint8_t {
+    NoRoute,         ///< routing found no usable path
+    NodeDown,        ///< a crashed node held or was to receive the message
+    DestinationDown, ///< final destination is crashed
+};
+
+const char* deadLetterReasonName(DeadLetterReason r);
+
+} // namespace cop::net

@@ -30,6 +30,9 @@ enum class MessageType : std::uint8_t {
     // Client <-> server
     ClientRequest,    ///< monitoring/control from the command line client
     ClientResponse,
+    // Wire-layer control (envelope protocol)
+    Ack,              ///< end-to-end delivery acknowledgement
+    LeaseRenew,       ///< closest server renews command leases for a worker
 };
 
 const char* messageTypeName(MessageType t);
@@ -45,7 +48,7 @@ struct Message {
     NodeId source = kInvalidNode;      ///< originating node
     NodeId destination = kInvalidNode; ///< final destination node
     std::uint64_t id = 0;              ///< unique per network
-    std::uint64_t payloadKey = 0;      ///< application-level handle
+    bool requireAck = false;           ///< sender retransmits until acked
     std::vector<std::uint8_t> payload;
 
     /// Bytes on the wire: payload plus a fixed framing overhead (SSL

@@ -1,6 +1,7 @@
 #include "net/overlay.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <queue>
 
@@ -8,6 +9,21 @@
 #include "util/random.hpp"
 
 namespace cop::net {
+
+namespace {
+
+// Trace event kinds folded into OverlayNetwork::traceHash().
+constexpr std::uint64_t kTraceDeliver = 1;
+constexpr std::uint64_t kTraceDrop = 2;
+constexpr std::uint64_t kTraceDuplicate = 3;
+constexpr std::uint64_t kTraceDelay = 4;
+constexpr std::uint64_t kTraceDeadLetter = 5;
+constexpr std::uint64_t kTraceLinkDown = 6;
+constexpr std::uint64_t kTraceLinkUp = 7;
+constexpr std::uint64_t kTraceNodeDown = 8;
+constexpr std::uint64_t kTraceNodeUp = 9;
+
+} // namespace
 
 const char* messageTypeName(MessageType t) {
     switch (t) {
@@ -23,6 +39,8 @@ const char* messageTypeName(MessageType t) {
     case MessageType::NoWorkAvailable: return "NoWorkAvailable";
     case MessageType::ClientRequest: return "ClientRequest";
     case MessageType::ClientResponse: return "ClientResponse";
+    case MessageType::Ack: return "Ack";
+    case MessageType::LeaseRenew: return "LeaseRenew";
     }
     return "Unknown";
 }
@@ -100,11 +118,25 @@ std::vector<NodeId> OverlayNetwork::neighbors(NodeId id) const {
     return it->second;
 }
 
+bool OverlayNetwork::nodeUp(NodeId id) const {
+    auto it = downNodes_.find(id);
+    return it == downNodes_.end() || it->second == 0;
+}
+
+bool OverlayNetwork::linkUsable(NodeId a, NodeId b) const {
+    if (!connected(a, b)) return false;
+    auto it = downLinks_.find(keyOf(a, b));
+    if (it != downLinks_.end() && it->second > 0) return false;
+    return nodeUp(a) && nodeUp(b);
+}
+
 NodeId OverlayNetwork::nextHop(NodeId from, NodeId to) const {
     if (from == to) return to;
-    // Dijkstra from `from` by total latency; return the first hop of the
-    // best path. Networks are tiny (paper: "no more than a handful of
-    // servers"), so recomputing per call is simpler than caching.
+    if (!nodeUp(from) || !nodeUp(to)) return kInvalidNode;
+    // Dijkstra from `from` by total latency over usable links; return the
+    // first hop of the best path. Networks are tiny (paper: "no more than
+    // a handful of servers"), so recomputing per call is simpler than
+    // caching — and stays correct as links cut and heal.
     const std::size_t n = nodes_.size();
     std::vector<double> dist(n, std::numeric_limits<double>::infinity());
     std::vector<NodeId> firstHop(n, kInvalidNode);
@@ -118,6 +150,7 @@ NodeId OverlayNetwork::nextHop(NodeId from, NodeId to) const {
         if (d > dist[std::size_t(u)]) continue;
         if (u == to) break;
         for (NodeId v : neighbors(u)) {
+            if (!linkUsable(u, v)) continue;
             const auto& link = links_.at(keyOf(u, v));
             const double nd = d + link.props.latency;
             if (nd < dist[std::size_t(v)]) {
@@ -140,14 +173,26 @@ void OverlayNetwork::send(Message msg) {
 }
 
 void OverlayNetwork::forward(Message msg, NodeId at) {
+    if (!nodeUp(at)) {
+        // The node holding the message crashed while it was in flight.
+        deadLetter(msg, DeadLetterReason::NodeDown);
+        return;
+    }
     if (at == msg.destination) {
+        traceEvent(kTraceDeliver, msg.id, std::uint64_t(at),
+                   std::uint64_t(msg.type));
         node(at).deliver(msg);
         return;
     }
+    if (!nodeUp(msg.destination)) {
+        deadLetter(msg, DeadLetterReason::DestinationDown);
+        return;
+    }
     const NodeId hop = nextHop(at, msg.destination);
-    if (hop == kInvalidNode)
-        throw InvalidArgument("no route from " + node(at).name() + " to " +
-                              node(msg.destination).name());
+    if (hop == kInvalidNode) {
+        deadLetter(msg, DeadLetterReason::NoRoute);
+        return;
+    }
     auto& link = links_.at(keyOf(at, hop));
     // On shared-filesystem links, bulk payloads are exchanged through the
     // filesystem; only the framing crosses the network.
@@ -155,12 +200,149 @@ void OverlayNetwork::forward(Message msg, NodeId at) {
         (link.props.sharedFilesystem && isBulkDataMessage(msg.type))
             ? (msg.wireSize() - msg.payload.size())
             : msg.wireSize();
-    link.stats.messages += 1;
-    link.stats.bytes += wireBytes;
-    const double delay = link.props.transferTime(wireBytes);
-    loop_->schedule(delay, [this, msg = std::move(msg), hop]() mutable {
-        forward(std::move(msg), hop);
-    });
+    // Per-hop chaos. Draws happen in deterministic event-loop order, so a
+    // given FaultPlan seed yields the same decisions run after run.
+    int copies = 1;
+    double extraDelay[2] = {0.0, 0.0};
+    if (planActive_) {
+        const FaultProfile& prof = profileFor(keyOf(at, hop));
+        if (prof.active()) {
+            if (prof.dropProbability > 0.0 &&
+                faultRng_.uniform() < prof.dropProbability) {
+                // The message consumed the wire before vanishing.
+                link.stats.messages += 1;
+                link.stats.bytes += wireBytes;
+                ++faultStats_.dropped;
+                traceEvent(kTraceDrop, msg.id, std::uint64_t(at),
+                           std::uint64_t(hop));
+                return;
+            }
+            if (prof.duplicateProbability > 0.0 &&
+                faultRng_.uniform() < prof.duplicateProbability) {
+                copies = 2;
+                ++faultStats_.duplicated;
+                traceEvent(kTraceDuplicate, msg.id, std::uint64_t(at),
+                           std::uint64_t(hop));
+            }
+            for (int c = 0; c < copies; ++c) {
+                double extra = 0.0;
+                if (prof.reorderProbability > 0.0 &&
+                    faultRng_.uniform() < prof.reorderProbability)
+                    extra += prof.reorderWindow * faultRng_.uniform();
+                if (prof.spikeProbability > 0.0 &&
+                    faultRng_.uniform() < prof.spikeProbability)
+                    extra += prof.spikeSeconds * faultRng_.uniform();
+                if (extra > 0.0) {
+                    ++faultStats_.delayed;
+                    traceEvent(kTraceDelay, msg.id, std::uint64_t(at),
+                               std::bit_cast<std::uint64_t>(extra));
+                }
+                extraDelay[c] = extra;
+            }
+        }
+    }
+    for (int c = 0; c < copies; ++c) {
+        link.stats.messages += 1;
+        link.stats.bytes += wireBytes;
+        const double delay = link.props.transferTime(wireBytes) + extraDelay[c];
+        Message copy = (c + 1 == copies) ? std::move(msg) : msg;
+        loop_->schedule(delay, [this, m = std::move(copy), hop]() mutable {
+            forward(std::move(m), hop);
+        });
+    }
+}
+
+void OverlayNetwork::deadLetter(const Message& msg, DeadLetterReason reason) {
+    ++faultStats_.deadLetters;
+    traceEvent(kTraceDeadLetter, msg.id, std::uint64_t(msg.destination),
+               std::uint64_t(reason));
+    if (deadLetterHandler_) deadLetterHandler_(msg, reason);
+}
+
+const FaultProfile& OverlayNetwork::profileFor(const LinkKey& key) const {
+    auto it = plan_.linkProfiles.find(key);
+    return it != plan_.linkProfiles.end() ? it->second : plan_.defaultProfile;
+}
+
+void OverlayNetwork::setFaultPlan(const FaultPlan& plan) {
+    plan_ = plan;
+    planActive_ = true;
+    faultRng_ = Rng(plan_.seed);
+    for (const auto& cut : plan_.cuts) {
+        loop_->scheduleAt(cut.at, [this, cut] { cutLink(cut.a, cut.b); });
+        if (cut.heal >= cut.at)
+            loop_->scheduleAt(cut.heal, [this, cut] { healLink(cut.a, cut.b); });
+    }
+    for (const auto& part : plan_.partitions) {
+        loop_->scheduleAt(part.at, [this, island = part.island] {
+            applyPartition(island, +1);
+        });
+        if (part.heal >= part.at)
+            loop_->scheduleAt(part.heal, [this, island = part.island] {
+                applyPartition(island, -1);
+            });
+    }
+    for (const auto& crash : plan_.crashes) {
+        loop_->scheduleAt(crash.at, [this, crash] { crashNode(crash.node); });
+        if (crash.restart >= crash.at)
+            loop_->scheduleAt(crash.restart,
+                              [this, crash] { restoreNode(crash.node); });
+    }
+}
+
+void OverlayNetwork::cutLink(NodeId a, NodeId b) {
+    COP_REQUIRE(connected(a, b), "cannot cut a link that does not exist");
+    ++downLinks_[keyOf(a, b)];
+    ++faultStats_.linkCuts;
+    traceEvent(kTraceLinkDown, std::uint64_t(a), std::uint64_t(b), 0);
+}
+
+void OverlayNetwork::healLink(NodeId a, NodeId b) {
+    auto it = downLinks_.find(keyOf(a, b));
+    COP_REQUIRE(it != downLinks_.end() && it->second > 0, "link is not cut");
+    if (--it->second == 0) downLinks_.erase(it);
+    traceEvent(kTraceLinkUp, std::uint64_t(a), std::uint64_t(b), 0);
+}
+
+void OverlayNetwork::applyPartition(const std::vector<NodeId>& island,
+                                    int direction) {
+    const std::set<NodeId> inIsland(island.begin(), island.end());
+    for (const auto& [key, link] : links_) {
+        const bool aIn = inIsland.count(key.first) > 0;
+        const bool bIn = inIsland.count(key.second) > 0;
+        if (aIn == bIn) continue; // link does not cross the boundary
+        if (direction > 0)
+            cutLink(key.first, key.second);
+        else
+            healLink(key.first, key.second);
+    }
+}
+
+void OverlayNetwork::crashNode(NodeId id) {
+    COP_REQUIRE(id >= 0 && std::size_t(id) < nodes_.size(), "bad node id");
+    ++downNodes_[id];
+    ++faultStats_.crashes;
+    traceEvent(kTraceNodeDown, std::uint64_t(id), 0, 0);
+}
+
+void OverlayNetwork::restoreNode(NodeId id) {
+    auto it = downNodes_.find(id);
+    COP_REQUIRE(it != downNodes_.end() && it->second > 0, "node is not down");
+    if (--it->second == 0) downNodes_.erase(it);
+    traceEvent(kTraceNodeUp, std::uint64_t(id), 0, 0);
+}
+
+void OverlayNetwork::traceEvent(std::uint64_t kind, std::uint64_t a,
+                                std::uint64_t b, std::uint64_t c) {
+    const auto mix = [this](std::uint64_t v) {
+        traceHash_ ^= v;
+        traceHash_ *= 0x100000001b3ull; // FNV-1a prime
+    };
+    mix(kind);
+    mix(std::bit_cast<std::uint64_t>(loop_->now()));
+    mix(a);
+    mix(b);
+    mix(c);
 }
 
 const LinkStats& OverlayNetwork::linkStats(NodeId a, NodeId b) const {

@@ -7,6 +7,13 @@
 /// EventLoop. Connections require mutual key trust, mirroring the paper's
 /// SSL + exchanged-public-key scheme. Per-link and per-node traffic is
 /// recorded for the Fig. 9 bandwidth analysis.
+///
+/// Failure is a first-class input: an installed FaultPlan injects message
+/// drop/duplication/reordering/latency spikes per hop and drives timed
+/// link cuts, partitions and node crashes. Undeliverable messages become
+/// observable dead-letter events (never aborts), and every delivery/fault
+/// decision is folded into a trace hash so seeded runs can be asserted
+/// bit-identical.
 
 #include <cstdint>
 #include <functional>
@@ -17,7 +24,9 @@
 #include <vector>
 
 #include "net/event_loop.hpp"
+#include "net/fault.hpp"
 #include "net/message.hpp"
+#include "util/random.hpp"
 
 namespace cop::net {
 
@@ -106,12 +115,13 @@ public:
     bool connected(NodeId a, NodeId b) const;
 
     /// Sends a message; it travels hop-by-hop along the lowest-latency
-    /// path and is delivered to the destination's handler. Throws if no
-    /// path exists.
+    /// path and is delivered to the destination's handler. If no usable
+    /// path exists (partition, cut link, crashed node) the message becomes
+    /// a dead-letter event — routing failures are observable, not aborts.
     void send(Message msg);
 
     /// Next-hop routing table entry from `from` towards `to` (lowest total
-    /// latency, Dijkstra); kInvalidNode if unreachable.
+    /// latency over *usable* links, Dijkstra); kInvalidNode if unreachable.
     NodeId nextHop(NodeId from, NodeId to) const;
 
     /// Neighbours of `id`.
@@ -125,6 +135,38 @@ public:
 
     std::uint64_t nextMessageId() { return nextMessageId_++; }
 
+    // --- Fault injection ------------------------------------------------
+
+    /// Installs a fault plan: seeds the chaos RNG and schedules the plan's
+    /// structural events on the event loop. Call after the topology is
+    /// built (partitions resolve their crossing links at fire time).
+    void setFaultPlan(const FaultPlan& plan);
+    const FaultStats& faultStats() const { return faultStats_; }
+
+    using DeadLetterHandler =
+        std::function<void(const Message&, DeadLetterReason)>;
+    /// Observer for undeliverable messages (monitoring, tests). The
+    /// message is dropped after the callback returns.
+    void setDeadLetterHandler(DeadLetterHandler handler) {
+        deadLetterHandler_ = std::move(handler);
+    }
+
+    /// Structural fault primitives; counted, so overlapping cuts (e.g. a
+    /// partition over an already-cut link) nest correctly.
+    void cutLink(NodeId a, NodeId b);
+    void healLink(NodeId a, NodeId b);
+    void crashNode(NodeId id);
+    void restoreNode(NodeId id);
+
+    bool nodeUp(NodeId id) const;
+    /// Link exists, is not cut, and both endpoints are up.
+    bool linkUsable(NodeId a, NodeId b) const;
+
+    /// Order-sensitive FNV-1a hash over every delivery and fault decision
+    /// (kind, virtual time, message id, nodes). Two runs with the same
+    /// seeds produce the same hash bit for bit.
+    std::uint64_t traceHash() const { return traceHash_; }
+
 private:
     struct Link {
         LinkProperties props;
@@ -136,12 +178,26 @@ private:
     }
 
     void forward(Message msg, NodeId at);
+    void deadLetter(const Message& msg, DeadLetterReason reason);
+    const FaultProfile& profileFor(const LinkKey& key) const;
+    void applyPartition(const std::vector<NodeId>& island, int direction);
+    void traceEvent(std::uint64_t kind, std::uint64_t a, std::uint64_t b,
+                    std::uint64_t c);
 
     EventLoop* loop_;
     std::vector<Node*> nodes_;
     std::map<LinkKey, Link> links_;
     std::map<NodeId, std::vector<NodeId>> adjacency_;
     std::uint64_t nextMessageId_ = 1;
+
+    FaultPlan plan_;
+    bool planActive_ = false;
+    Rng faultRng_{0};
+    FaultStats faultStats_;
+    std::map<LinkKey, int> downLinks_; ///< counted: cuts + partitions nest
+    std::map<NodeId, int> downNodes_;
+    DeadLetterHandler deadLetterHandler_;
+    std::uint64_t traceHash_ = 0xcbf29ce484222325ull; ///< FNV-1a offset
 };
 
 } // namespace cop::net

@@ -101,7 +101,9 @@ ScalingResult simulateRun(const ScalingConfig& config) {
         core::WorkerConfig wc;
         wc.cores = config.coresPerSim;
         wc.heartbeatInterval = 6.0 * 3600.0;
-        wc.retryDelay = 600.0;
+        // Fixed 600 s poll (no growth, no jitter) keeps the traffic model
+        // of the original study.
+        wc.pollBackoff = net::BackoffPolicy{600.0, 1.0, 600.0, 0.0};
         dep.addWorker("w" + std::to_string(w), server, wc, std::move(reg),
                       core::links::intraCluster());
     }

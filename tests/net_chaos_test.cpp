@@ -1,0 +1,365 @@
+// Chaos suite (paper §2.3): seeded fault injection against full
+// deployments. Every scenario here drives real projects — adaptive MSM
+// sampling and BAR free-energy chains — through an overlay that drops,
+// duplicates and reorders messages, cuts links, partitions the network
+// and crashes nodes, then asserts that no command is ever permanently
+// lost and that the same seed reproduces the same event trace.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/backends.hpp"
+#include "core/bar_controller.hpp"
+#include "core/copernicus.hpp"
+#include "core/msm_controller.hpp"
+#include "mdlib/proteins.hpp"
+
+namespace cop {
+namespace {
+
+std::uint64_t envU64(const char* name, std::uint64_t fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+/// Registry speaking both project dialects so any worker can serve the
+/// MSM and the BAR project (paper Fig. 1: one deployment, many projects).
+core::ExecutableRegistry dualRegistry() {
+    core::ExecutableRegistry reg;
+    reg.add("mdrun", core::makeMdrunExecutable(
+                         core::linearDurationModel(0.05)));
+    reg.add("fe_sample", core::makeFeSampleExecutable(
+                             core::linearDurationModel(0.001)));
+    return reg;
+}
+
+core::ExecutableRegistry echoRegistry(double duration) {
+    core::ExecutableRegistry reg;
+    reg.add("echo", [duration](const core::CommandSpec& cmd, int) {
+        core::Execution e;
+        e.result.commandId = cmd.id;
+        e.result.projectId = cmd.projectId;
+        e.result.trajectoryId = cmd.trajectoryId;
+        e.result.generation = cmd.generation;
+        e.result.success = true;
+        e.simSeconds = duration;
+        return e;
+    });
+    return reg;
+}
+
+/// Submits `n` fixed echo commands and records completions.
+class FixedController : public core::Controller {
+public:
+    explicit FixedController(int n) : n_(n) {}
+    void onProjectStart(core::ProjectContext& ctx) override {
+        for (int i = 0; i < n_; ++i) {
+            core::CommandSpec spec;
+            spec.executable = "echo";
+            spec.steps = 10;
+            spec.trajectoryId = i;
+            ctx.submitCommand(std::move(spec));
+        }
+    }
+    void onCommandFinished(core::ProjectContext&,
+                           const core::CommandResult& r) override {
+        results.push_back(r);
+    }
+    bool isDone(const core::ProjectContext& ctx) const override {
+        return int(results.size()) == n_ && ctx.outstandingCommands() == 0;
+    }
+    std::vector<core::CommandResult> results;
+
+private:
+    int n_;
+};
+
+core::MsmControllerParams miniMsmParams(std::uint64_t seed) {
+    auto model = md::hairpinGoModel();
+    core::MsmControllerParams mp;
+    mp.model = model;
+    mp.startingConformations = md::makeUnfoldedConformations(model, 2, 9);
+    mp.tasksPerStart = 2;
+    mp.segmentSteps = 600;
+    mp.maxGenerations = 1;
+    mp.pipeline.numClusters = 8;
+    mp.pipeline.snapshotStride = 2;
+    mp.simulation.integrator.temperature = 0.5;
+    mp.simulation.sampleInterval = 50;
+    mp.seed = seed;
+    return mp;
+}
+
+core::BarControllerParams miniBarParams(std::uint64_t seed) {
+    core::BarControllerParams bp;
+    bp.numWindows = 4;
+    bp.samplesPerCommand = 1000;
+    bp.targetError = 0.05;
+    bp.maxRounds = 2;
+    bp.commandsPerRound = 4;
+    bp.seed = seed;
+    return bp;
+}
+
+/// One fully loaded chaos run: two servers, eight workers (two of which
+/// crash), ≥5% loss + duplication everywhere, one transient partition
+/// isolating the relay side, and both flagship project types in flight.
+struct ChaosRun {
+    bool done = false;
+    bool msmDone = false;
+    bool barDone = false;
+    std::uint64_t traceHash = 0;
+    net::FaultStats faultStats;
+};
+
+ChaosRun runChaosDeployment(std::uint64_t seed) {
+    core::Deployment dep(seed);
+    core::ServerConfig sc;
+    sc.heartbeatInterval = 30.0;
+    auto& project = dep.addServer("project", sc);
+    auto& relay = dep.addServer("relay", sc);
+    dep.connectServers(project, relay, core::links::dataCenter());
+
+    core::WorkerConfig wc;
+    wc.heartbeatInterval = 30.0;
+    std::vector<net::NodeId> relaySide{relay.id()};
+    for (int w = 0; w < 8; ++w) {
+        auto& home = w < 4 ? project : relay;
+        auto& worker =
+            dep.addWorker("w" + std::to_string(w), home, wc, dualRegistry(),
+                          core::links::intraCluster());
+        if (w >= 4) relaySide.push_back(worker.id());
+        // Two of the eight workers die mid-run (paper §2.3 burn-in).
+        if (w == 1) worker.failAfter(60.0);
+        if (w == 5) worker.failAfter(90.0);
+    }
+
+    net::FaultPlan plan;
+    plan.seed = seed;
+    plan.defaultProfile.dropProbability = 0.05;
+    plan.defaultProfile.duplicateProbability = 0.05;
+    plan.defaultProfile.reorderProbability = 0.05;
+    // Transient partition: the relay island loses the project server for
+    // two minutes in the middle of the run.
+    plan.partition(relaySide, 150.0, 270.0);
+    dep.setFaultPlan(plan);
+
+    const auto msmId =
+        project.createProject("chaos-msm", std::make_unique<core::MsmController>(
+                                               miniMsmParams(seed)));
+    const auto barId =
+        project.createProject("chaos-bar", std::make_unique<core::BarController>(
+                                               miniBarParams(seed)));
+
+    ChaosRun run;
+    run.done = dep.runUntilDone(5e5);
+    run.msmDone = project.projectDone(msmId);
+    run.barDone = project.projectDone(barId);
+    run.traceHash = dep.network().traceHash();
+    run.faultStats = dep.network().faultStats();
+    return run;
+}
+
+TEST(Chaos, LossAndDuplicationSweepMsmAndBar) {
+    // Multi-seed sweep; CI widens/narrows it via the environment.
+    const std::uint64_t base = envU64("COP_CHAOS_SEED_BASE", 1000);
+    const std::uint64_t count = envU64("COP_CHAOS_SEED_COUNT", 20);
+    for (std::uint64_t s = 0; s < count; ++s) {
+        const std::uint64_t seed = base + s;
+        const auto run = runChaosDeployment(seed);
+        EXPECT_TRUE(run.done) << "seed " << seed << " did not finish";
+        EXPECT_TRUE(run.msmDone) << "seed " << seed << " lost MSM commands";
+        EXPECT_TRUE(run.barDone) << "seed " << seed << " lost BAR commands";
+        EXPECT_GT(run.faultStats.dropped, 0u) << "seed " << seed;
+    }
+}
+
+TEST(Chaos, TraceDeterministicUnderSeed) {
+    // Same seed, same deployment: bit-identical event traces and fault
+    // decisions. Different seed: a different trace.
+    const auto a1 = runChaosDeployment(7);
+    const auto a2 = runChaosDeployment(7);
+    EXPECT_EQ(a1.traceHash, a2.traceHash);
+    EXPECT_EQ(a1.faultStats.dropped, a2.faultStats.dropped);
+    EXPECT_EQ(a1.faultStats.duplicated, a2.faultStats.duplicated);
+    EXPECT_EQ(a1.faultStats.deadLetters, a2.faultStats.deadLetters);
+    const auto b = runChaosDeployment(8);
+    EXPECT_NE(a1.traceHash, b.traceHash);
+}
+
+TEST(Chaos, DuplicateDeliveryIsIdempotent) {
+    // Every message on every link is delivered twice; the wire layer's
+    // id-based dedup must make the application see each exactly once.
+    core::Deployment dep(11);
+    auto& server = dep.addServer("s0");
+    auto& worker = dep.addWorker("w0", server, core::WorkerConfig{},
+                                 echoRegistry(10.0),
+                                 core::links::intraCluster());
+    net::FaultPlan plan;
+    plan.seed = 11;
+    plan.defaultProfile.duplicateProbability = 1.0;
+    dep.setFaultPlan(plan);
+
+    auto ctrl = std::make_unique<FixedController>(5);
+    auto* c = ctrl.get();
+    server.createProject("dup", std::move(ctrl));
+    ASSERT_TRUE(dep.runUntilDone(1e6));
+    EXPECT_EQ(c->results.size(), 5u); // exactly once each
+    EXPECT_EQ(server.stats().commandsCompleted, 5u);
+    EXPECT_GT(dep.network().faultStats().duplicated, 0u);
+    EXPECT_GT(worker.wireStats().duplicatesDropped +
+                  server.wireStats().duplicatesDropped,
+              0u);
+}
+
+TEST(Chaos, TransientPartitionHeals) {
+    // The worker side is unreachable for a while mid-run; retransmits
+    // carry the protocol across the outage and the project completes.
+    core::Deployment dep(13);
+    auto& s0 = dep.addServer("s0");
+    auto& s1 = dep.addServer("s1");
+    dep.connectServers(s0, s1, core::links::dataCenter());
+    auto& w0 = dep.addWorker("w0", s1, core::WorkerConfig{},
+                             echoRegistry(50.0), core::links::intraCluster());
+    auto& w1 = dep.addWorker("w1", s1, core::WorkerConfig{},
+                             echoRegistry(50.0), core::links::intraCluster());
+
+    net::FaultPlan plan;
+    plan.seed = 13;
+    plan.partition({s1.id(), w0.id(), w1.id()}, 100.0, 250.0);
+    dep.setFaultPlan(plan);
+
+    auto ctrl = std::make_unique<FixedController>(8);
+    auto* c = ctrl.get();
+    s0.createProject("partitioned", std::move(ctrl));
+    ASSERT_TRUE(dep.runUntilDone(1e6));
+    EXPECT_EQ(c->results.size(), 8u);
+    EXPECT_GE(dep.network().faultStats().linkCuts, 1u);
+    // The outage actually forced retransmissions somewhere.
+    std::uint64_t retransmits = s0.wireStats().retransmits +
+                                s1.wireStats().retransmits +
+                                w0.wireStats().retransmits +
+                                w1.wireStats().retransmits;
+    EXPECT_GT(retransmits, 0u);
+}
+
+TEST(Chaos, CheckpointHandoffUnderLossyLinks) {
+    // A worker dies mid-command on a lossy network; the replacement must
+    // resume from the newest streamed checkpoint, and the stored
+    // trajectory must stay contiguous (no gaps, no duplicated frames).
+    core::Deployment dep(17);
+    core::ServerConfig sc;
+    sc.heartbeatInterval = 30.0;
+    auto& server = dep.addServer("s0", sc);
+
+    auto model = md::hairpinGoModel();
+    core::MsmControllerParams mp;
+    mp.model = model;
+    mp.startingConformations = md::makeUnfoldedConformations(model, 2, 9);
+    mp.tasksPerStart = 1;
+    mp.segmentSteps = 2000; // 400 s per command at 0.2 s/step
+    mp.maxGenerations = 1;
+    mp.pipeline.numClusters = 8;
+    mp.pipeline.snapshotStride = 2;
+    mp.simulation.integrator.temperature = 0.5;
+    mp.simulation.sampleInterval = 50;
+    mp.seed = 17;
+    auto controller = std::make_unique<core::MsmController>(mp);
+    auto* msm = controller.get();
+    server.createProject("handoff", std::move(controller));
+
+    core::ExecutableRegistry reg;
+    reg.add("mdrun",
+            core::makeMdrunExecutable(core::linearDurationModel(0.2)));
+    core::WorkerConfig wc;
+    wc.heartbeatInterval = 30.0;
+    auto& doomed = dep.addWorker("doomed", server, wc, std::move(reg),
+                                 core::links::intraCluster());
+    doomed.failAfter(150.0); // dies with ~250 s of its command left
+    core::ExecutableRegistry reg2;
+    reg2.add("mdrun",
+             core::makeMdrunExecutable(core::linearDurationModel(0.2)));
+    dep.addWorker("rescuer", server, wc, std::move(reg2),
+                  core::links::intraCluster());
+
+    net::FaultPlan plan;
+    plan.seed = 17;
+    plan.defaultProfile.dropProbability = 0.1; // checkpoints + acks drop too
+    dep.setFaultPlan(plan);
+
+    ASSERT_TRUE(dep.runUntilDone(1e6));
+    EXPECT_GE(server.stats().commandsRequeued, 1u);
+    for (const auto& [id, traj] : msm->trajectories()) {
+        for (std::size_t f = 1; f < traj.numFrames(); ++f)
+            EXPECT_EQ(traj.frame(f).step - traj.frame(f - 1).step, 50)
+                << "trajectory " << id << " frame " << f;
+    }
+}
+
+TEST(Chaos, WorkerFailsOverToAlternateServer) {
+    // The worker's closest server dies for good while the project lives
+    // on another server. After its reliable sends exhaust their
+    // retransmits, the worker re-targets the undelivered message at a
+    // configured fallback server and the project still completes.
+    core::Deployment dep(19);
+    auto& primary = dep.addServer("primary");
+    auto& backup = dep.addServer("backup");
+    dep.connectServers(primary, backup, core::links::dataCenter());
+
+    core::WorkerConfig wc;
+    wc.rpc.backoff = net::BackoffPolicy{5.0, 2.0, 20.0, 0.2};
+    wc.rpc.maxAttempts = 3; // fail over quickly
+    auto& worker = dep.addWorker("w0", primary, wc, echoRegistry(50.0),
+                                 core::links::intraCluster());
+    dep.addFallbackServer(worker, backup, core::links::dataCenter());
+
+    net::FaultPlan plan;
+    plan.crashNode(primary.id(), 60.0); // never restarts
+    dep.setFaultPlan(plan);
+
+    auto ctrl = std::make_unique<FixedController>(6);
+    auto* c = ctrl.get();
+    backup.createProject("failover", std::move(ctrl));
+    ASSERT_TRUE(dep.runUntilDone(1e6));
+    EXPECT_EQ(c->results.size(), 6u);
+    EXPECT_GE(worker.stats().serverFailovers, 1u);
+    EXPECT_EQ(worker.currentServer(), backup.id());
+}
+
+TEST(Chaos, LeaseExpiryRequeuesAfterRelayCrash) {
+    // A worker reports to a relay server while running a command leased
+    // by the project server. Relay and worker die together, so no
+    // WorkerFailed signal can ever reach the project server — only the
+    // command lease notices, expires, and requeues onto the survivor.
+    core::Deployment dep(23);
+    core::ServerConfig sc;
+    sc.heartbeatInterval = 30.0;
+    auto& project = dep.addServer("project", sc);
+    auto& relay = dep.addServer("relay", sc);
+    dep.connectServers(project, relay, core::links::dataCenter());
+
+    core::WorkerConfig wc;
+    wc.heartbeatInterval = 30.0;
+    auto& doomed = dep.addWorker("doomed", relay, wc, echoRegistry(200.0),
+                                 core::links::intraCluster());
+    dep.addWorker("survivor", project, wc, echoRegistry(200.0),
+                  core::links::intraCluster());
+
+    net::FaultPlan plan;
+    plan.crashNode(relay.id(), 100.0); // never restarts
+    dep.setFaultPlan(plan);
+    doomed.failAfter(100.0);
+
+    auto ctrl = std::make_unique<FixedController>(3);
+    auto* c = ctrl.get();
+    project.createProject("leased", std::move(ctrl));
+    ASSERT_TRUE(dep.runUntilDone(1e6));
+    EXPECT_EQ(c->results.size(), 3u);
+    EXPECT_GE(project.stats().leasesExpired, 1u);
+    EXPECT_GE(project.stats().commandsRequeued, 1u);
+}
+
+} // namespace
+} // namespace cop

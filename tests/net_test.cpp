@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
+#include "net/backoff.hpp"
 #include "net/event_loop.hpp"
+#include "net/fault.hpp"
 #include "net/overlay.hpp"
+#include "util/random.hpp"
 
 namespace cop::net {
 namespace {
@@ -145,14 +151,25 @@ TEST(Overlay, MultiHopRoutingTakesLowestLatencyPath) {
     EXPECT_EQ(t.net.linkStats(a.id(), c.id()).messages, 0u);
 }
 
-TEST(Overlay, UnreachableDestinationThrows) {
+TEST(Overlay, UnreachableDestinationDeadLetters) {
     TestNet t;
     Node a = t.makeNode("a", 1);
     Node b = t.makeNode("b", 2);
+    std::vector<DeadLetterReason> reasons;
+    t.net.setDeadLetterHandler(
+        [&](const Message&, DeadLetterReason r) { reasons.push_back(r); });
     Message msg;
     msg.source = a.id();
     msg.destination = b.id();
-    EXPECT_THROW(t.net.send(msg), cop::InvalidArgument);
+    EXPECT_NO_THROW(t.net.send(msg));
+    EXPECT_EQ(t.net.faultStats().deadLetters, 1u);
+    ASSERT_EQ(reasons.size(), 1u);
+    EXPECT_EQ(reasons[0], DeadLetterReason::NoRoute);
+    // Invalid node ids are still programming errors, not network faults.
+    Message bad;
+    bad.source = a.id();
+    bad.destination = kInvalidNode;
+    EXPECT_THROW(t.net.send(bad), cop::InvalidArgument);
 }
 
 TEST(Overlay, StatsAggregation) {
@@ -224,6 +241,215 @@ TEST(Overlay, SharedFilesystemSkipsBulkPayloadBytes) {
     t.net.send(control);
     t.loop.run();
     EXPECT_GE(t.net.totalStats().bytes, 96u + 50u);
+}
+
+TEST(EventLoop, CancelledTimerNeverFires) {
+    EventLoop loop;
+    int fired = 0;
+    const auto keep = loop.scheduleTimer(1.0, [&] { fired += 1; });
+    const auto dead = loop.scheduleTimer(2.0, [&] { fired += 100; });
+    EXPECT_TRUE(loop.cancelTimer(dead));
+    EXPECT_FALSE(loop.cancelTimer(dead)); // already dead
+    loop.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(loop.cancelTimer(keep)); // already fired
+}
+
+TEST(Backoff, GrowsExponentiallyAndCaps) {
+    BackoffPolicy policy{30.0, 2.0, 480.0, 0.0};
+    Rng rng(7);
+    EXPECT_DOUBLE_EQ(policy.delay(0, rng), 30.0);
+    EXPECT_DOUBLE_EQ(policy.delay(1, rng), 60.0);
+    EXPECT_DOUBLE_EQ(policy.delay(2, rng), 120.0);
+    EXPECT_DOUBLE_EQ(policy.delay(3, rng), 240.0);
+    EXPECT_DOUBLE_EQ(policy.delay(4, rng), 480.0);
+    EXPECT_DOUBLE_EQ(policy.delay(9, rng), 480.0); // capped
+}
+
+TEST(Backoff, JitterStaysInRangeAndDesynchronizes) {
+    BackoffPolicy policy{30.0, 2.0, 480.0, 0.25};
+    Rng a(1), b(2);
+    bool differed = false;
+    for (int attempt = 0; attempt < 6; ++attempt) {
+        const double da = policy.delay(attempt, a);
+        const double db = policy.delay(attempt, b);
+        const double base = std::min(480.0, 30.0 * std::pow(2.0, attempt));
+        EXPECT_GT(da, base * 0.75 - 1e-9);
+        EXPECT_LE(da, base);
+        if (std::abs(da - db) > 1e-9) differed = true;
+    }
+    EXPECT_TRUE(differed);
+}
+
+TEST(Overlay, FaultPlanDropsEveryMessageOnLossyLink) {
+    TestNet t;
+    Node a = t.makeNode("a", 1);
+    Node b = t.makeNode("b", 2);
+    mutualTrust(a, b);
+    t.net.connect(a.id(), b.id(), {});
+    FaultPlan plan;
+    plan.seed = 42;
+    plan.defaultProfile.dropProbability = 1.0;
+    t.net.setFaultPlan(plan);
+
+    int delivered = 0;
+    b.setHandler([&](const Message&) { ++delivered; });
+    for (int i = 0; i < 5; ++i) {
+        Message msg;
+        msg.source = a.id();
+        msg.destination = b.id();
+        t.net.send(msg);
+    }
+    t.loop.run();
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(t.net.faultStats().dropped, 5u);
+    // Dropped messages still consumed the wire.
+    EXPECT_EQ(t.net.linkStats(a.id(), b.id()).messages, 5u);
+}
+
+TEST(Overlay, FaultPlanDuplicatesDeliverTwice) {
+    TestNet t;
+    Node a = t.makeNode("a", 1);
+    Node b = t.makeNode("b", 2);
+    mutualTrust(a, b);
+    t.net.connect(a.id(), b.id(), {});
+    FaultPlan plan;
+    plan.seed = 7;
+    FaultProfile lossy;
+    lossy.duplicateProbability = 1.0;
+    plan.linkProfiles[{std::min(a.id(), b.id()),
+                       std::max(a.id(), b.id())}] = lossy;
+    t.net.setFaultPlan(plan);
+
+    int delivered = 0;
+    b.setHandler([&](const Message&) { ++delivered; });
+    Message msg;
+    msg.source = a.id();
+    msg.destination = b.id();
+    t.net.send(msg);
+    t.loop.run();
+    EXPECT_EQ(delivered, 2);
+    EXPECT_EQ(t.net.faultStats().duplicated, 1u);
+}
+
+TEST(Overlay, ScheduledLinkCutHealsOnTime) {
+    TestNet t;
+    Node a = t.makeNode("a", 1);
+    Node b = t.makeNode("b", 2);
+    mutualTrust(a, b);
+    t.net.connect(a.id(), b.id(), {});
+    FaultPlan plan;
+    plan.cutLink(a.id(), b.id(), /*at=*/10.0, /*heal=*/20.0);
+    t.net.setFaultPlan(plan);
+
+    int delivered = 0, dead = 0;
+    b.setHandler([&](const Message&) { ++delivered; });
+    t.net.setDeadLetterHandler(
+        [&](const Message&, DeadLetterReason) { ++dead; });
+    auto sendOne = [&] {
+        Message msg;
+        msg.source = a.id();
+        msg.destination = b.id();
+        t.net.send(msg);
+    };
+    t.loop.schedule(15.0, sendOne); // during the cut: dead letter
+    t.loop.schedule(25.0, sendOne); // after the heal: delivered
+    t.loop.run();
+    EXPECT_EQ(dead, 1);
+    EXPECT_EQ(delivered, 1);
+    EXPECT_TRUE(t.net.linkUsable(a.id(), b.id()));
+    EXPECT_EQ(t.net.faultStats().linkCuts, 1u);
+}
+
+TEST(Overlay, CrashedNodeDeadLettersUntilRestart) {
+    TestNet t;
+    Node a = t.makeNode("a", 1);
+    Node b = t.makeNode("b", 2);
+    mutualTrust(a, b);
+    t.net.connect(a.id(), b.id(), {});
+    FaultPlan plan;
+    plan.crashNode(b.id(), /*at=*/10.0, /*restart=*/20.0);
+    t.net.setFaultPlan(plan);
+
+    int delivered = 0;
+    std::vector<DeadLetterReason> reasons;
+    b.setHandler([&](const Message&) { ++delivered; });
+    t.net.setDeadLetterHandler(
+        [&](const Message&, DeadLetterReason r) { reasons.push_back(r); });
+    auto sendOne = [&] {
+        Message msg;
+        msg.source = a.id();
+        msg.destination = b.id();
+        t.net.send(msg);
+    };
+    t.loop.schedule(15.0, [&] {
+        EXPECT_FALSE(t.net.nodeUp(b.id()));
+        sendOne();
+    });
+    t.loop.schedule(25.0, sendOne);
+    t.loop.run();
+    EXPECT_EQ(delivered, 1);
+    ASSERT_EQ(reasons.size(), 1u);
+    EXPECT_EQ(reasons[0], DeadLetterReason::DestinationDown);
+    EXPECT_TRUE(t.net.nodeUp(b.id()));
+    EXPECT_EQ(t.net.faultStats().crashes, 1u);
+}
+
+TEST(Overlay, RoutesAroundCutLink) {
+    // a - b - d and a - c - d: cutting a-b reroutes via c.
+    TestNet t;
+    Node a = t.makeNode("a", 1), b = t.makeNode("b", 2),
+         c = t.makeNode("c", 3), d = t.makeNode("d", 4);
+    mutualTrust(a, b);
+    mutualTrust(a, c);
+    mutualTrust(b, d);
+    mutualTrust(c, d);
+    t.net.connect(a.id(), b.id(), LinkProperties{0.01, 1e9});
+    t.net.connect(b.id(), d.id(), LinkProperties{0.01, 1e9});
+    t.net.connect(a.id(), c.id(), LinkProperties{1.0, 1e9});
+    t.net.connect(c.id(), d.id(), LinkProperties{1.0, 1e9});
+
+    t.net.cutLink(a.id(), b.id());
+    EXPECT_FALSE(t.net.linkUsable(a.id(), b.id()));
+    EXPECT_EQ(t.net.nextHop(a.id(), d.id()), c.id());
+
+    int delivered = 0;
+    d.setHandler([&](const Message&) { ++delivered; });
+    Message msg;
+    msg.source = a.id();
+    msg.destination = d.id();
+    t.net.send(msg);
+    t.loop.run();
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(t.net.linkStats(a.id(), c.id()).messages, 1u);
+    EXPECT_EQ(t.net.linkStats(a.id(), b.id()).messages, 0u);
+}
+
+TEST(Overlay, TraceHashIsDeterministicUnderSeed) {
+    auto runOnce = [](std::uint64_t seed) {
+        TestNet t;
+        Node a = t.makeNode("a", 1);
+        Node b = t.makeNode("b", 2);
+        mutualTrust(a, b);
+        t.net.connect(a.id(), b.id(), {});
+        FaultPlan plan;
+        plan.seed = seed;
+        plan.defaultProfile.dropProbability = 0.5;
+        plan.defaultProfile.duplicateProbability = 0.25;
+        t.net.setFaultPlan(plan);
+        b.setHandler([](const Message&) {});
+        for (int i = 0; i < 20; ++i) {
+            Message msg;
+            msg.source = a.id();
+            msg.destination = b.id();
+            msg.id = std::uint64_t(i + 1);
+            t.net.send(msg);
+        }
+        t.loop.run();
+        return t.net.traceHash();
+    };
+    EXPECT_EQ(runOnce(11), runOnce(11));
+    EXPECT_NE(runOnce(11), runOnce(12));
 }
 
 TEST(Overlay, BulkDataClassification) {
