@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/shared_bytes.hpp"
 #include "net/message.hpp"
 #include "util/serialize.hpp"
 
@@ -30,10 +31,12 @@ struct CommandSpec {
                               ///< routing priority = run priority)
     int trajectoryId = -1;    ///< application-level stream this extends
     int generation = 0;       ///< MSM generation that spawned it
-    std::vector<std::uint8_t> input; ///< checkpoint / starting structure
+    SharedBytes input; ///< checkpoint / starting structure (shared, COW)
 
     void serialize(BinaryWriter& w) const;
     static CommandSpec deserialize(BinaryReader& r);
+    /// Exact wire size of serialize()'s output, for reserve() prehints.
+    std::size_t encodedSize() const;
 };
 
 struct CommandResult {
@@ -48,6 +51,8 @@ struct CommandResult {
 
     void serialize(BinaryWriter& w) const;
     static CommandResult deserialize(BinaryReader& r);
+    /// Exact wire size of serialize()'s output, for reserve() prehints.
+    std::size_t encodedSize() const;
 };
 
 } // namespace cop::core

@@ -1,48 +1,136 @@
 #include "core/queue.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace cop::core {
 
 void CommandQueue::push(CommandSpec cmd) {
     COP_REQUIRE(cmd.id != 0, "command needs an id");
     COP_REQUIRE(cmd.preferredCores >= 1, "command needs >= 1 core");
-    // Keep the queue ordered by priority (descending), FIFO within a
-    // priority level: insert before the first lower-priority command.
-    auto it = pending_.begin();
-    while (it != pending_.end() && it->priority >= cmd.priority) ++it;
-    pending_.insert(it, std::move(cmd));
+    if (!knownIds_.insert(cmd.id).second) {
+        ++stats_.duplicatePushesRejected;
+        COP_REQUIRE(false, "duplicate command id " + std::to_string(cmd.id) +
+                               " (already pending or in flight)");
+    }
+    ++stats_.pushes;
+    insertPending(std::move(cmd), nextSeq_++);
+}
+
+void CommandQueue::insertPending(CommandSpec cmd, std::int64_t seq) {
+    auto& bucket = buckets_[cmd.executable];
+    bucket.byCores.insert(CoreKey{cmd.priority, cmd.preferredCores, seq});
+    bucket.byKey.emplace(Key{cmd.priority, seq}, std::move(cmd));
+    ++pendingCount_;
 }
 
 bool CommandQueue::hasWorkFor(
     const std::vector<std::string>& executables) const {
-    for (const auto& cmd : pending_)
-        if (std::find(executables.begin(), executables.end(),
-                      cmd.executable) != executables.end())
-            return true;
+    for (const auto& exe : executables) {
+        ++stats_.hasWorkProbes;
+        auto it = buckets_.find(exe);
+        if (it != buckets_.end() && !it->second.byKey.empty()) return true;
+    }
     return false;
+}
+
+CommandSpec CommandQueue::take(Bucket& bucket,
+                               std::map<Key, CommandSpec>::iterator it,
+                               net::NodeId worker) {
+    CommandSpec spec = std::move(it->second);
+    bucket.byCores.erase(
+        CoreKey{it->first.priority, spec.preferredCores, it->first.seq});
+    bucket.byKey.erase(it);
+    --pendingCount_;
+    inFlight_[spec.id] = InFlight{spec, worker};
+    return spec;
 }
 
 std::vector<CommandSpec> CommandQueue::claim(
     const std::vector<std::string>& executables, int maxCores,
-    net::NodeId worker) {
+    net::NodeId worker, ClaimPolicy policy) {
+    ++stats_.claims;
     std::vector<CommandSpec> claimed;
     int coresLeft = maxCores;
-    for (auto it = pending_.begin(); it != pending_.end() && coresLeft > 0;) {
-        const bool runnable =
-            std::find(executables.begin(), executables.end(),
-                      it->executable) != executables.end();
-        if (runnable && it->preferredCores <= coresLeft) {
-            coresLeft -= it->preferredCores;
-            inFlight_[it->id] = InFlight{*it, worker};
-            claimed.push_back(std::move(*it));
-            it = pending_.erase(it);
-        } else {
-            ++it;
+
+    // Offered buckets, deduplicated (a repeated name must not yield two
+    // cursors over the same bucket).
+    std::vector<Bucket*> offered;
+    for (const auto& exe : executables) {
+        auto it = buckets_.find(exe);
+        if (it == buckets_.end() || it->second.byKey.empty()) continue;
+        if (std::find(offered.begin(), offered.end(), &it->second) ==
+            offered.end())
+            offered.push_back(&it->second);
+    }
+
+    if (policy == ClaimPolicy::FirstFit) {
+        // K-way merge of the offered buckets in global (priority, seq)
+        // order: exactly the runnable subsequence the legacy full-queue
+        // scan visited, without ever touching non-matching work.
+        struct Cursor {
+            Bucket* bucket;
+            std::map<Key, CommandSpec>::iterator it;
+        };
+        std::vector<Cursor> cursors;
+        cursors.reserve(offered.size());
+        for (Bucket* b : offered)
+            cursors.push_back(Cursor{b, b->byKey.begin()});
+        while (coresLeft > 0) {
+            Cursor* best = nullptr;
+            for (auto& c : cursors) {
+                if (c.it == c.bucket->byKey.end()) continue;
+                if (best == nullptr || c.it->first < best->it->first)
+                    best = &c;
+            }
+            if (best == nullptr) break;
+            ++stats_.claimScanSteps;
+            if (best->it->second.preferredCores <= coresLeft) {
+                coresLeft -= best->it->second.preferredCores;
+                auto next = std::next(best->it);
+                claimed.push_back(take(*best->bucket, best->it, worker));
+                best->it = next;
+            } else {
+                ++best->it;
+            }
+        }
+    } else {
+        // LargestFit: per step, the globally best CoreKey (priority desc,
+        // cores desc, seq asc) whose core request fits. Within a bucket,
+        // walk priority levels via lower_bound until a level has a
+        // fitting entry.
+        while (coresLeft > 0) {
+            Bucket* bestBucket = nullptr;
+            std::set<CoreKey>::iterator bestIt;
+            for (Bucket* b : offered) {
+                auto it = b->byCores.begin();
+                while (it != b->byCores.end()) {
+                    ++stats_.claimScanSteps;
+                    if (it->cores <= coresLeft) break;
+                    // Everything at this priority level is too big: jump
+                    // to the first fitting entry at this level or the top
+                    // of the next level.
+                    it = b->byCores.lower_bound(
+                        CoreKey{it->priority, coresLeft,
+                                std::numeric_limits<std::int64_t>::min()});
+                }
+                if (it == b->byCores.end()) continue;
+                if (bestBucket == nullptr || *it < *bestIt) {
+                    bestBucket = b;
+                    bestIt = it;
+                }
+            }
+            if (bestBucket == nullptr) break;
+            auto keyIt = bestBucket->byKey.find(
+                Key{bestIt->priority, bestIt->seq});
+            coresLeft -= bestIt->cores;
+            claimed.push_back(take(*bestBucket, keyIt, worker));
         }
     }
+    stats_.commandsClaimed += claimed.size();
     return claimed;
 }
 
@@ -51,7 +139,16 @@ std::optional<CommandSpec> CommandQueue::complete(CommandId id) {
     if (it == inFlight_.end()) return std::nullopt;
     CommandSpec spec = std::move(it->second.spec);
     inFlight_.erase(it);
+    knownIds_.erase(id);
     return spec;
+}
+
+void CommandQueue::requeueInFlight(InFlight&& flight) {
+    ++stats_.commandsRequeued;
+    // Decreasing head sequence: each requeue lands ahead of everything
+    // else at its priority level, including earlier requeues — matching
+    // the legacy insert-at-head-of-level scan.
+    insertPending(std::move(flight.spec), headSeq_--);
 }
 
 std::vector<CommandId> CommandQueue::requeueWorker(net::NodeId worker) {
@@ -59,13 +156,7 @@ std::vector<CommandId> CommandQueue::requeueWorker(net::NodeId worker) {
     for (auto it = inFlight_.begin(); it != inFlight_.end();) {
         if (it->second.worker == worker) {
             requeued.push_back(it->first);
-            // Requeued commands go to the head of their priority level so
-            // recovery work is not starved by newly submitted commands.
-            auto pos = pending_.begin();
-            while (pos != pending_.end() &&
-                   pos->priority > it->second.spec.priority)
-                ++pos;
-            pending_.insert(pos, std::move(it->second.spec));
+            requeueInFlight(std::move(it->second));
             it = inFlight_.erase(it);
         } else {
             ++it;
@@ -77,18 +168,38 @@ std::vector<CommandId> CommandQueue::requeueWorker(net::NodeId worker) {
 bool CommandQueue::requeueCommand(CommandId id) {
     auto it = inFlight_.find(id);
     if (it == inFlight_.end()) return false;
-    auto pos = pending_.begin();
-    while (pos != pending_.end() && pos->priority > it->second.spec.priority)
-        ++pos;
-    pending_.insert(pos, std::move(it->second.spec));
+    requeueInFlight(std::move(it->second));
     inFlight_.erase(it);
     return true;
 }
 
-void CommandQueue::updateCheckpoint(CommandId id,
-                                    std::vector<std::uint8_t> checkpoint) {
+void CommandQueue::updateCheckpoint(CommandId id, SharedBytes checkpoint) {
     auto it = inFlight_.find(id);
-    if (it != inFlight_.end()) it->second.spec.input = std::move(checkpoint);
+    if (it == inFlight_.end()) {
+        ++stats_.checkpointsUnknownId;
+        COP_LOG_DEBUG("queue")
+            << "dropping checkpoint for unknown command " << id << " ("
+            << checkpoint.size() << " bytes): not in flight";
+        return;
+    }
+    ++stats_.checkpointUpdates;
+    stats_.checkpointBytesShared += checkpoint.size();
+    it->second.spec.input = std::move(checkpoint);
+}
+
+void CommandQueue::updateCheckpoint(
+    CommandId id, const std::vector<std::uint8_t>& checkpoint) {
+    auto it = inFlight_.find(id);
+    if (it == inFlight_.end()) {
+        ++stats_.checkpointsUnknownId;
+        COP_LOG_DEBUG("queue")
+            << "dropping checkpoint for unknown command " << id << " ("
+            << checkpoint.size() << " bytes): not in flight";
+        return;
+    }
+    ++stats_.checkpointUpdates;
+    ++stats_.checkpointDeepCopies;
+    it->second.spec.input = SharedBytes(checkpoint);
 }
 
 std::optional<net::NodeId> CommandQueue::holderOf(CommandId id) const {

@@ -4,43 +4,95 @@
 /// Per-server command queue with claim/complete/requeue semantics and
 /// failure-recovery bookkeeping (which worker holds which command, and the
 /// freshest checkpoint the server has seen for each in-flight command).
+///
+/// Indexed implementation (see DESIGN.md "Scheduler data structures"):
+/// pending work lives in per-executable buckets ordered by
+/// (priority desc, seq asc), so FIFO-within-priority falls out of a
+/// monotone sequence counter and requeue-to-head-of-priority-level out of
+/// a second, decreasing counter. hasWorkFor() probes only the offered
+/// buckets; claim() k-way-merges the offered buckets in global priority
+/// order (never touching commands for executables the worker lacks); a
+/// (priority desc, cores desc, seq asc) secondary index supports a
+/// largest-fit-first claim policy that bin-packs the worker's core offer.
+/// Assignment order under ClaimPolicy::FirstFit is observably identical
+/// to the original linear-scan queue (kept as LegacyCommandQueue for
+/// equivalence tests and benchmarks).
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <optional>
+#include <set>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/command.hpp"
 
 namespace cop::core {
 
+/// How claim() assembles a workload from matching pending commands.
+enum class ClaimPolicy {
+    /// Walk matching work in global (priority, FIFO) order, claiming every
+    /// command that fits the remaining core budget. Matches the original
+    /// scan byte-for-byte.
+    FirstFit,
+    /// Highest priority still wins, but within a priority level the
+    /// largest core request that fits the remaining budget is claimed
+    /// first ("assemble workloads maximally utilizing the offer").
+    LargestFit,
+};
+
+/// Scheduler hot-path counters, exposed via Server::schedulerStats().
+struct SchedulerStats {
+    std::uint64_t pushes = 0;
+    std::uint64_t duplicatePushesRejected = 0;
+    std::uint64_t claims = 0;           ///< claim() calls
+    std::uint64_t commandsClaimed = 0;
+    std::uint64_t commandsRequeued = 0;
+    std::uint64_t claimScanSteps = 0;   ///< bucket entries visited by claim()
+    std::uint64_t hasWorkProbes = 0;    ///< buckets probed by hasWorkFor()
+    std::uint64_t checkpointUpdates = 0;
+    /// Payload bytes adopted by reference instead of duplicated.
+    std::uint64_t checkpointBytesShared = 0;
+    /// Payload buffers the queue had to deep-copy. Stays 0 on the
+    /// heartbeat -> checkpoint -> lease-renew path; asserted in tests.
+    std::uint64_t checkpointDeepCopies = 0;
+    /// Checkpoints dropped because the command is not in flight.
+    std::uint64_t checkpointsUnknownId = 0;
+};
+
 class CommandQueue {
 public:
-    /// Adds a command to the back of the queue.
+    /// Adds a command to the queue (FIFO within its priority level).
+    /// Rejects ids already pending or in flight.
     void push(CommandSpec cmd);
 
-    std::size_t pendingCount() const { return pending_.size(); }
+    std::size_t pendingCount() const { return pendingCount_; }
     std::size_t inFlightCount() const { return inFlight_.size(); }
-    bool empty() const { return pending_.empty(); }
+    bool empty() const { return pendingCount_ == 0; }
 
-    /// True if some pending command runs `executable`.
+    /// True if some pending command runs `executable`. O(#executables
+    /// offered) bucket probes — independent of the number of pending
+    /// commands.
     bool hasWorkFor(const std::vector<std::string>& executables) const;
 
     /// Claims up to `maxCores` worth of commands matching the worker's
     /// executables, marking them in-flight for `worker`. Commands whose
-    /// preferredCores exceed the remaining budget are skipped (best-fit
-    /// first-come order, as in the paper's "maximally utilizes the
-    /// available resources").
+    /// preferredCores exceed the remaining budget are skipped (the paper's
+    /// "maximally utilizes the available resources"); `policy` selects
+    /// between first-come order and largest-fit-first bin packing.
     std::vector<CommandSpec> claim(const std::vector<std::string>& executables,
-                                   int maxCores, net::NodeId worker);
+                                   int maxCores, net::NodeId worker,
+                                   ClaimPolicy policy = ClaimPolicy::FirstFit);
 
     /// Marks a command finished; returns its spec if it was in flight.
     std::optional<CommandSpec> complete(CommandId id);
 
     /// Requeues every in-flight command held by `worker` (worker failure,
     /// paper §2.3), substituting the newest checkpoint seen for each, and
-    /// returns their ids.
+    /// returns their ids. Requeued commands land at the head of their
+    /// priority level so recovery work is not starved by newer
+    /// submissions.
     std::vector<CommandId> requeueWorker(net::NodeId worker);
 
     /// Requeues a single in-flight command (lease expiry, lost
@@ -49,18 +101,65 @@ public:
 
     /// Records a fresher input payload (checkpoint) for an in-flight
     /// command so a requeue resumes from it rather than from scratch.
-    void updateCheckpoint(CommandId id, std::vector<std::uint8_t> checkpoint);
+    /// The buffer is adopted by reference — zero bytes copied.
+    void updateCheckpoint(CommandId id, SharedBytes checkpoint);
+    /// Legacy-compatible overload: wraps the lvalue vector by deep copy
+    /// and counts it in SchedulerStats::checkpointDeepCopies. Hot paths
+    /// must use the SharedBytes overload.
+    void updateCheckpoint(CommandId id,
+                          const std::vector<std::uint8_t>& checkpoint);
 
     /// Worker currently holding a command, if any.
     std::optional<net::NodeId> holderOf(CommandId id) const;
 
+    const SchedulerStats& stats() const { return stats_; }
+
 private:
+    /// Primary ordering: priority descending, then FIFO by sequence.
+    struct Key {
+        int priority = 0;
+        std::int64_t seq = 0;
+        bool operator<(const Key& o) const {
+            if (priority != o.priority) return priority > o.priority;
+            return seq < o.seq;
+        }
+    };
+    /// Secondary ordering for LargestFit: priority desc, cores desc,
+    /// FIFO tie-break.
+    struct CoreKey {
+        int priority = 0;
+        int cores = 0;
+        std::int64_t seq = 0;
+        bool operator<(const CoreKey& o) const {
+            if (priority != o.priority) return priority > o.priority;
+            if (cores != o.cores) return cores > o.cores;
+            return seq < o.seq;
+        }
+    };
+    struct Bucket {
+        std::map<Key, CommandSpec> byKey;
+        std::set<CoreKey> byCores;
+    };
     struct InFlight {
         CommandSpec spec;
         net::NodeId worker;
     };
-    std::deque<CommandSpec> pending_;
+
+    /// Single insertion point shared by push and both requeue paths (the
+    /// three hand-rolled priority-scan loops of the legacy queue).
+    void insertPending(CommandSpec cmd, std::int64_t seq);
+    /// Moves one bucket entry into the in-flight table; returns the spec.
+    CommandSpec take(Bucket& bucket, std::map<Key, CommandSpec>::iterator it,
+                     net::NodeId worker);
+    void requeueInFlight(InFlight&& flight);
+
+    std::map<std::string, Bucket> buckets_; ///< executable -> pending work
     std::map<CommandId, InFlight> inFlight_;
+    std::unordered_set<CommandId> knownIds_; ///< pending + in flight
+    std::size_t pendingCount_ = 0;
+    std::int64_t nextSeq_ = 0;  ///< push order (increasing)
+    std::int64_t headSeq_ = -1; ///< requeue-to-head order (decreasing)
+    mutable SchedulerStats stats_; ///< mutable: const probes count too
 };
 
 } // namespace cop::core

@@ -129,8 +129,8 @@ void Server::handleEnvelope(const wire::Envelope& env,
 
 std::vector<CommandSpec> Server::claimFor(
     const WorkloadRequestPayload& request) {
-    auto claimed =
-        queue_.claim(request.executables, request.cores, request.worker);
+    auto claimed = queue_.claim(request.executables, request.cores,
+                                request.worker, config_.claimPolicy);
     std::vector<CommandSpec> fresh;
     fresh.reserve(claimed.size());
     for (auto& cmd : claimed) {
@@ -437,9 +437,10 @@ void Server::sweepWorkers() {
                 p.worker = it->first;
                 p.commands.push_back(hb.running[i]);
                 auto cpIt = checkpointCache_.find(hb.running[i]);
+                // Shares the cached buffer into the payload — no copy.
                 p.checkpoints.push_back(cpIt != checkpointCache_.end()
                                             ? cpIt->second.blob
-                                            : std::vector<std::uint8_t>{});
+                                            : SharedBytes{});
             }
             for (auto& [ps, payload] : perServer) {
                 if (ps == id()) {

@@ -52,6 +52,11 @@ struct ServerConfig {
     /// on servers hosting unfinished projects; elsewhere the worker falls
     /// back to polling.
     bool parkRequests = true;
+    /// How the scheduler assembles workloads from matching commands:
+    /// FirstFit preserves strict arrival order within a priority level;
+    /// LargestFit bin-packs the worker's core offer (largest request
+    /// first) for higher utilization on heterogeneous commands.
+    ClaimPolicy claimPolicy = ClaimPolicy::FirstFit;
     /// Ack/retransmit policy for reliable sends.
     wire::RetryPolicy rpc;
 };
@@ -96,6 +101,9 @@ public:
 
     const CommandQueue& queue() const { return queue_; }
     const ServerStats& stats() const { return stats_; }
+    /// Scheduler hot-path counters (pushes, claims, scan lengths,
+    /// checkpoint bytes shared instead of copied).
+    const SchedulerStats& schedulerStats() const { return queue_.stats(); }
     /// Wire-layer counters (retransmits, acks, duplicates dropped).
     const wire::EndpointStats& wireStats() const { return endpoint_.stats(); }
     const ServerConfig& config() const { return config_; }

@@ -4,10 +4,13 @@ namespace cop::core {
 
 namespace {
 
-/// Shared whole-buffer wrappers around the streaming pair.
+/// Shared whole-buffer wrappers around the streaming pair. The exact-size
+/// reserve() prehint means envelope encoding never reallocates: one
+/// allocation per message, asserted by the Wire.EncodedSizeIsExact test.
 template <typename T>
 std::vector<std::uint8_t> encodeWhole(const T& p) {
     BinaryWriter w;
+    w.reserve(p.encodedSize());
     p.serialize(w);
     return w.takeBuffer();
 }
@@ -181,6 +184,57 @@ AckPayload AckPayload::deserialize(BinaryReader& r) {
     p.ackedMessageId = r.read<std::uint64_t>();
     return p;
 }
+
+
+// --- Exact wire sizes (must mirror the serialize() bodies above) --------
+
+std::size_t WorkloadRequestPayload::encodedSize() const {
+    std::size_t n = 4 + 8 + platform.size() + 4;
+    n += 8;
+    for (const auto& e : executables) n += 8 + e.size();
+    n += 8 + 4 * visited.size();
+    return n;
+}
+
+std::size_t WorkloadAssignPayload::encodedSize() const {
+    std::size_t n = 8;
+    for (const auto& c : commands) n += c.encodedSize();
+    return n;
+}
+
+std::size_t HeartbeatPayload::encodedSize() const {
+    return 4 + 8 + 8 * running.size() + 8 + 4 * projectServers.size();
+}
+
+std::size_t CheckpointPayload::encodedSize() const {
+    return 8 + 8 + 4 + 8 + blob.size();
+}
+
+std::size_t WorkerFailedPayload::encodedSize() const {
+    std::size_t n = 4 + 8 + 8 * commands.size() + 8;
+    for (const auto& c : checkpoints) n += 8 + c.size();
+    return n;
+}
+
+std::size_t CommandOutputPayload::encodedSize() const {
+    return result.encodedSize() + 4;
+}
+
+std::size_t LeaseRenewPayload::encodedSize() const {
+    return 4 + 8 + 8 * commands.size();
+}
+
+std::size_t NoWorkPayload::encodedSize() const { return 4; }
+
+std::size_t ClientRequestPayload::encodedSize() const {
+    return 8 + 8 + command.size();
+}
+
+std::size_t ClientResponsePayload::encodedSize() const {
+    return 8 + text.size();
+}
+
+std::size_t AckPayload::encodedSize() const { return 8; }
 
 // Whole-buffer wrappers, one pair per payload.
 #define COP_WIRE_WHOLE(T)                                                    \

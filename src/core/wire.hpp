@@ -33,6 +33,7 @@ struct WorkloadRequestPayload {
     void serialize(BinaryWriter& w) const;
     static WorkloadRequestPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
     static WorkloadRequestPayload decode(std::span<const std::uint8_t> data);
 };
 
@@ -44,6 +45,7 @@ struct WorkloadAssignPayload {
     void serialize(BinaryWriter& w) const;
     static WorkloadAssignPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
     static WorkloadAssignPayload decode(std::span<const std::uint8_t> data);
 };
 
@@ -59,6 +61,7 @@ struct HeartbeatPayload {
     void serialize(BinaryWriter& w) const;
     static HeartbeatPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
     static HeartbeatPayload decode(std::span<const std::uint8_t> data);
 };
 
@@ -69,11 +72,12 @@ struct CheckpointPayload {
     CommandId commandId = 0;
     ProjectId projectId = 0;
     net::NodeId projectServer = net::kInvalidNode;
-    std::vector<std::uint8_t> blob;
+    SharedBytes blob; ///< shared with the cache / in-flight table (COW)
 
     void serialize(BinaryWriter& w) const;
     static CheckpointPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
     static CheckpointPayload decode(std::span<const std::uint8_t> data);
 };
 
@@ -84,11 +88,12 @@ struct WorkerFailedPayload {
 
     net::NodeId worker = net::kInvalidNode;
     std::vector<CommandId> commands;
-    std::vector<std::vector<std::uint8_t>> checkpoints; ///< may hold empties
+    std::vector<SharedBytes> checkpoints; ///< may hold empties (shared, COW)
 
     void serialize(BinaryWriter& w) const;
     static WorkerFailedPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
     static WorkerFailedPayload decode(std::span<const std::uint8_t> data);
 };
 
@@ -105,6 +110,7 @@ struct CommandOutputPayload {
     void serialize(BinaryWriter& w) const;
     static CommandOutputPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
     static CommandOutputPayload decode(std::span<const std::uint8_t> data);
 };
 
@@ -119,6 +125,7 @@ struct LeaseRenewPayload {
     void serialize(BinaryWriter& w) const;
     static LeaseRenewPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
     static LeaseRenewPayload decode(std::span<const std::uint8_t> data);
 };
 
@@ -131,6 +138,7 @@ struct NoWorkPayload {
     void serialize(BinaryWriter& w) const;
     static NoWorkPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
     static NoWorkPayload decode(std::span<const std::uint8_t> data);
 };
 
@@ -144,6 +152,7 @@ struct ClientRequestPayload {
     void serialize(BinaryWriter& w) const;
     static ClientRequestPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
     static ClientRequestPayload decode(std::span<const std::uint8_t> data);
 };
 
@@ -155,6 +164,7 @@ struct ClientResponsePayload {
     void serialize(BinaryWriter& w) const;
     static ClientResponsePayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
     static ClientResponsePayload decode(std::span<const std::uint8_t> data);
 };
 
@@ -167,6 +177,7 @@ struct AckPayload {
     void serialize(BinaryWriter& w) const;
     static AckPayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
     static AckPayload decode(std::span<const std::uint8_t> data);
 };
 

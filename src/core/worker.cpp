@@ -132,6 +132,8 @@ void Worker::handleAssignment(const WorkloadAssignPayload& assign) {
             ++stats_.duplicateAssignmentsDropped;
             continue;
         }
+        // Cheap copy: the input payload is a shared buffer, so consuming
+        // an assignment never duplicates checkpoint bytes.
         CommandSpec cmd = assigned;
         const int cores = std::min(cmd.preferredCores, config_.cores);
         Execution exec;
@@ -150,7 +152,9 @@ void Worker::handleAssignment(const WorkloadAssignPayload& assign) {
         stats_.busySeconds += exec.simSeconds;
 
         // Stream mid-run checkpoints to the closest server (unreliable:
-        // a lost checkpoint only costs recovery freshness).
+        // a lost checkpoint only costs recovery freshness). Each blob is
+        // moved into a shared buffer once; the scheduled send and the
+        // server-side cache/lease plumbing all alias it.
         for (auto& [fraction, blob] : exec.checkpoints) {
             CheckpointPayload cp;
             cp.commandId = cmd.id;

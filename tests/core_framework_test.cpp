@@ -50,7 +50,7 @@ ExecutableRegistry echoRegistry(double duration = 10.0) {
         e.result.trajectoryId = cmd.trajectoryId;
         e.result.generation = cmd.generation;
         e.result.success = true;
-        e.result.output = cmd.input; // echo input back
+        e.result.output = cmd.input.bytes(); // echo input back
         e.simSeconds = duration;
         return e;
     });
@@ -382,7 +382,7 @@ TEST(Framework, SharedFilesystemCutsWideAreaTraffic) {
                     CommandSpec spec;
                     spec.executable = "echo";
                     spec.steps = 1;
-                    spec.input.assign(500'000, 1);
+                    spec.input = std::vector<std::uint8_t>(500'000, 1);
                     ctx.submitCommand(std::move(spec));
                 }
             }

@@ -71,7 +71,7 @@ TEST(CommandQueue, UpdateCheckpointFeedsRequeue) {
     CommandQueue q;
     q.push(makeCmd(1));
     q.claim({"mdrun"}, 1, 3);
-    q.updateCheckpoint(1, {0xAB, 0xCD});
+    q.updateCheckpoint(1, SharedBytes{0xAB, 0xCD});
     q.requeueWorker(3);
     const auto again = q.claim({"mdrun"}, 1, 4);
     ASSERT_EQ(again.size(), 1u);
@@ -182,6 +182,80 @@ TEST(Wire, CheckpointAndWorkerFailedRoundTrip) {
     EXPECT_EQ(wf2.commands, wf.commands);
     ASSERT_EQ(wf2.checkpoints.size(), 2u);
     EXPECT_TRUE(wf2.checkpoints[1].empty());
+}
+
+template <typename Payload>
+void expectExactEncodedSize(const Payload& p, const char* what) {
+    const auto bytes = p.encode();
+    EXPECT_EQ(bytes.size(), p.encodedSize()) << what;
+    // The reserve() prehint is exact, so encoding never reallocates: the
+    // buffer's capacity is exactly what was reserved up front.
+    EXPECT_EQ(bytes.capacity(), p.encodedSize()) << what;
+}
+
+TEST(Wire, EncodedSizeIsExact) {
+    WorkloadRequestPayload req;
+    req.worker = 5;
+    req.platform = "OpenMPI";
+    req.cores = 24;
+    req.executables = {"mdrun", "fe_sample"};
+    req.visited = {1, 2, 3};
+    expectExactEncodedSize(req, "WorkloadRequest");
+
+    WorkloadAssignPayload assign;
+    auto cmd = makeCmd(42, "mdrun", 8);
+    cmd.input = {1, 2, 3, 4, 5};
+    assign.commands.push_back(cmd);
+    assign.commands.push_back(makeCmd(43, "fe_sample", 2));
+    expectExactEncodedSize(assign, "WorkloadAssign");
+
+    HeartbeatPayload hb;
+    hb.worker = 3;
+    hb.running = {100, 200};
+    hb.projectServers = {0, 1};
+    expectExactEncodedSize(hb, "Heartbeat");
+
+    CheckpointPayload cp;
+    cp.commandId = 11;
+    cp.projectId = 22;
+    cp.projectServer = 1;
+    cp.blob = {7, 7, 7, 7};
+    expectExactEncodedSize(cp, "Checkpoint");
+
+    WorkerFailedPayload wf;
+    wf.worker = 6;
+    wf.commands = {11, 12};
+    wf.checkpoints = {{1, 2}, {}};
+    expectExactEncodedSize(wf, "WorkerFailed");
+
+    CommandOutputPayload out;
+    out.result.commandId = 9;
+    out.result.error = "boom";
+    out.result.output = {9, 9, 9};
+    out.projectServer = 4;
+    expectExactEncodedSize(out, "CommandOutput");
+
+    LeaseRenewPayload lease;
+    lease.worker = 2;
+    lease.commands = {5, 6, 7};
+    expectExactEncodedSize(lease, "LeaseRenew");
+
+    NoWorkPayload none;
+    none.worker = 8;
+    expectExactEncodedSize(none, "NoWork");
+
+    ClientRequestPayload creq;
+    creq.projectId = 3;
+    creq.command = "set clusters 16";
+    expectExactEncodedSize(creq, "ClientRequest");
+
+    ClientResponsePayload cresp;
+    cresp.text = "project running: 12/225 trajectories";
+    expectExactEncodedSize(cresp, "ClientResponse");
+
+    AckPayload ack;
+    ack.ackedMessageId = 77;
+    expectExactEncodedSize(ack, "Ack");
 }
 
 TEST(ExecutableRegistryTest, DispatchAndErrors) {

@@ -291,6 +291,11 @@ TEST(Chaos, CheckpointHandoffUnderLossyLinks) {
 
     ASSERT_TRUE(dep.runUntilDone(1e6));
     EXPECT_GE(server.stats().commandsRequeued, 1u);
+    // The streamed checkpoints travelled the handoff path as shared
+    // buffers: the scheduler adopted bytes by reference, never copying.
+    EXPECT_GT(server.schedulerStats().checkpointUpdates, 0u);
+    EXPECT_GT(server.schedulerStats().checkpointBytesShared, 0u);
+    EXPECT_EQ(server.schedulerStats().checkpointDeepCopies, 0u);
     for (const auto& [id, traj] : msm->trajectories()) {
         for (std::size_t f = 1; f < traj.numFrames(); ++f)
             EXPECT_EQ(traj.frame(f).step - traj.frame(f - 1).step, 50)
@@ -326,6 +331,88 @@ TEST(Chaos, WorkerFailsOverToAlternateServer) {
     EXPECT_EQ(c->results.size(), 6u);
     EXPECT_GE(worker.stats().serverFailovers, 1u);
     EXPECT_EQ(worker.currentServer(), backup.id());
+}
+
+/// Submits an initial command batch at project start and accepts late
+/// submissions mid-run; records trajectoryIds in completion order.
+class LateSubmitController : public core::Controller {
+public:
+    LateSubmitController(std::vector<core::CommandSpec> initial, int expected)
+        : initial_(std::move(initial)), expected_(expected) {}
+    void onProjectStart(core::ProjectContext& ctx) override {
+        ctx_ = &ctx;
+        for (auto& spec : initial_) ctx.submitCommand(std::move(spec));
+    }
+    void submitLate(core::CommandSpec spec) {
+        ctx_->submitCommand(std::move(spec));
+    }
+    void onCommandFinished(core::ProjectContext&,
+                           const core::CommandResult& r) override {
+        completionOrder.push_back(r.trajectoryId);
+    }
+    bool isDone(const core::ProjectContext&) const override {
+        return int(completionOrder.size()) == expected_;
+    }
+    std::vector<int> completionOrder;
+
+private:
+    std::vector<core::CommandSpec> initial_;
+    int expected_;
+    core::ProjectContext* ctx_ = nullptr;
+};
+
+core::CommandSpec echoSpec(int trajectoryId, int cores) {
+    core::CommandSpec spec;
+    spec.executable = "echo";
+    spec.steps = 10;
+    spec.trajectoryId = trajectoryId;
+    spec.preferredCores = cores;
+    return spec;
+}
+
+TEST(Chaos, LeaseExpiryRequeueBeatsNewerSamePriorityWork) {
+    // Requeue-to-head ordering end to end: command A is lost to a relay
+    // crash and recovered by lease expiry while newer same-priority work G
+    // is already waiting. The recovered A must land at the head of its
+    // priority level and run before G.
+    core::Deployment dep(29);
+    core::ServerConfig sc;
+    sc.heartbeatInterval = 30.0;
+    auto& project = dep.addServer("project", sc);
+    auto& relay = dep.addServer("relay", sc);
+    dep.connectServers(project, relay, core::links::dataCenter());
+
+    core::WorkerConfig wc;
+    wc.heartbeatInterval = 30.0;
+    wc.cores = 1; // doomed can only ever hold the 1-core command A
+    auto& doomed = dep.addWorker("doomed", relay, wc, echoRegistry(400.0),
+                                 core::links::intraCluster());
+    wc.cores = 2;
+    dep.addWorker("survivor", project, wc, echoRegistry(400.0),
+                  core::links::intraCluster());
+
+    net::FaultPlan plan;
+    plan.crashNode(relay.id(), 100.0); // never restarts
+    dep.setFaultPlan(plan);
+    doomed.failAfter(100.0); // dies with the relay: no WorkerFailed signal
+
+    // F (2 cores) occupies the survivor; A (1 core) lands on doomed.
+    std::vector<core::CommandSpec> initial;
+    initial.push_back(echoSpec(0, 2)); // F
+    initial.push_back(echoSpec(1, 1)); // A
+    auto ctrl =
+        std::make_unique<LateSubmitController>(std::move(initial), 3);
+    auto* c = ctrl.get();
+    project.createProject("lease-order", std::move(ctrl));
+
+    // G arrives while A's original run is still leased out.
+    dep.loop().schedule(60.0, [c] { c->submitLate(echoSpec(2, 2)); });
+
+    ASSERT_TRUE(dep.runUntilDone(1e6));
+    EXPECT_GE(project.stats().leasesExpired, 1u);
+    EXPECT_GE(project.stats().commandsRequeued, 1u);
+    // F finishes on the survivor, then the recovered A beats the newer G.
+    EXPECT_EQ(c->completionOrder, (std::vector<int>{0, 1, 2}));
 }
 
 TEST(Chaos, LeaseExpiryRequeuesAfterRelayCrash) {

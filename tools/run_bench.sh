@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Builds and runs the MD microbenchmarks, emitting google-benchmark JSON to
-# BENCH_micro_md.json (and BENCH_micro_msm.json) in the repo root so the
-# perf trajectory — kernel flavors x thread counts — is tracked PR over PR.
+# Builds and runs the microbenchmarks, emitting google-benchmark JSON to
+# BENCH_micro_md.json, BENCH_micro_msm.json and BENCH_micro_sched.json in
+# the repo root so the perf trajectory — kernel flavors x thread counts,
+# MSM rebuild modes, scheduler flavors x queue depths — is tracked PR
+# over PR.
 #
 # Usage:
 #   tools/run_bench.sh                 # full sweep
@@ -14,7 +16,7 @@ BUILD_DIR=${BUILD_DIR:-build}
 FILTER=${FILTER:-.}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_md micro_msm
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_md micro_msm micro_sched
 
 extra=()
 for arg in "$@"; do
@@ -34,7 +36,13 @@ done
   --benchmark_out_format=json \
   "${extra[@]+"${extra[@]}"}"
 
-echo "Wrote BENCH_micro_md.json and BENCH_micro_msm.json"
+"$BUILD_DIR"/bench/micro_sched \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out=BENCH_micro_sched.json \
+  --benchmark_out_format=json \
+  "${extra[@]+"${extra[@]}"}"
+
+echo "Wrote BENCH_micro_md.json, BENCH_micro_msm.json and BENCH_micro_sched.json"
 
 # Headline for the adaptive-MSM sweep: from-scratch rebuild vs incremental
 # update of the same generation (BM_MsmFullGeneration / gen:N against
@@ -55,5 +63,28 @@ for gen in (4, 8):
     if full and inc:
         print(f"msm gen {gen}: full {full:.1f} ms, incremental {inc:.1f} ms "
               f"({full / inc:.1f}x)")
+EOF
+fi
+
+# Headline for the scheduler: legacy linear-scan claim vs indexed claim at
+# 1e4 pending commands (the ISSUE's >= 10x acceptance point).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF' || true
+import json
+with open("BENCH_micro_sched.json") as f:
+    runs = json.load(f).get("benchmarks", [])
+def real(name):
+    for b in runs:
+        if b.get("name", "") == name:
+            return b.get("real_time")
+    return None
+for op in ("Claim", "Requeue", "Checkpoint"):
+    for exes in (4, 16):
+        new = real(f"BM_Sched{op}Indexed/pending:10000/exes:{exes}")
+        old = real(f"BM_Sched{op}Legacy/pending:10000/exes:{exes}")
+        if new and old:
+            print(f"sched {op.lower()} @1e4 pending, {exes} exes: "
+                  f"legacy {old / 1e3:.1f} us, indexed {new / 1e3:.1f} us "
+                  f"({old / new:.1f}x)")
 EOF
 fi
