@@ -127,7 +127,7 @@ void Endpoint::receive(const net::Message& msg) {
     if (msg.type == net::MessageType::Ack) {
         const auto decoded = decodePayload(msg);
         if (!decoded) {
-            ++stats_.undecodable;
+            ++stats_.malformedDropped;
             return;
         }
         const auto& ack = std::get<AckPayload>(*decoded);
@@ -159,7 +159,7 @@ void Endpoint::receive(const net::Message& msg) {
     rememberSeen(msg.id);
     const auto decoded = decodePayload(msg);
     if (!decoded) {
-        ++stats_.undecodable;
+        ++stats_.malformedDropped;
         return;
     }
     if (!handler_) return;

@@ -61,7 +61,10 @@ struct EndpointStats {
     std::uint64_t retransmits = 0;
     std::uint64_t duplicatesDropped = 0; ///< redeliveries suppressed
     std::uint64_t deliveriesFailed = 0;  ///< gave up after maxAttempts
-    std::uint64_t undecodable = 0;       ///< payloads that failed to parse
+    /// Malformed envelopes dropped: payload failed to parse (truncated,
+    /// corrupt length prefix) or carried trailing garbage past the
+    /// decoded payload. Never silently delivered.
+    std::uint64_t malformedDropped = 0;
 };
 
 /// The typed, reliable endpoint attached to one overlay node. Installs

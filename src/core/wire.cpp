@@ -18,7 +18,13 @@ std::vector<std::uint8_t> encodeWhole(const T& p) {
 template <typename T>
 T decodeWhole(std::span<const std::uint8_t> data) {
     BinaryReader r(data);
-    return T::deserialize(r);
+    T v = T::deserialize(r);
+    // An envelope payload owns its whole buffer; bytes past the decoded
+    // payload mean corruption (or an attack), not a compatible extension.
+    if (!r.atEnd())
+        throw IoError("malformed envelope: " + std::to_string(r.remaining()) +
+                      " trailing bytes after payload");
+    return v;
 }
 
 } // namespace
@@ -38,10 +44,12 @@ WorkloadRequestPayload WorkloadRequestPayload::deserialize(BinaryReader& r) {
     p.worker = r.read<std::int32_t>();
     p.platform = r.readString();
     p.cores = r.read<std::int32_t>();
-    const auto ne = r.read<std::uint64_t>();
+    // Element counts validated against the remaining bytes (each string
+    // costs at least its 8-byte length prefix) before any growth loop.
+    const auto ne = r.readCount(8);
     for (std::uint64_t i = 0; i < ne; ++i)
         p.executables.push_back(r.readString());
-    const auto nv = r.read<std::uint64_t>();
+    const auto nv = r.readCount(4);
     for (std::uint64_t i = 0; i < nv; ++i)
         p.visited.push_back(r.read<std::int32_t>());
     return p;
@@ -54,7 +62,7 @@ void WorkloadAssignPayload::serialize(BinaryWriter& w) const {
 
 WorkloadAssignPayload WorkloadAssignPayload::deserialize(BinaryReader& r) {
     WorkloadAssignPayload p;
-    const auto n = r.read<std::uint64_t>();
+    const auto n = r.readCount(8); // conservative CommandSpec lower bound
     for (std::uint64_t i = 0; i < n; ++i)
         p.commands.push_back(CommandSpec::deserialize(r));
     return p;
@@ -71,10 +79,10 @@ void HeartbeatPayload::serialize(BinaryWriter& w) const {
 HeartbeatPayload HeartbeatPayload::deserialize(BinaryReader& r) {
     HeartbeatPayload p;
     p.worker = r.read<std::int32_t>();
-    const auto n = r.read<std::uint64_t>();
+    const auto n = r.readCount(8);
     for (std::uint64_t i = 0; i < n; ++i)
         p.running.push_back(r.read<std::uint64_t>());
-    const auto m = r.read<std::uint64_t>();
+    const auto m = r.readCount(4);
     for (std::uint64_t i = 0; i < m; ++i)
         p.projectServers.push_back(r.read<std::int32_t>());
     return p;
@@ -107,10 +115,10 @@ void WorkerFailedPayload::serialize(BinaryWriter& w) const {
 WorkerFailedPayload WorkerFailedPayload::deserialize(BinaryReader& r) {
     WorkerFailedPayload p;
     p.worker = r.read<std::int32_t>();
-    const auto n = r.read<std::uint64_t>();
+    const auto n = r.readCount(8);
     for (std::uint64_t i = 0; i < n; ++i)
         p.commands.push_back(r.read<std::uint64_t>());
-    const auto m = r.read<std::uint64_t>();
+    const auto m = r.readCount(8);
     for (std::uint64_t i = 0; i < m; ++i)
         p.checkpoints.push_back(r.readBytes());
     return p;
@@ -137,7 +145,7 @@ void LeaseRenewPayload::serialize(BinaryWriter& w) const {
 LeaseRenewPayload LeaseRenewPayload::deserialize(BinaryReader& r) {
     LeaseRenewPayload p;
     p.worker = r.read<std::int32_t>();
-    const auto n = r.read<std::uint64_t>();
+    const auto n = r.readCount(8);
     for (std::uint64_t i = 0; i < n; ++i)
         p.commands.push_back(r.read<std::uint64_t>());
     return p;

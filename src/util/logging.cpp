@@ -11,12 +11,15 @@ Logger& Logger::instance() {
 
 void Logger::log(LogLevel level, const std::string& component,
                  const std::string& msg) {
-    if (level < level_) {
-        if (level >= LogLevel::Warn) ++warnCount_; // count even if muted
+    if (level < this->level()) {
+        if (level >= LogLevel::Warn) {
+            util::LockGuard lock(mutex_); // count even if muted
+            ++warnCount_;
+        }
         return;
     }
     static const char* names[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
-    std::lock_guard lock(mutex_);
+    util::LockGuard lock(mutex_);
     if (level >= LogLevel::Warn) ++warnCount_;
     std::cerr << "[" << names[int(level)] << "] " << component << ": " << msg
               << '\n';

@@ -5,9 +5,11 @@
 /// report matching decisions, heartbeats, and failures; benches set the
 /// level to Warn so their table output stays clean.
 
-#include <mutex>
+#include <atomic>
 #include <sstream>
 #include <string>
+
+#include "util/mutex.hpp"
 
 namespace cop {
 
@@ -18,22 +20,30 @@ public:
     /// Process-wide singleton. Thread-safe.
     static Logger& instance();
 
-    void setLevel(LogLevel level) { level_ = level; }
-    LogLevel level() const { return level_; }
+    void setLevel(LogLevel level) {
+        level_.store(level, std::memory_order_relaxed);
+    }
+    LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
     /// Emits `msg` tagged with level and component, if enabled.
     void log(LogLevel level, const std::string& component,
-             const std::string& msg);
+             const std::string& msg) COP_EXCLUDES(mutex_);
 
     /// Number of messages emitted at >= Warn since construction (used by
     /// tests to assert "no warnings").
-    std::size_t warningCount() const { return warnCount_; }
+    std::size_t warningCount() const COP_EXCLUDES(mutex_) {
+        util::LockGuard lock(mutex_);
+        return warnCount_;
+    }
 
 private:
     Logger() = default;
-    LogLevel level_ = LogLevel::Warn;
-    std::mutex mutex_;
-    std::size_t warnCount_ = 0;
+    /// Atomic: benches flip the level while worker threads log.
+    std::atomic<LogLevel> level_{LogLevel::Warn};
+    /// Leaf lock: guards the warning counter and serializes stderr writes;
+    /// nothing else is ever acquired under it.
+    mutable util::Mutex mutex_{"Logger.mutex"};
+    std::size_t warnCount_ COP_GUARDED_BY(mutex_) = 0;
 };
 
 namespace detail {

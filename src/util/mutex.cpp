@@ -1,0 +1,159 @@
+#include "util/mutex.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+#include <utility>
+
+namespace cop::util {
+
+namespace {
+
+/// Acquisition stack of the calling thread, innermost last. Thread-local
+/// so onAcquired/onReleased touch the graph lock only when a second lock
+/// is actually nested under a first.
+std::vector<const Mutex*>& heldStack() {
+    static thread_local std::vector<const Mutex*> stack;
+    return stack;
+}
+
+} // namespace
+
+std::uint64_t Mutex::nextId() {
+    static std::atomic<std::uint64_t> counter{0};
+    return ++counter;
+}
+
+LockOrderRegistry& LockOrderRegistry::instance() {
+    // Leaked on purpose: Mutex destructors (possibly in other statics)
+    // call onDestroyed during shutdown, so the registry must outlive them.
+    static auto* registry = new LockOrderRegistry();
+    return *registry;
+}
+
+LockOrderRegistry::FailureHandler
+LockOrderRegistry::setFailureHandler(FailureHandler h) {
+    std::lock_guard lock(graphMutex_);
+    FailureHandler prev = std::move(handler_);
+    handler_ = std::move(h);
+    return prev;
+}
+
+void LockOrderRegistry::resetGraph() {
+    std::lock_guard lock(graphMutex_);
+    edges_.clear();
+    names_.clear();
+}
+
+std::string
+LockOrderRegistry::renderStack(const std::vector<const Mutex*>& held,
+                               const Mutex* acquiring) const {
+    std::string s;
+    for (const Mutex* h : held) {
+        s += '"';
+        s += h->name();
+        s += "\" -> ";
+    }
+    s += '"';
+    s += acquiring->name();
+    s += '"';
+    return s;
+}
+
+bool LockOrderRegistry::findPath(std::uint64_t from, std::uint64_t to,
+                                 std::vector<std::uint64_t>& path) const {
+    // Iterative DFS over the acquisition-order graph; `path` receives the
+    // edge chain from -> ... -> to when one exists.
+    std::unordered_set<std::uint64_t> visited;
+    struct Frame {
+        std::uint64_t node;
+        std::size_t depth;
+    };
+    std::vector<Frame> work{{from, 0}};
+    path.clear();
+    while (!work.empty()) {
+        const Frame f = work.back();
+        work.pop_back();
+        path.resize(f.depth);
+        path.push_back(f.node);
+        if (f.node == to) return true;
+        if (!visited.insert(f.node).second) continue;
+        const auto it = edges_.find(f.node);
+        if (it == edges_.end()) continue;
+        for (const auto& [next, edge] : it->second)
+            work.push_back({next, f.depth + 1});
+    }
+    path.clear();
+    return false;
+}
+
+void LockOrderRegistry::reportCycle(const std::vector<const Mutex*>& held,
+                                    const Mutex* m,
+                                    const std::vector<std::uint64_t>& path) {
+    // Called with graphMutex_ held; composes the report, then releases the
+    // lock before invoking the handler (which may reset the graph).
+    std::string report = "lock-order cycle detected\n";
+    report += "  acquiring: " + renderStack(held, m) +
+              "  (this thread, innermost last)\n";
+    report += "  conflicts with previously recorded acquisition order:\n";
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto eit = edges_.find(path[i]);
+        const auto e = eit->second.find(path[i + 1]);
+        report += "    " + names_[path[i]] + " held while acquiring " +
+                  names_[path[i + 1]] + "  [stack: " + e->second.stack +
+                  "]\n";
+    }
+    FailureHandler handler = handler_;
+    graphMutex_.unlock();
+    if (handler) {
+        handler(report);
+    } else {
+        std::fputs(report.c_str(), stderr);
+        std::abort();
+    }
+    graphMutex_.lock();
+}
+
+void LockOrderRegistry::onAcquired(const Mutex* m) {
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    auto& held = heldStack();
+    if (!held.empty()) {
+        std::lock_guard lock(graphMutex_);
+        for (const Mutex* h : held) {
+            if (h == m) continue;
+            auto& out = edges_[h->orderId()];
+            if (out.count(m->orderId())) continue; // edge already known
+            // New edge h -> m. If m already reaches h, this acquisition
+            // inverts a recorded order: report before recording.
+            std::vector<std::uint64_t> path;
+            if (findPath(m->orderId(), h->orderId(), path))
+                reportCycle(held, m, path);
+            names_[h->orderId()] = h->name();
+            names_[m->orderId()] = m->name();
+            out.emplace(m->orderId(), Edge{renderStack(held, m)});
+        }
+    }
+    held.push_back(m);
+}
+
+void LockOrderRegistry::onReleased(const Mutex* m) {
+    auto& held = heldStack();
+    // Out-of-stack-order unlock is legal; search from the innermost end.
+    for (auto it = held.rbegin(); it != held.rend(); ++it) {
+        if (*it == m) {
+            held.erase(std::next(it).base());
+            return;
+        }
+    }
+}
+
+void LockOrderRegistry::onDestroyed(const Mutex* m) {
+    std::lock_guard lock(graphMutex_);
+    if (edges_.empty() && names_.empty()) return;
+    const std::uint64_t id = m->orderId();
+    edges_.erase(id);
+    for (auto& [from, out] : edges_) out.erase(id);
+    names_.erase(id);
+}
+
+} // namespace cop::util

@@ -98,37 +98,36 @@ public:
     }
 
     std::string readString() {
-        const auto n = read<std::uint64_t>();
-        require(n);
-        std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
-        pos_ += n;
+        const auto n = readCount(1);
+        std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                      std::size_t(n));
+        pos_ += std::size_t(n);
         return s;
     }
 
     template <typename T>
         requires std::is_arithmetic_v<T>
     std::vector<T> readVector() {
-        const auto n = read<std::uint64_t>();
+        const auto n = readCount(sizeof(T));
         std::vector<T> v;
-        v.reserve(n);
+        v.reserve(std::size_t(n));
         for (std::uint64_t i = 0; i < n; ++i) v.push_back(read<T>());
         return v;
     }
 
     std::vector<Vec3> readVec3Vector() {
-        const auto n = read<std::uint64_t>();
+        const auto n = readCount(3 * sizeof(double));
         std::vector<Vec3> v;
-        v.reserve(n);
+        v.reserve(std::size_t(n));
         for (std::uint64_t i = 0; i < n; ++i) v.push_back(readVec3());
         return v;
     }
 
     std::vector<std::uint8_t> readBytes() {
-        const auto n = read<std::uint64_t>();
-        require(n);
-        std::vector<std::uint8_t> v(data_.begin() + long(pos_),
-                                    data_.begin() + long(pos_ + n));
-        pos_ += n;
+        const auto n = readCount(1);
+        const auto* p = data_.data() + pos_;
+        std::vector<std::uint8_t> v(p, p + std::size_t(n));
+        pos_ += std::size_t(n);
         return v;
     }
 
@@ -139,6 +138,23 @@ public:
             throw IoError("bad magic in serialized stream");
         pos_ += 4;
         return read<std::uint32_t>();
+    }
+
+    /// Reads a 64-bit length prefix and validates it against the bytes
+    /// actually left in the buffer BEFORE the caller allocates anything:
+    /// `n` elements of `elemSize` bytes each must still be present. A
+    /// corrupt envelope therefore throws IoError instead of demanding a
+    /// multi-GiB reserve(); the untrusted-arithmetic form `n > rem / size`
+    /// also cannot overflow, unlike `pos_ + n * size`.
+    std::uint64_t readCount(std::size_t elemSize) {
+        const auto n = read<std::uint64_t>();
+        if (n > remaining() / elemSize)
+            throw IoError(
+                "corrupt length prefix: " + std::to_string(n) +
+                " elements of " + std::to_string(elemSize) +
+                " bytes declared, only " + std::to_string(remaining()) +
+                " bytes remain");
+        return n;
     }
 
 private:

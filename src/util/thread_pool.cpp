@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t nThreads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard lock(mutex_);
+        util::LockGuard lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -27,8 +27,10 @@ void ThreadPool::workerLoop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock lock(mutex_);
-            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            util::UniqueLock lock(mutex_);
+            // Condition checked inline (not via a wait predicate lambda)
+            // so the guarded reads sit visibly under the held capability.
+            while (!stop_ && tasks_.empty()) cv_.wait(lock);
             if (stop_ && tasks_.empty()) return;
             task = std::move(tasks_.front());
             tasks_.pop();

@@ -14,10 +14,11 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace cop {
 
@@ -41,7 +42,7 @@ public:
             std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
         std::future<R> fut = task->get_future();
         {
-            std::lock_guard lock(mutex_);
+            util::LockGuard lock(mutex_);
             tasks_.emplace([task] { (*task)(); });
         }
         cv_.notify_one();
@@ -172,10 +173,14 @@ private:
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    /// Leaf lock of the repo-wide hierarchy (DESIGN.md "Concurrency
+    /// invariants"): no other Mutex is ever acquired while holding it.
+    util::Mutex mutex_{"ThreadPool.mutex"};
+    std::queue<std::function<void()>> tasks_ COP_GUARDED_BY(mutex_);
+    bool stop_ COP_GUARDED_BY(mutex_) = false;
+    /// _any variant: waits on util::UniqueLock, so the capability and
+    /// lock-order bookkeeping survive the unlock/relock inside wait().
+    std::condition_variable_any cv_;
 };
 
 } // namespace cop

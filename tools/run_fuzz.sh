@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Entry point for the wire-decode fuzzer (fuzz/envelope_fuzz.cpp).
+#
+# With clang available it builds the coverage-guided libFuzzer harness
+# (+ASan) and runs: (1) a deterministic replay of the committed seed
+# corpus, (2) a bounded exploration phase. Without clang it falls back to
+# the standalone driver and replays the corpus only — the same check the
+# `fuzz_corpus_replay` ctest entry runs on every build.
+#
+# Usage:
+#   tools/run_fuzz.sh                 # replay + 60 s exploration
+#   FUZZ_SECONDS=600 tools/run_fuzz.sh
+#   tools/run_fuzz.sh --generate     # regenerate the seed corpus in place
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FUZZ_SECONDS=${FUZZ_SECONDS:-60}
+CORPUS=fuzz/corpus/envelope
+
+if [[ "${1:-}" == "--generate" ]]; then
+  BUILD_DIR=${BUILD_DIR:-build}
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target envelope_fuzz
+  "$BUILD_DIR"/fuzz/envelope_fuzz --generate "$CORPUS"
+  exit 0
+fi
+
+if command -v clang++ >/dev/null 2>&1; then
+  BUILD_DIR=${BUILD_DIR:-build-fuzz}
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DCOPERNICUS_LIBFUZZER=ON -DCOPERNICUS_SANITIZER=address >/dev/null
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target envelope_fuzz
+  echo "== corpus replay (deterministic) =="
+  "$BUILD_DIR"/fuzz/envelope_fuzz -runs=0 "$CORPUS"
+  echo "== exploration (${FUZZ_SECONDS}s) =="
+  "$BUILD_DIR"/fuzz/envelope_fuzz -max_total_time="$FUZZ_SECONDS" \
+    -print_final_stats=1 "$CORPUS"
+else
+  echo "clang not found: replaying committed corpus with the standalone driver"
+  BUILD_DIR=${BUILD_DIR:-build}
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target envelope_fuzz
+  "$BUILD_DIR"/fuzz/envelope_fuzz "$CORPUS"
+fi
