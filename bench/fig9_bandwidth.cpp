@@ -52,13 +52,29 @@ int main() {
     perf::ScalingConfig base;
     for (int m : {12, 24, 48, 96}) {
         base.coresPerSim = m;
+        base.batching = true;
         const auto results = perf::sweepTotalCores(base, sweepPoints(m));
-        Table table({"Ncores", "bandwidth (MB/s)", "total moved (MB)"});
+        // Same sweep with envelope coalescing off: the protocol outcome is
+        // identical, so the delta is pure framing overhead (one ~96-byte
+        // header per envelope vs per batch).
+        perf::ScalingConfig flat = base;
+        flat.batching = false;
+        const auto unbatched = perf::sweepTotalCores(flat, sweepPoints(m));
+        Table table({"Ncores", "bandwidth (MB/s)", "MB/gen batched",
+                     "MB/gen unbatched", "frames saved"});
         std::vector<double> xs, ys;
-        for (const auto& r : results) {
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto& r = results[i];
+            const auto& u = unbatched[i];
+            const double framesSaved =
+                u.totalFrames > 0.0
+                    ? 1.0 - r.totalFrames / u.totalFrames
+                    : 0.0;
             table.addRow({std::to_string(r.totalCores),
                           formatFixed(r.ensembleBandwidth / 1e6, 4),
-                          formatFixed(r.totalBytes / 1e6, 0)});
+                          formatFixed(r.bytesPerGeneration / 1e6, 2),
+                          formatFixed(u.bytesPerGeneration / 1e6, 2),
+                          formatFixed(framesSaved * 100.0, 1) + "%"});
             xs.push_back(double(r.totalCores));
             ys.push_back(r.ensembleBandwidth / 1e6);
         }

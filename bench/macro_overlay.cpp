@@ -1,0 +1,464 @@
+/// Closed-loop macro load harness for the overlay transport (ISSUE 6).
+///
+/// Two scenarios, each run with envelope coalescing on and off:
+///
+///  - "hot": a closed-loop command mill. A project server feeds a relay
+///    server whose cluster of multi-core workers runs equal-duration echo
+///    commands, so whole waves of CommandOutput envelopes (plus the
+///    follow-up WorkloadRequest) complete in the same event-loop tick and
+///    coalesce into single Batch frames. A mild seeded fault plan keeps
+///    the reliability machinery honest. The headline is sustained
+///    wall-clock commands/sec: every wire frame pays host-side routing
+///    (per-hop Dijkstra), scheduling and allocation, so cutting frames
+///    ~5x shows up directly as throughput.
+///
+///  - "sparse": an open-loop trickle. Long commands on single-core
+///    workers plus a wide-area client pinging project status every few
+///    seconds. Nothing to coalesce with -> every flush is a singleton and
+///    every ack rides the zero-delay ack timer, so ack-latency p50/p99
+///    must match the unbatched run (the "no regression on sparse load"
+///    gate).
+///
+/// Results go to BENCH_macro_overlay.json. `--smoke` runs a small no-fault
+/// hot config and exits nonzero unless every command completed with zero
+/// dead letters and nonzero throughput (the CI gate).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/copernicus.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+using namespace cop;
+
+namespace {
+
+core::ExecutableRegistry echoRegistry(double duration) {
+    core::ExecutableRegistry reg;
+    reg.add("echo", [duration](const core::CommandSpec& cmd, int) {
+        core::Execution e;
+        e.result.commandId = cmd.id;
+        e.result.projectId = cmd.projectId;
+        e.result.trajectoryId = cmd.trajectoryId;
+        e.result.generation = cmd.generation;
+        e.result.success = true;
+        e.result.output.assign(128, std::uint8_t(cmd.trajectoryId));
+        e.simSeconds = duration;
+        // One mid-run checkpoint: adds unreliable traffic in the same
+        // burst-aligned waves as the results.
+        e.checkpoints.emplace_back(0.5,
+                                   std::vector<std::uint8_t>(256, 0xcc));
+        return e;
+    });
+    return reg;
+}
+
+class FixedController : public core::Controller {
+public:
+    explicit FixedController(int n) : n_(n) {}
+    void onProjectStart(core::ProjectContext& ctx) override {
+        for (int i = 0; i < n_; ++i) {
+            core::CommandSpec spec;
+            spec.executable = "echo";
+            spec.steps = 10;
+            spec.trajectoryId = i;
+            ctx.submitCommand(std::move(spec));
+        }
+    }
+    void onCommandFinished(core::ProjectContext&,
+                           const core::CommandResult&) override {
+        ++finished_;
+    }
+    bool isDone(const core::ProjectContext& ctx) const override {
+        return finished_ >= n_ && ctx.outstandingCommands() == 0;
+    }
+
+private:
+    int n_ = 0;
+    int finished_ = 0;
+};
+
+double percentile(std::vector<double>& samples, double q) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const auto idx = std::size_t(q * double(samples.size() - 1) + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+struct RunMetrics {
+    bool batched = false;
+    bool completedAll = false;
+    std::uint64_t commandsCompleted = 0;
+    double wallSeconds = 0.0;
+    double simSeconds = 0.0;
+    double wallCommandsPerSec = 0.0;
+    double simCommandsPerSec = 0.0;
+    std::uint64_t wireFrames = 0;      ///< net::Message sends (hop 0 counts)
+    std::uint64_t wireBytes = 0;
+    std::uint64_t singletonFrames = 0;
+    std::uint64_t batchFrames = 0;
+    std::uint64_t batchedEnvelopes = 0;
+    double envelopesPerFrame = 0.0;
+    double framesPerCommand = 0.0;
+    std::uint64_t acksPiggybacked = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t deliveriesFailed = 0;
+    std::uint64_t deadLetters = 0;
+    std::uint64_t flushOnCount = 0;
+    std::uint64_t flushOnBytes = 0;
+    std::uint64_t flushOnTimer = 0;
+    std::uint64_t flushOnAckTimer = 0;
+    double ackP50 = 0.0;
+    double ackP99 = 0.0;
+};
+
+struct HotConfig {
+    int workers = 384;
+    int coresPerWorker = 8;
+    int commands = 30720;
+    double commandSeconds = 30.0;
+    bool faults = true;
+};
+
+/// Attaches the ack-latency sampler to every endpoint in the deployment
+/// and aggregates the wire-level counters afterwards.
+struct EndpointProbe {
+    std::vector<double> ackLatencies;
+
+    void attach(core::wire::Endpoint& ep) {
+        ep.onAckLatency(
+            [this](double seconds) { ackLatencies.push_back(seconds); });
+        endpoints.push_back(&ep);
+    }
+
+    void fill(RunMetrics& m) {
+        for (const auto* ep : endpoints) {
+            const auto& s = ep->stats();
+            m.acksPiggybacked += s.acksPiggybacked;
+            m.retransmits += s.retransmits;
+            m.deliveriesFailed += s.deliveriesFailed;
+            m.flushOnCount += s.flushOnCount;
+            m.flushOnBytes += s.flushOnBytes;
+            m.flushOnTimer += s.flushOnTimer;
+            m.flushOnAckTimer += s.flushOnAckTimer;
+        }
+        m.ackP50 = percentile(ackLatencies, 0.50);
+        m.ackP99 = percentile(ackLatencies, 0.99);
+    }
+
+    std::vector<core::wire::Endpoint*> endpoints;
+};
+
+RunMetrics runHot(const HotConfig& hc, bool batched) {
+    core::Deployment dep(11);
+    core::ServerConfig sc;
+    sc.heartbeatInterval = 60.0;
+    sc.batch.enabled = batched;
+    // The relay aggregates whole worker waves; a wider window keeps one
+    // wave in one frame instead of splitting it at the default count cap.
+    sc.batch.maxEnvelopes = 64;
+    sc.batch.maxBytes = 1 << 20;
+    auto& project = dep.addServer("project", sc);
+    auto& relay = dep.addServer("relay", sc);
+    dep.connectServers(project, relay, core::links::dataCenter());
+
+    EndpointProbe probe;
+    probe.attach(project.endpoint());
+    probe.attach(relay.endpoint());
+
+    core::WorkerConfig wc;
+    wc.cores = hc.coresPerWorker;
+    wc.heartbeatInterval = 60.0;
+    wc.batch.enabled = batched;
+    wc.batch.maxEnvelopes = 64;
+    wc.batch.maxBytes = 1 << 20;
+    for (int w = 0; w < hc.workers; ++w) {
+        auto& worker = dep.addWorker("w" + std::to_string(w), relay, wc,
+                                     echoRegistry(hc.commandSeconds),
+                                     core::links::intraCluster());
+        probe.attach(worker.endpoint());
+    }
+
+    if (hc.faults) {
+        net::FaultPlan plan;
+        plan.seed = 20110617; // SC11 submission vintage
+        plan.defaultProfile.dropProbability = 0.02;
+        plan.defaultProfile.duplicateProbability = 0.02;
+        plan.defaultProfile.reorderProbability = 0.02;
+        dep.setFaultPlan(plan);
+    }
+
+    project.createProject("mill",
+                          std::make_unique<FixedController>(hc.commands));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool done = dep.runUntilDone(1e9);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunMetrics m;
+    m.batched = batched;
+    m.completedAll = done;
+    m.commandsCompleted = project.stats().commandsCompleted;
+    m.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    m.simSeconds = dep.loop().now();
+    m.wallCommandsPerSec =
+        m.wallSeconds > 0.0 ? double(m.commandsCompleted) / m.wallSeconds
+                            : 0.0;
+    m.simCommandsPerSec =
+        m.simSeconds > 0.0 ? double(m.commandsCompleted) / m.simSeconds : 0.0;
+    const auto wire = dep.network().totalStats();
+    m.wireFrames = wire.messages;
+    m.wireBytes = wire.bytes;
+    m.singletonFrames = wire.singletons;
+    m.batchFrames = wire.batches;
+    m.batchedEnvelopes = wire.batchedEnvelopes;
+    m.envelopesPerFrame =
+        wire.messages > 0
+            ? double(wire.singletons + wire.batchedEnvelopes) /
+                  double(wire.messages)
+            : 0.0;
+    m.framesPerCommand =
+        m.commandsCompleted > 0
+            ? double(wire.messages) / double(m.commandsCompleted)
+            : 0.0;
+    m.deadLetters = dep.network().faultStats().deadLetters;
+    probe.fill(m);
+    return m;
+}
+
+RunMetrics runSparse(bool batched) {
+    core::Deployment dep(23);
+    core::ServerConfig sc;
+    sc.heartbeatInterval = 120.0;
+    sc.batch.enabled = batched;
+    auto& server = dep.addServer("s0", sc);
+
+    EndpointProbe probe;
+    probe.attach(server.endpoint());
+
+    core::WorkerConfig wc;
+    wc.cores = 1;
+    wc.batch.enabled = batched;
+    for (int w = 0; w < 2; ++w) {
+        auto& worker = dep.addWorker("w" + std::to_string(w), server, wc,
+                                     echoRegistry(240.0),
+                                     core::links::intraCluster());
+        probe.attach(worker.endpoint());
+    }
+
+    auto& client = dep.addClient("cli", server, core::links::wideArea());
+    probe.attach(client.endpoint());
+
+    const auto pid = server.createProject(
+        "trickle", std::make_unique<FixedController>(8));
+    // Open-loop status pings: one reliable round-trip every ~7 s on an
+    // otherwise idle wide-area link. Each ack is standalone by
+    // construction -- exactly the path the ack-flush bound protects.
+    for (int i = 0; i < 100; ++i) {
+        dep.loop().schedule(5.0 + 7.3 * i, [&client, &server, pid] {
+            client.requestStatus(server.id(), pid);
+        });
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool done = dep.runUntilDone(1e9);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunMetrics m;
+    m.batched = batched;
+    m.completedAll = done;
+    m.commandsCompleted = server.stats().commandsCompleted;
+    m.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    m.simSeconds = dep.loop().now();
+    m.wallCommandsPerSec =
+        m.wallSeconds > 0.0 ? double(m.commandsCompleted) / m.wallSeconds
+                            : 0.0;
+    m.simCommandsPerSec =
+        m.simSeconds > 0.0 ? double(m.commandsCompleted) / m.simSeconds : 0.0;
+    const auto wire = dep.network().totalStats();
+    m.wireFrames = wire.messages;
+    m.wireBytes = wire.bytes;
+    m.singletonFrames = wire.singletons;
+    m.batchFrames = wire.batches;
+    m.batchedEnvelopes = wire.batchedEnvelopes;
+    m.envelopesPerFrame =
+        wire.messages > 0
+            ? double(wire.singletons + wire.batchedEnvelopes) /
+                  double(wire.messages)
+            : 0.0;
+    m.deadLetters = dep.network().faultStats().deadLetters;
+    probe.fill(m);
+    return m;
+}
+
+void appendMetrics(std::string& json, const char* indent,
+                   const RunMetrics& m) {
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s\"completed_all\": %s,\n"
+        "%s\"commands_completed\": %llu,\n"
+        "%s\"wall_seconds\": %.6f,\n"
+        "%s\"sim_seconds\": %.3f,\n"
+        "%s\"wall_commands_per_sec\": %.1f,\n"
+        "%s\"sim_commands_per_sec\": %.4f,\n"
+        "%s\"wire_frames\": %llu,\n"
+        "%s\"wire_bytes\": %llu,\n"
+        "%s\"singleton_frames\": %llu,\n"
+        "%s\"batch_frames\": %llu,\n"
+        "%s\"batched_envelopes\": %llu,\n"
+        "%s\"envelopes_per_frame\": %.3f,\n"
+        "%s\"frames_per_command\": %.3f,\n"
+        "%s\"acks_piggybacked\": %llu,\n"
+        "%s\"retransmits\": %llu,\n"
+        "%s\"deliveries_failed\": %llu,\n"
+        "%s\"dead_letters\": %llu,\n"
+        "%s\"flush_on_count\": %llu,\n"
+        "%s\"flush_on_bytes\": %llu,\n"
+        "%s\"flush_on_timer\": %llu,\n"
+        "%s\"flush_on_ack_timer\": %llu,\n"
+        "%s\"ack_latency_p50_s\": %.6f,\n"
+        "%s\"ack_latency_p99_s\": %.6f\n",
+        indent, m.completedAll ? "true" : "false", indent,
+        (unsigned long long)m.commandsCompleted, indent, m.wallSeconds,
+        indent, m.simSeconds, indent, m.wallCommandsPerSec, indent,
+        m.simCommandsPerSec, indent, (unsigned long long)m.wireFrames,
+        indent, (unsigned long long)m.wireBytes, indent,
+        (unsigned long long)m.singletonFrames, indent,
+        (unsigned long long)m.batchFrames, indent,
+        (unsigned long long)m.batchedEnvelopes, indent, m.envelopesPerFrame,
+        indent, m.framesPerCommand, indent,
+        (unsigned long long)m.acksPiggybacked, indent,
+        (unsigned long long)m.retransmits, indent,
+        (unsigned long long)m.deliveriesFailed, indent,
+        (unsigned long long)m.deadLetters, indent,
+        (unsigned long long)m.flushOnCount, indent,
+        (unsigned long long)m.flushOnBytes, indent,
+        (unsigned long long)m.flushOnTimer, indent,
+        (unsigned long long)m.flushOnAckTimer, indent, m.ackP50, indent,
+        m.ackP99);
+    json += buf;
+}
+
+void printRow(Table& t, const char* name, const RunMetrics& on,
+              const RunMetrics& off) {
+    t.addRow({name, formatFixed(on.wallCommandsPerSec, 0),
+              formatFixed(off.wallCommandsPerSec, 0),
+              formatFixed(off.wallCommandsPerSec > 0.0
+                              ? on.wallCommandsPerSec /
+                                    off.wallCommandsPerSec
+                              : 0.0,
+                          2) +
+                  "x",
+              formatFixed(on.envelopesPerFrame, 2),
+              std::to_string(on.wireBytes / 1000) + "k/" +
+                  std::to_string(off.wireBytes / 1000) + "k"});
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Logger::instance().setLevel(LogLevel::Warn);
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+    if (smoke) {
+        // CI gate: small, fault-free, must complete everything with zero
+        // dead letters and nonzero throughput.
+        HotConfig hc;
+        hc.workers = 4;
+        hc.coresPerWorker = 4;
+        hc.commands = 64;
+        hc.faults = false;
+        const auto m = runHot(hc, /*batched=*/true);
+        std::printf("smoke: completed=%llu/%d wall_cps=%.0f "
+                    "dead_letters=%llu batches=%llu\n",
+                    (unsigned long long)m.commandsCompleted, hc.commands,
+                    m.wallCommandsPerSec,
+                    (unsigned long long)m.deadLetters,
+                    (unsigned long long)m.batchFrames);
+        if (!m.completedAll || m.commandsCompleted != std::uint64_t(hc.commands)) {
+            std::printf("smoke FAILED: not all commands completed\n");
+            return 1;
+        }
+        if (m.deadLetters != 0) {
+            std::printf("smoke FAILED: dead letters under no-fault plan\n");
+            return 1;
+        }
+        if (m.wallCommandsPerSec <= 0.0) {
+            std::printf("smoke FAILED: zero throughput\n");
+            return 1;
+        }
+        std::printf("smoke OK\n");
+        return 0;
+    }
+
+    std::printf("=== macro_overlay: closed-loop overlay throughput ===\n\n");
+
+    HotConfig hc;
+    const auto hotOn = runHot(hc, /*batched=*/true);
+    const auto hotOff = runHot(hc, /*batched=*/false);
+    auto sparseOn = runSparse(/*batched=*/true);
+    auto sparseOff = runSparse(/*batched=*/false);
+
+    Table t({"scenario", "cps batched", "cps unbatched", "speedup",
+             "env/frame", "bytes on/off"});
+    printRow(t, "hot", hotOn, hotOff);
+    printRow(t, "sparse", sparseOn, sparseOff);
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("hot: %llu frames batched vs %llu unbatched "
+                "(%.1f%% fewer); %llu acks piggybacked; "
+                "dead letters %llu/%llu\n",
+                (unsigned long long)hotOn.wireFrames,
+                (unsigned long long)hotOff.wireFrames,
+                hotOff.wireFrames > 0
+                    ? 100.0 * (1.0 - double(hotOn.wireFrames) /
+                                         double(hotOff.wireFrames))
+                    : 0.0,
+                (unsigned long long)hotOn.acksPiggybacked,
+                (unsigned long long)hotOn.deadLetters,
+                (unsigned long long)hotOff.deadLetters);
+    std::printf("sparse ack latency: p50 %.4fs/%.4fs  p99 %.4fs/%.4fs "
+                "(batched/unbatched; must match)\n",
+                sparseOn.ackP50, sparseOff.ackP50, sparseOn.ackP99,
+                sparseOff.ackP99);
+
+    std::string json = "{\n  \"bench\": \"macro_overlay\",\n";
+    json += "  \"hot\": {\n    \"batched\": {\n";
+    appendMetrics(json, "      ", hotOn);
+    json += "    },\n    \"unbatched\": {\n";
+    appendMetrics(json, "      ", hotOff);
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    },\n    \"wall_speedup\": %.2f,\n"
+                  "    \"frame_reduction\": %.3f\n  },\n",
+                  hotOff.wallCommandsPerSec > 0.0
+                      ? hotOn.wallCommandsPerSec / hotOff.wallCommandsPerSec
+                      : 0.0,
+                  hotOff.wireFrames > 0
+                      ? 1.0 - double(hotOn.wireFrames) /
+                                  double(hotOff.wireFrames)
+                      : 0.0);
+    json += buf;
+    json += "  \"sparse\": {\n    \"batched\": {\n";
+    appendMetrics(json, "      ", sparseOn);
+    json += "    },\n    \"unbatched\": {\n";
+    appendMetrics(json, "      ", sparseOff);
+    std::snprintf(buf, sizeof buf,
+                  "    },\n    \"ack_p99_regression\": %.6f\n  }\n}\n",
+                  sparseOn.ackP99 - sparseOff.ackP99);
+    json += buf;
+
+    std::ofstream out("BENCH_macro_overlay.json");
+    out << json;
+    std::printf("\nwrote BENCH_macro_overlay.json\n");
+    return 0;
+}

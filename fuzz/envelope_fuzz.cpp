@@ -34,7 +34,7 @@ namespace {
 
 /// Count of net::MessageType enumerators (message.hpp); the selector byte
 /// is reduced mod this so every tag stays reachable as the enum grows.
-constexpr unsigned kMessageTypeCount = 14;
+constexpr unsigned kMessageTypeCount = 15;
 
 void drainReaderPrimitives(std::span<const std::uint8_t> bytes) {
     using cop::BinaryReader;
@@ -192,6 +192,21 @@ int generateCorpus(const fs::path& dir) {
     ack.ackedMessageId = 1234;
     writeSeed(dir, "ack", ack.kType, ack.encode());
 
+    // A mixed coalesced frame: data + piggybacked ack, the shape the
+    // batching endpoint actually emits.
+    BatchPayload batch;
+    BatchEntry be1;
+    be1.type = hb.kType;
+    be1.messageId = 77;
+    be1.requireAck = true;
+    be1.payload = hb.encode();
+    BatchEntry be2;
+    be2.type = ack.kType;
+    be2.messageId = 78;
+    be2.payload = ack.encode();
+    batch.entries = {be1, be2};
+    writeSeed(dir, "batch_mixed", batch.kType, batch.encode());
+
     // Malformed shapes the decode hardening must keep rejecting.
     auto hbBytes = hb.encode();
     writeSeed(dir, "malformed_truncated", hb.kType,
@@ -204,6 +219,21 @@ int generateCorpus(const fs::path& dir) {
     std::memcpy(hostile.data() + 4, &huge, sizeof(huge));
     writeSeed(dir, "malformed_huge_count", hb.kType, hostile);
     writeSeed(dir, "malformed_empty_payload", hb.kType, {});
+
+    // Batch-specific hostile shapes: a recursion bomb (batch-in-batch),
+    // an entry count claiming 2^64-1 sub-envelopes, and trailing garbage
+    // after a well-formed batch.
+    auto nested = batch;
+    nested.entries[0].type = batch.kType;
+    nested.entries[0].payload = batch.encode();
+    writeSeed(dir, "batch_malformed_nested", batch.kType, nested.encode());
+    auto batchBytes = batch.encode();
+    auto batchHostile = batchBytes;
+    std::memcpy(batchHostile.data(), &huge, sizeof(huge));
+    writeSeed(dir, "batch_malformed_huge_count", batch.kType, batchHostile);
+    auto batchTrailing = batchBytes;
+    batchTrailing.push_back(0xEE);
+    writeSeed(dir, "batch_malformed_trailing", batch.kType, batchTrailing);
 
     std::printf("wrote seed corpus to %s\n", dir.string().c_str());
     return 0;

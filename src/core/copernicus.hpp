@@ -38,6 +38,8 @@ public:
 
     const std::string& lastStatus() const { return lastStatus_; }
     std::size_t responsesReceived() const { return responses_; }
+    /// The client's typed endpoint (benches attach latency observers).
+    wire::Endpoint& endpoint() { return endpoint_; }
 
 private:
     net::OverlayNetwork* network_;

@@ -40,6 +40,8 @@ std::optional<AnyPayload> decodePayload(const net::Message& msg) {
             return ClientResponsePayload::decode(msg.payload);
         case MessageType::Ack:
             return AckPayload::decode(msg.payload);
+        case MessageType::Batch:
+            return BatchPayload::decode(msg.payload);
         }
     } catch (const std::exception&) {
         return std::nullopt; // truncated or corrupt payload
@@ -48,8 +50,9 @@ std::optional<AnyPayload> decodePayload(const net::Message& msg) {
 }
 
 Endpoint::Endpoint(net::OverlayNetwork& net, net::Node& node,
-                   RetryPolicy policy)
-    : net_(&net), node_(&node), policy_(policy), rng_(node.keys().publicKey) {
+                   RetryPolicy policy, BatchPolicy batch)
+    : net_(&net), node_(&node), policy_(policy), batch_(batch),
+      rng_(node.keys().publicKey) {
     node_->setHandler([this](const net::Message& msg) { receive(msg); });
 }
 
@@ -67,16 +70,15 @@ std::uint64_t Endpoint::sendRaw(net::MessageType type, net::NodeId to,
     msg.requireAck = reliable;
     msg.payload = std::move(payload);
     ++stats_.sent;
-    if (reliable) {
-        const std::uint64_t id = msg.id;
-        auto [it, inserted] = pending_.emplace(id, Pending{msg, 1, 0});
-        (void)inserted;
-        net_->send(std::move(msg));
-        armRetry(id);
-        return id;
-    }
     const std::uint64_t id = msg.id;
-    net_->send(std::move(msg));
+    if (reliable)
+        pending_.emplace(id,
+                         Pending{msg, 1, 0, net_->loop().now()});
+    if (batch_.enabled)
+        enqueue(std::move(msg), /*isAck=*/false);
+    else
+        net_->send(std::move(msg));
+    if (reliable) armRetry(id);
     return id;
 }
 
@@ -90,10 +92,112 @@ std::uint64_t Endpoint::resend(const net::Message& failed,
     msg.requireAck = true;
     ++stats_.sent;
     const std::uint64_t id = msg.id;
-    pending_.emplace(id, Pending{msg, 1, 0});
-    net_->send(std::move(msg));
+    pending_.emplace(id, Pending{msg, 1, 0, net_->loop().now()});
+    if (batch_.enabled)
+        enqueue(std::move(msg), /*isAck=*/false);
+    else
+        net_->send(std::move(msg));
     armRetry(id);
     return id;
+}
+
+void Endpoint::enqueue(net::Message msg, bool isAck) {
+    const net::NodeId dest = msg.destination;
+    TxQueue& q = queues_[dest];
+    BatchEntry entry;
+    entry.type = msg.type;
+    entry.messageId = msg.id;
+    entry.requireAck = msg.requireAck;
+    entry.payload = std::move(msg.payload);
+    q.payloadBytes += entry.payload.size();
+    q.entries.push_back(std::move(entry));
+    if (q.entries.size() >= batch_.maxEnvelopes) {
+        flush(dest, FlushReason::Count);
+        return;
+    }
+    if (q.payloadBytes >= batch_.maxBytes) {
+        flush(dest, FlushReason::Bytes);
+        return;
+    }
+    // Arm (or tighten) the Nagle timer. Acks may use a shorter deadline —
+    // the standalone-ack latency bound — which pulls any queued data
+    // forward with them; a data envelope never loosens a pending deadline.
+    const double delay = isAck ? batch_.ackFlushDelay : batch_.flushDelay;
+    const double deadline = net_->loop().now() + delay;
+    if (q.timer != 0) {
+        if (deadline >= q.deadline) return;
+        net_->loop().cancelTimer(q.timer);
+    }
+    q.deadline = deadline;
+    const FlushReason reason =
+        isAck ? FlushReason::AckTimer : FlushReason::Timer;
+    q.timer = net_->loop().scheduleTimer(delay, [this, dest, reason] {
+        auto it = queues_.find(dest);
+        if (it != queues_.end()) it->second.timer = 0;
+        flush(dest, reason);
+    });
+}
+
+void Endpoint::flush(net::NodeId dest, FlushReason reason) {
+    if (down_) return;
+    auto it = queues_.find(dest);
+    if (it == queues_.end()) return;
+    TxQueue& q = it->second;
+    if (q.timer != 0) {
+        net_->loop().cancelTimer(q.timer);
+        q.timer = 0;
+    }
+    if (q.entries.empty()) return;
+    switch (reason) {
+    case FlushReason::Count: ++stats_.flushOnCount; break;
+    case FlushReason::Bytes: ++stats_.flushOnBytes; break;
+    case FlushReason::Timer: ++stats_.flushOnTimer; break;
+    case FlushReason::AckTimer: ++stats_.flushOnAckTimer; break;
+    }
+    std::vector<BatchEntry> entries = std::move(q.entries);
+    q.entries.clear();
+    q.payloadBytes = 0;
+
+    if (entries.size() == 1) {
+        // Nothing to coalesce with: send the lone envelope as itself, so
+        // sparse traffic keeps its exact unbatched wire shape.
+        ++stats_.singletonsSent;
+        BatchEntry e = std::move(entries.front());
+        net::Message msg;
+        msg.type = e.type;
+        msg.source = node_->id();
+        msg.destination = dest;
+        msg.id = e.messageId;
+        msg.requireAck = e.requireAck;
+        msg.payload = std::move(e.payload);
+        net_->send(std::move(msg));
+        return;
+    }
+
+    BatchPayload payload;
+    payload.entries = std::move(entries);
+    ++stats_.batchesSent;
+    stats_.envelopesBatched += payload.entries.size();
+    for (const auto& e : payload.entries)
+        if (e.type == net::MessageType::Ack) ++stats_.acksPiggybacked;
+    net::Message msg;
+    msg.type = net::MessageType::Batch;
+    msg.source = node_->id();
+    msg.destination = dest;
+    msg.id = net_->nextMessageId();
+    msg.requireAck = false; // reliability stays end-to-end per sub-envelope
+    msg.batchCount = std::uint32_t(payload.entries.size());
+    msg.bulkBytes = payload.bulkPayloadBytes();
+    msg.payload = payload.encode();
+    net_->send(std::move(msg));
+}
+
+void Endpoint::flushAll() {
+    if (down_ || !batch_.enabled) return;
+    for (auto& [dest, q] : queues_) {
+        (void)q;
+        flush(dest, FlushReason::Timer);
+    }
 }
 
 void Endpoint::armRetry(std::uint64_t id) {
@@ -124,6 +228,10 @@ void Endpoint::onRetryTimer(std::uint64_t id) {
 
 void Endpoint::receive(const net::Message& msg) {
     if (down_) return;
+    if (msg.type == net::MessageType::Batch) {
+        receiveBatch(msg);
+        return;
+    }
     if (msg.type == net::MessageType::Ack) {
         const auto decoded = decodePayload(msg);
         if (!decoded) {
@@ -133,6 +241,9 @@ void Endpoint::receive(const net::Message& msg) {
         const auto& ack = std::get<AckPayload>(*decoded);
         auto it = pending_.find(ack.ackedMessageId);
         if (it != pending_.end()) {
+            if (ackLatencyObserver_)
+                ackLatencyObserver_(net_->loop().now() -
+                                    it->second.firstSentAt);
             if (it->second.timer != 0)
                 net_->loop().cancelTimer(it->second.timer);
             pending_.erase(it);
@@ -150,7 +261,13 @@ void Endpoint::receive(const net::Message& msg) {
         reply.destination = msg.source;
         reply.id = net_->nextMessageId();
         reply.payload = ack.encode();
-        net_->send(std::move(reply));
+        // Piggyback the ack on whatever else is (or is about to be)
+        // heading back to the sender; the ack-flush deadline bounds how
+        // long it may wait for company.
+        if (batch_.enabled)
+            enqueue(std::move(reply), /*isAck=*/true);
+        else
+            net_->send(std::move(reply));
     }
     if (seen(msg.id)) {
         ++stats_.duplicatesDropped;
@@ -171,6 +288,32 @@ void Endpoint::receive(const net::Message& msg) {
     handler_(env, msg);
 }
 
+void Endpoint::receiveBatch(const net::Message& msg) {
+    const auto decoded = decodePayload(msg);
+    if (!decoded) {
+        // One malformed frame, one count: sub-envelopes of a corrupt batch
+        // are indistinguishable from garbage and are dropped wholesale.
+        ++stats_.malformedDropped;
+        return;
+    }
+    const auto& batchPayload = std::get<BatchPayload>(*decoded);
+    // Replay each sub-envelope through the normal receive path: acks,
+    // per-id dedup and malformed counting behave exactly as if the
+    // envelopes had arrived as singletons. Nested batches cannot occur
+    // (the decoder rejects them), so this cannot recurse.
+    for (const auto& e : batchPayload.entries) {
+        net::Message sub;
+        sub.type = e.type;
+        sub.source = msg.source;
+        sub.destination = node_->id();
+        sub.id = e.messageId;
+        sub.requireAck = e.requireAck;
+        sub.payload = e.payload;
+        receive(sub);
+        if (down_) return; // a handler may have shut us down mid-batch
+    }
+}
+
 void Endpoint::rememberSeen(std::uint64_t id) {
     seenSet_.insert(id);
     seenOrder_.push_back(id);
@@ -186,6 +329,12 @@ void Endpoint::shutdown() {
         if (p.timer != 0) net_->loop().cancelTimer(p.timer);
     }
     pending_.clear();
+    // Crash semantics: queued-but-unflushed envelopes die with the node,
+    // and their flush timers must never fire into freed state.
+    for (auto& [dest, q] : queues_) {
+        if (q.timer != 0) net_->loop().cancelTimer(q.timer);
+    }
+    queues_.clear();
 }
 
 } // namespace cop::core::wire

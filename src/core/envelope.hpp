@@ -35,7 +35,8 @@ using AnyPayload =
     std::variant<WorkloadRequestPayload, WorkloadAssignPayload,
                  HeartbeatPayload, CheckpointPayload, CommandOutputPayload,
                  WorkerFailedPayload, LeaseRenewPayload, NoWorkPayload,
-                 ClientRequestPayload, ClientResponsePayload, AckPayload>;
+                 ClientRequestPayload, ClientResponsePayload, AckPayload,
+                 BatchPayload>;
 
 /// A decoded incoming message.
 struct Envelope {
@@ -55,6 +56,22 @@ struct RetryPolicy {
     int maxAttempts = 6; ///< total transmissions before giving up
 };
 
+/// Nagle-style transmit coalescing: outgoing envelopes are queued per
+/// destination and flushed as one Batch frame when the queue crosses a
+/// count/size threshold or a short timer fires. Acks (and any other
+/// control payload queued in the same window — LeaseRenew, heartbeats)
+/// piggyback on the next flush instead of paying their own frame; the
+/// separate ack delay bounds ack latency on otherwise idle links (the
+/// default 0 flushes a lone ack in the same event-loop tick it was
+/// generated, so sparse-load ack latency is unchanged).
+struct BatchPolicy {
+    bool enabled = true;
+    std::size_t maxEnvelopes = 16;  ///< flush when this many are queued
+    std::size_t maxBytes = 16384;   ///< flush when payload bytes exceed this
+    double flushDelay = 0.02;       ///< seconds a queued envelope may wait
+    double ackFlushDelay = 0.0;     ///< standalone-ack latency bound
+};
+
 struct EndpointStats {
     std::uint64_t sent = 0;              ///< distinct messages sent
     std::uint64_t acksSent = 0;
@@ -65,6 +82,16 @@ struct EndpointStats {
     /// corrupt length prefix) or carried trailing garbage past the
     /// decoded payload. Never silently delivered.
     std::uint64_t malformedDropped = 0;
+    // --- Transmit coalescing ---------------------------------------------
+    std::uint64_t batchesSent = 0;       ///< Batch frames put on the wire
+    std::uint64_t envelopesBatched = 0;  ///< sub-envelopes riding batches
+    std::uint64_t singletonsSent = 0;    ///< flushes with one queued envelope
+    std::uint64_t acksPiggybacked = 0;   ///< acks that rode a data batch
+    /// Flush-trigger breakdown.
+    std::uint64_t flushOnCount = 0;
+    std::uint64_t flushOnBytes = 0;
+    std::uint64_t flushOnTimer = 0;
+    std::uint64_t flushOnAckTimer = 0;
 };
 
 /// The typed, reliable endpoint attached to one overlay node. Installs
@@ -74,7 +101,8 @@ public:
     using Handler = std::function<void(const Envelope&, const net::Message&)>;
     using FailureHandler = std::function<void(const net::Message&)>;
 
-    Endpoint(net::OverlayNetwork& net, net::Node& node, RetryPolicy policy = {});
+    Endpoint(net::OverlayNetwork& net, net::Node& node, RetryPolicy policy = {},
+             BatchPolicy batch = {});
 
     /// Registers the application dispatch for decoded envelopes.
     void onEnvelope(Handler handler) { handler_ = std::move(handler); }
@@ -100,11 +128,24 @@ public:
     std::uint64_t resend(const net::Message& failed, net::NodeId newDestination);
 
     /// Crash semantics: stop receiving, sending and retrying. Pending
-    /// retransmit timers are cancelled.
+    /// retransmit and flush timers are cancelled; queued envelopes die
+    /// with the node.
     void shutdown();
     bool isShutdown() const { return down_; }
 
+    /// Observer called with (sim-seconds between first transmission and
+    /// its ack) for every acked reliable send. Benches/tests use it for
+    /// ack-latency percentiles.
+    void onAckLatency(std::function<void(double)> observer) {
+        ackLatencyObserver_ = std::move(observer);
+    }
+
+    /// Flushes every per-destination transmit queue immediately (e.g. at
+    /// the end of a drive loop). No-op when batching is disabled.
+    void flushAll();
+
     const EndpointStats& stats() const { return stats_; }
+    const BatchPolicy& batchPolicy() const { return batch_; }
     net::NodeId id() const;
 
 private:
@@ -112,21 +153,42 @@ private:
         net::Message msg;
         int attempt = 1; ///< transmissions so far
         net::EventLoop::TimerId timer = 0;
+        double firstSentAt = 0.0; ///< for the ack-latency observer
     };
 
+    /// Per-destination transmit queue (one per overlay "link" this
+    /// endpoint talks over; routing below may still multiplex hops).
+    struct TxQueue {
+        std::vector<BatchEntry> entries;
+        std::size_t payloadBytes = 0;
+        net::EventLoop::TimerId timer = 0;
+        double deadline = 0.0; ///< absolute flush time while timer != 0
+    };
+
+    enum class FlushReason { Count, Bytes, Timer, AckTimer };
+
     void receive(const net::Message& msg);
+    void receiveBatch(const net::Message& msg);
     void armRetry(std::uint64_t id);
     void onRetryTimer(std::uint64_t id);
     bool seen(std::uint64_t id) const { return seenSet_.count(id) > 0; }
     void rememberSeen(std::uint64_t id);
 
+    /// Queues an already-id-stamped message for its destination and
+    /// applies the flush policy (threshold flush or timer arm).
+    void enqueue(net::Message msg, bool isAck);
+    void flush(net::NodeId dest, FlushReason reason);
+
     net::OverlayNetwork* net_;
     net::Node* node_;
     RetryPolicy policy_;
+    BatchPolicy batch_;
     Rng rng_;
     Handler handler_;
     FailureHandler failureHandler_;
+    std::function<void(double)> ackLatencyObserver_;
     std::map<std::uint64_t, Pending> pending_;
+    std::map<net::NodeId, TxQueue> queues_;
     std::unordered_set<std::uint64_t> seenSet_;
     std::deque<std::uint64_t> seenOrder_; ///< bounds the dedup window
     EndpointStats stats_;

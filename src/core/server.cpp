@@ -40,7 +40,7 @@ private:
 Server::Server(net::OverlayNetwork& network, std::string name,
                net::KeyPair keys, ServerConfig config)
     : network_(&network), node_(network, std::move(name), keys),
-      endpoint_(network, node_, config.rpc), config_(config) {
+      endpoint_(network, node_, config.rpc, config.batch), config_(config) {
     COP_REQUIRE(config.heartbeatInterval > 0.0, "bad heartbeat interval");
     COP_REQUIRE(config.failureMultiplier >= 1.0, "bad failure multiplier");
     COP_REQUIRE(config.leaseMultiplier >= 1.0, "bad lease multiplier");

@@ -59,6 +59,8 @@ struct ServerConfig {
     ClaimPolicy claimPolicy = ClaimPolicy::FirstFit;
     /// Ack/retransmit policy for reliable sends.
     wire::RetryPolicy rpc;
+    /// Transmit coalescing + ack piggybacking (enabled by default).
+    wire::BatchPolicy batch;
 };
 
 struct ServerStats {
@@ -104,8 +106,11 @@ public:
     /// Scheduler hot-path counters (pushes, claims, scan lengths,
     /// checkpoint bytes shared instead of copied).
     const SchedulerStats& schedulerStats() const { return queue_.stats(); }
-    /// Wire-layer counters (retransmits, acks, duplicates dropped).
+    /// Wire-layer counters (retransmits, acks, duplicates dropped,
+    /// batching/flush breakdown).
     const wire::EndpointStats& wireStats() const { return endpoint_.stats(); }
+    /// The server's typed endpoint (benches/tests attach observers here).
+    wire::Endpoint& endpoint() { return endpoint_; }
     const ServerConfig& config() const { return config_; }
 
 private:

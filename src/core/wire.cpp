@@ -183,6 +183,47 @@ ClientResponsePayload ClientResponsePayload::deserialize(BinaryReader& r) {
     return p;
 }
 
+void BatchPayload::serialize(BinaryWriter& w) const {
+    w.write(std::uint64_t(entries.size()));
+    for (const auto& e : entries) {
+        w.write(std::uint8_t(e.type));
+        w.write(e.messageId);
+        w.write(std::uint8_t(e.requireAck ? 1 : 0));
+        w.writeBytes(e.payload);
+    }
+}
+
+BatchPayload BatchPayload::deserialize(BinaryReader& r) {
+    BatchPayload p;
+    // Each entry costs at least its 18-byte header (type + id + ack flag
+    // + payload length prefix), so a hostile count is rejected against the
+    // remaining bytes before the growth loop runs.
+    const auto n = r.readCount(18);
+    p.entries.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        BatchEntry e;
+        const auto tag = r.read<std::uint8_t>();
+        if (tag >= net::kMessageTypeCount)
+            throw IoError("batch entry with unknown message type " +
+                          std::to_string(tag));
+        e.type = net::MessageType(tag);
+        if (e.type == net::MessageType::Batch)
+            throw IoError("nested batch envelope rejected");
+        e.messageId = r.read<std::uint64_t>();
+        e.requireAck = r.read<std::uint8_t>() != 0;
+        e.payload = r.readBytes();
+        p.entries.push_back(std::move(e));
+    }
+    return p;
+}
+
+std::size_t BatchPayload::bulkPayloadBytes() const {
+    std::size_t n = 0;
+    for (const auto& e : entries)
+        if (net::isBulkDataMessage(e.type)) n += e.payload.size();
+    return n;
+}
+
 void AckPayload::serialize(BinaryWriter& w) const {
     w.write(ackedMessageId);
 }
@@ -244,6 +285,12 @@ std::size_t ClientResponsePayload::encodedSize() const {
 
 std::size_t AckPayload::encodedSize() const { return 8; }
 
+std::size_t BatchPayload::encodedSize() const {
+    std::size_t n = 8;
+    for (const auto& e : entries) n += 18 + e.payload.size();
+    return n;
+}
+
 // Whole-buffer wrappers, one pair per payload.
 #define COP_WIRE_WHOLE(T)                                                    \
     std::vector<std::uint8_t> T::encode() const { return encodeWhole(*this); } \
@@ -262,6 +309,7 @@ COP_WIRE_WHOLE(NoWorkPayload)
 COP_WIRE_WHOLE(ClientRequestPayload)
 COP_WIRE_WHOLE(ClientResponsePayload)
 COP_WIRE_WHOLE(AckPayload)
+COP_WIRE_WHOLE(BatchPayload)
 
 #undef COP_WIRE_WHOLE
 

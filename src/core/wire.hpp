@@ -168,6 +168,37 @@ struct ClientResponsePayload {
     static ClientResponsePayload decode(std::span<const std::uint8_t> data);
 };
 
+/// One coalesced sub-envelope inside a Batch frame: the fields of the
+/// original Message that the receiver needs to replay it — type tag,
+/// message id (dedup/retransmit identity is end-to-end and survives
+/// batching), ack flag and payload bytes.
+struct BatchEntry {
+    net::MessageType type = net::MessageType::Heartbeat;
+    std::uint64_t messageId = 0;
+    bool requireAck = false;
+    std::vector<std::uint8_t> payload;
+};
+
+/// N sub-envelopes sharing one wire frame (Nagle-style transmit
+/// coalescing). The decode loop validates the entry count against the
+/// remaining bytes before any allocation and rejects nested batches, so a
+/// hostile count or recursion bomb fails with IoError up front.
+struct BatchPayload {
+    static constexpr net::MessageType kType = net::MessageType::Batch;
+
+    std::vector<BatchEntry> entries;
+
+    /// Payload bytes belonging to bulk sub-envelopes (checkpoint /
+    /// trajectory data a shared filesystem carries out-of-band).
+    std::size_t bulkPayloadBytes() const;
+
+    void serialize(BinaryWriter& w) const;
+    static BatchPayload deserialize(BinaryReader& r);
+    std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
+    static BatchPayload decode(std::span<const std::uint8_t> data);
+};
+
 /// End-to-end delivery acknowledgement (envelope protocol).
 struct AckPayload {
     static constexpr net::MessageType kType = net::MessageType::Ack;

@@ -10,7 +10,8 @@ Worker::Worker(net::OverlayNetwork& network, std::string name,
                net::KeyPair keys, WorkerConfig config,
                ExecutableRegistry registry)
     : network_(&network), node_(network, std::move(name), keys),
-      endpoint_(network, node_, config.rpc), config_(std::move(config)),
+      endpoint_(network, node_, config.rpc, config.batch),
+      config_(std::move(config)),
       registry_(std::move(registry)), rng_(node_.keys().publicKey) {
     COP_REQUIRE(config_.cores >= 1, "worker needs at least one core");
     COP_REQUIRE(config_.heartbeatInterval > 0.0, "bad heartbeat interval");
@@ -186,11 +187,19 @@ void Worker::handleAssignment(const WorkloadAssignPayload& assign) {
                     ++stats_.commandsCompleted;
                 else
                     ++stats_.commandsFailed;
+                // Ask for the next workload before reporting this result:
+                // the request must reach the server while the project is
+                // still unfinished so it can be parked (long-polled)
+                // rather than bounced NoWorkAvailable by a race with our
+                // own final output. Unbatched, the small request overtook
+                // the larger output on the wire anyway; coalescing both
+                // into one frame preserves that order only if we queue
+                // the request first.
+                if (running_.empty()) requestWork();
                 CommandOutputPayload out;
                 out.result = std::move(result);
                 out.projectServer = projectServer;
                 endpoint_.send(server_, out);
-                if (running_.empty()) requestWork();
             });
     }
     // Report status right away so the closest server knows which commands

@@ -36,6 +36,8 @@ struct WorkerConfig {
     net::BackoffPolicy pollBackoff{30.0, 2.0, 480.0, 0.25};
     /// Ack/retransmit policy for reliable sends.
     wire::RetryPolicy rpc;
+    /// Transmit coalescing + ack piggybacking (enabled by default).
+    wire::BatchPolicy batch;
 };
 
 struct WorkerStats {
@@ -62,6 +64,8 @@ public:
     const WorkerStats& stats() const { return stats_; }
     /// Wire-layer counters (retransmits, acks, duplicates dropped).
     const wire::EndpointStats& wireStats() const { return endpoint_.stats(); }
+    /// The worker's typed endpoint (benches/tests attach observers here).
+    wire::Endpoint& endpoint() { return endpoint_; }
 
     /// Sets the closest server (must already be connected in the overlay)
     /// and sends the first announcement/work request.

@@ -33,7 +33,12 @@ enum class MessageType : std::uint8_t {
     // Wire-layer control (envelope protocol)
     Ack,              ///< end-to-end delivery acknowledgement
     LeaseRenew,       ///< closest server renews command leases for a worker
+    Batch,            ///< coalesced sub-envelopes sharing one frame
 };
+
+/// Number of MessageType enumerators (keep in sync with the enum above;
+/// the fuzz harness and the Batch decode loop both gate on it).
+inline constexpr unsigned kMessageTypeCount = 15;
 
 const char* messageTypeName(MessageType t);
 
@@ -50,6 +55,14 @@ struct Message {
     std::uint64_t id = 0;              ///< unique per network
     bool requireAck = false;           ///< sender retransmits until acked
     std::vector<std::uint8_t> payload;
+    /// For Batch messages: number of coalesced sub-envelopes (0 for
+    /// singletons). Link stats use it to attribute batched vs singleton
+    /// envelopes without decoding payloads.
+    std::uint32_t batchCount = 0;
+    /// For Batch messages: payload bytes belonging to bulk sub-envelopes,
+    /// which a shared-filesystem link carries out-of-band. Singleton bulk
+    /// messages are recognized by type instead (see isBulkDataMessage).
+    std::size_t bulkBytes = 0;
 
     /// Bytes on the wire: payload plus a fixed framing overhead (SSL
     /// record + headers; the paper quotes heartbeats at < 200 bytes total).

@@ -41,6 +41,7 @@ const char* messageTypeName(MessageType t) {
     case MessageType::ClientResponse: return "ClientResponse";
     case MessageType::Ack: return "Ack";
     case MessageType::LeaseRenew: return "LeaseRenew";
+    case MessageType::Batch: return "Batch";
     }
     return "Unknown";
 }
@@ -195,11 +196,26 @@ void OverlayNetwork::forward(Message msg, NodeId at) {
     }
     auto& link = links_.at(keyOf(at, hop));
     // On shared-filesystem links, bulk payloads are exchanged through the
-    // filesystem; only the framing crosses the network.
-    const std::size_t wireBytes =
-        (link.props.sharedFilesystem && isBulkDataMessage(msg.type))
-            ? (msg.wireSize() - msg.payload.size())
-            : msg.wireSize();
+    // filesystem; only the framing crosses the network. Batch frames carry
+    // their bulk sub-payload byte count explicitly so coalescing does not
+    // forfeit the out-of-band optimization.
+    const std::size_t elidable =
+        isBulkDataMessage(msg.type)
+            ? msg.payload.size()
+            : std::min(msg.bulkBytes, msg.payload.size());
+    const std::size_t wireBytes = link.props.sharedFilesystem
+                                      ? (msg.wireSize() - elidable)
+                                      : msg.wireSize();
+    const auto account = [&link, &msg](std::size_t bytes) {
+        link.stats.messages += 1;
+        link.stats.bytes += bytes;
+        if (msg.batchCount > 0) {
+            link.stats.batches += 1;
+            link.stats.batchedEnvelopes += msg.batchCount;
+        } else {
+            link.stats.singletons += 1;
+        }
+    };
     // Per-hop chaos. Draws happen in deterministic event-loop order, so a
     // given FaultPlan seed yields the same decisions run after run.
     int copies = 1;
@@ -210,8 +226,7 @@ void OverlayNetwork::forward(Message msg, NodeId at) {
             if (prof.dropProbability > 0.0 &&
                 faultRng_.uniform() < prof.dropProbability) {
                 // The message consumed the wire before vanishing.
-                link.stats.messages += 1;
-                link.stats.bytes += wireBytes;
+                account(wireBytes);
                 ++faultStats_.dropped;
                 traceEvent(kTraceDrop, msg.id, std::uint64_t(at),
                            std::uint64_t(hop));
@@ -242,8 +257,7 @@ void OverlayNetwork::forward(Message msg, NodeId at) {
         }
     }
     for (int c = 0; c < copies; ++c) {
-        link.stats.messages += 1;
-        link.stats.bytes += wireBytes;
+        account(wireBytes);
         const double delay = link.props.transferTime(wireBytes) + extraDelay[c];
         Message copy = (c + 1 == copies) ? std::move(msg) : msg;
         loop_->schedule(delay, [this, m = std::move(copy), hop]() mutable {
@@ -351,23 +365,30 @@ const LinkStats& OverlayNetwork::linkStats(NodeId a, NodeId b) const {
     return it->second.stats;
 }
 
+namespace {
+
+void accumulate(LinkStats& total, const LinkStats& s) {
+    total.messages += s.messages;
+    total.bytes += s.bytes;
+    total.singletons += s.singletons;
+    total.batches += s.batches;
+    total.batchedEnvelopes += s.batchedEnvelopes;
+}
+
+} // namespace
+
 LinkStats OverlayNetwork::nodeStats(NodeId id) const {
     LinkStats total;
     for (const auto& [key, link] : links_) {
-        if (key.first == id || key.second == id) {
-            total.messages += link.stats.messages;
-            total.bytes += link.stats.bytes;
-        }
+        if (key.first == id || key.second == id)
+            accumulate(total, link.stats);
     }
     return total;
 }
 
 LinkStats OverlayNetwork::totalStats() const {
     LinkStats total;
-    for (const auto& [key, link] : links_) {
-        total.messages += link.stats.messages;
-        total.bytes += link.stats.bytes;
-    }
+    for (const auto& [key, link] : links_) accumulate(total, link.stats);
     return total;
 }
 

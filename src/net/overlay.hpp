@@ -55,6 +55,13 @@ struct LinkProperties {
 struct LinkStats {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
+    /// Envelope-coalescing breakdown: how many of `messages` were
+    /// singleton envelopes vs Batch frames, and how many sub-envelopes
+    /// those batches carried. `singletons + batchedEnvelopes` is the
+    /// number of logical envelopes; `messages` is what hit the wire.
+    std::uint64_t singletons = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batchedEnvelopes = 0;
 };
 
 /// A participant in the overlay: server, worker or client. Subclasses (or

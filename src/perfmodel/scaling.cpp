@@ -84,6 +84,7 @@ ScalingResult simulateRun(const ScalingConfig& config) {
     core::Deployment dep(config.totalCores * 31 + config.coresPerSim);
     core::ServerConfig sc;
     sc.heartbeatInterval = 6.0 * 3600.0; // suppress heartbeat traffic noise
+    sc.batch.enabled = config.batching;
     auto& server = dep.addServer("project-server", sc);
 
     const int workers = config.totalCores / config.coresPerSim;
@@ -104,6 +105,7 @@ ScalingResult simulateRun(const ScalingConfig& config) {
         // Fixed 600 s poll (no growth, no jitter) keeps the traffic model
         // of the original study.
         wc.pollBackoff = net::BackoffPolicy{600.0, 1.0, 600.0, 0.0};
+        wc.batch.enabled = config.batching;
         dep.addWorker("w" + std::to_string(w), server, wc, std::move(reg),
                       core::links::intraCluster());
     }
@@ -130,6 +132,8 @@ ScalingResult simulateRun(const ScalingConfig& config) {
                      (double(config.totalCores) * res.totalTimeHours);
     const auto stats = dep.network().totalStats();
     res.totalBytes = double(stats.bytes);
+    res.bytesPerGeneration = res.totalBytes / config.generations;
+    res.totalFrames = double(stats.messages);
     res.ensembleBandwidth = res.totalTimeHours > 0.0
                                 ? res.totalBytes /
                                       (res.totalTimeHours * 3600.0)

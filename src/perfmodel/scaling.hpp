@@ -30,6 +30,10 @@ struct ScalingConfig {
     double segmentNs = 50.0;
     /// Seconds of controller work (clustering) between generations.
     double clusteringSeconds = 60.0;
+    /// Envelope coalescing on the server/worker endpoints. Toggled off to
+    /// measure the unbatched wire cost (Fig. 9 batched-vs-unbatched
+    /// comparison); the protocol outcome is identical either way.
+    bool batching = true;
     MdPerfModel perf;
 };
 
@@ -47,6 +51,10 @@ struct ScalingResult {
     double ensembleBandwidth = 0.0;
     /// Total ensemble bytes moved.
     double totalBytes = 0.0;
+    /// Bytes on the wire per MSM generation (totalBytes / generations).
+    double bytesPerGeneration = 0.0;
+    /// Wire frames put on the overlay (batches count once).
+    double totalFrames = 0.0;
     /// Average fraction of cores busy.
     double utilization = 0.0;
 };

@@ -114,16 +114,18 @@ struct ChaosRun {
     net::FaultStats faultStats;
 };
 
-ChaosRun runChaosDeployment(std::uint64_t seed) {
+ChaosRun runChaosDeployment(std::uint64_t seed, bool batching = true) {
     core::Deployment dep(seed);
     core::ServerConfig sc;
     sc.heartbeatInterval = 30.0;
+    sc.batch.enabled = batching;
     auto& project = dep.addServer("project", sc);
     auto& relay = dep.addServer("relay", sc);
     dep.connectServers(project, relay, core::links::dataCenter());
 
     core::WorkerConfig wc;
     wc.heartbeatInterval = 30.0;
+    wc.batch.enabled = batching;
     std::vector<net::NodeId> relaySide{relay.id()};
     for (int w = 0; w < 8; ++w) {
         auto& home = w < 4 ? project : relay;
@@ -173,6 +175,20 @@ TEST(Chaos, LossAndDuplicationSweepMsmAndBar) {
         EXPECT_TRUE(run.msmDone) << "seed " << seed << " lost MSM commands";
         EXPECT_TRUE(run.barDone) << "seed " << seed << " lost BAR commands";
         EXPECT_GT(run.faultStats.dropped, 0u) << "seed " << seed;
+    }
+}
+
+TEST(Chaos, AckPiggybackEquivalentToStandaloneAcks) {
+    // Envelope coalescing + piggybacked acks must not change any protocol
+    // outcome: the same seeded chaos deployment completes both projects
+    // whether acks ride data batches or pay their own frames.
+    for (std::uint64_t seed : {11ull, 12ull}) {
+        const auto batched = runChaosDeployment(seed, /*batching=*/true);
+        const auto standalone = runChaosDeployment(seed, /*batching=*/false);
+        EXPECT_TRUE(batched.done) << "seed " << seed;
+        EXPECT_TRUE(standalone.done) << "seed " << seed;
+        EXPECT_EQ(batched.msmDone, standalone.msmDone) << "seed " << seed;
+        EXPECT_EQ(batched.barDone, standalone.barDone) << "seed " << seed;
     }
 }
 

@@ -118,6 +118,24 @@ std::vector<WireCase> allPayloadCases() {
     ack.ackedMessageId = 1234;
     cases.push_back({"Ack", ack.kType, ack.encode()});
 
+    BatchPayload batch;
+    BatchEntry be;
+    be.type = net::MessageType::Heartbeat;
+    be.messageId = 77;
+    be.requireAck = false;
+    HeartbeatPayload bhb;
+    bhb.worker = 9;
+    bhb.running = {42};
+    bhb.projectServers = {3};
+    be.payload = bhb.encode();
+    BatchEntry be2;
+    be2.type = net::MessageType::Ack;
+    be2.messageId = 78;
+    be2.requireAck = false;
+    be2.payload = ack.encode();
+    batch.entries = {std::move(be), std::move(be2)};
+    cases.push_back({"Batch", batch.kType, batch.encode()});
+
     return cases;
 }
 
@@ -212,6 +230,81 @@ TEST(WireMalformed, BadMagicAndTruncatedHeaderAreRejected) {
     std::vector<std::uint8_t> truncated(w.buffer().begin(),
                                         w.buffer().begin() + 2);
     EXPECT_THROW({ BinaryReader(truncated).readHeader("COPS"); }, IoError);
+}
+
+// --- Batch framing ---------------------------------------------------------
+
+TEST(WireMalformed, BatchRoundTripsEmptySingleAndLarge) {
+    // Empty batch: legal on the wire (an endpoint never sends one, but the
+    // decoder must not choke on it).
+    BatchPayload empty;
+    const auto emptyBytes = empty.encode();
+    EXPECT_EQ(emptyBytes.size(), empty.encodedSize());
+    EXPECT_TRUE(BatchPayload::decode(emptyBytes).entries.empty());
+
+    // Single and many entries round-trip field-for-field.
+    for (std::size_t n : {std::size_t(1), std::size_t(64)}) {
+        BatchPayload batch;
+        for (std::size_t i = 0; i < n; ++i) {
+            BatchEntry e;
+            e.type = i % 2 == 0 ? net::MessageType::Heartbeat
+                                : net::MessageType::Ack;
+            e.messageId = 1000 + i;
+            e.requireAck = i % 3 == 0;
+            e.payload.assign(i % 7 + 1, std::uint8_t(i));
+            batch.entries.push_back(std::move(e));
+        }
+        const auto bytes = batch.encode();
+        EXPECT_EQ(bytes.size(), batch.encodedSize());
+        const auto back = BatchPayload::decode(bytes);
+        ASSERT_EQ(back.entries.size(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(back.entries[i].type, batch.entries[i].type);
+            EXPECT_EQ(back.entries[i].messageId, batch.entries[i].messageId);
+            EXPECT_EQ(back.entries[i].requireAck, batch.entries[i].requireAck);
+            EXPECT_EQ(back.entries[i].payload, batch.entries[i].payload);
+        }
+    }
+}
+
+TEST(WireMalformed, BatchRejectsNestedBatchEntries) {
+    // A batch carrying a Batch sub-envelope could recurse on receive;
+    // the decoder refuses it outright.
+    BatchPayload inner;
+    BatchPayload outer;
+    BatchEntry e;
+    e.type = net::MessageType::Batch;
+    e.messageId = 5;
+    e.payload = inner.encode();
+    outer.entries.push_back(std::move(e));
+    const auto bytes = outer.encode();
+    EXPECT_THROW(BatchPayload::decode(bytes), IoError);
+    EXPECT_FALSE(
+        decodePayload(messageWith(net::MessageType::Batch, bytes)));
+}
+
+TEST(WireMalformed, BatchRejectsUnknownEntryTypeTag) {
+    BatchPayload batch;
+    BatchEntry e;
+    e.type = net::MessageType::Heartbeat;
+    e.messageId = 5;
+    e.payload = {1, 2, 3};
+    batch.entries.push_back(std::move(e));
+    auto bytes = batch.encode();
+    bytes[8] = 0xEE; // the entry's type tag, just past the u64 count
+    EXPECT_THROW(BatchPayload::decode(bytes), IoError);
+}
+
+TEST(WireMalformed, BatchHostileEntryCountIsRejectedBeforeAllocating) {
+    // An empty batch whose count field claims 2^64-1 entries: must throw
+    // IoError from the count validation, not attempt the allocation.
+    BatchPayload batch;
+    auto bytes = batch.encode();
+    const std::uint64_t huge = std::uint64_t(-1);
+    std::memcpy(bytes.data(), &huge, sizeof(huge));
+    EXPECT_THROW(BatchPayload::decode(bytes), IoError);
+    EXPECT_FALSE(decodePayload(
+        messageWith(net::MessageType::Batch, std::move(bytes))));
 }
 
 TEST(WireMalformed, EndpointCountsMalformedDropsAndDeliversNothing) {

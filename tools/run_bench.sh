@@ -16,7 +16,8 @@ BUILD_DIR=${BUILD_DIR:-build}
 FILTER=${FILTER:-.}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_md micro_msm micro_sched
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_md micro_msm micro_sched \
+  macro_overlay
 
 extra=()
 for arg in "$@"; do
@@ -42,7 +43,11 @@ done
   --benchmark_out_format=json \
   "${extra[@]+"${extra[@]}"}"
 
-echo "Wrote BENCH_micro_md.json, BENCH_micro_msm.json and BENCH_micro_sched.json"
+# Macro overlay-throughput harness (closed-loop command mill + sparse
+# trickle, batched vs unbatched). Writes BENCH_macro_overlay.json itself.
+"$BUILD_DIR"/bench/macro_overlay
+
+echo "Wrote BENCH_micro_md.json, BENCH_micro_msm.json, BENCH_micro_sched.json and BENCH_macro_overlay.json"
 
 # Headline for the adaptive-MSM sweep: from-scratch rebuild vs incremental
 # update of the same generation (BM_MsmFullGeneration / gen:N against
@@ -63,6 +68,24 @@ for gen in (4, 8):
     if full and inc:
         print(f"msm gen {gen}: full {full:.1f} ms, incremental {inc:.1f} ms "
               f"({full / inc:.1f}x)")
+EOF
+fi
+
+# Headline for the overlay transport: wall-clock commands/sec with
+# envelope coalescing on vs off, plus the sparse-load ack-latency check.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF' || true
+import json
+with open("BENCH_macro_overlay.json") as f:
+    d = json.load(f)
+hot = d["hot"]
+on, off = hot["batched"], hot["unbatched"]
+print(f"overlay hot: {on['wall_commands_per_sec']:.0f} cps batched vs "
+      f"{off['wall_commands_per_sec']:.0f} cps unbatched "
+      f"({hot['wall_speedup']:.2f}x, {hot['frame_reduction']*100:.1f}% fewer frames)")
+sp = d["sparse"]
+print(f"overlay sparse: ack p99 {sp['batched']['ack_latency_p99_s']:.4f}s batched vs "
+      f"{sp['unbatched']['ack_latency_p99_s']:.4f}s unbatched")
 EOF
 fi
 
