@@ -31,12 +31,21 @@ namespace cop::md {
 /// per-pair channels (SoA). `qq` holds coulombPrefactor * q_i * q_j for
 /// the charged bucket so the kernel never touches the topology.
 ///
-/// Pairs keep the cell-major emission order of the neighbour list, so
-/// equal i slots arrive as consecutive runs; each bucket stores those runs
-/// explicitly (the run's i slot plus its [runStart[r], runStart[r+1])
-/// pair range, with a sentinel entry at the end). The kernels then iterate
-/// a plain counted loop per run instead of re-testing the i index every
-/// pair, and the i position/force live in registers for the whole run.
+/// Pairs are ordered by (i slot, periodic shift code) — a counting sort
+/// at bucket-build time, since the neighbour list's cell-major emission
+/// scatters one atom's pairs across many short segments — so each atom
+/// contributes one long run per distinct shift code (width-1 kernel
+/// sets), or exactly one run (wide sets, which image per block with a
+/// vector rint instead of per-run shift codes — see splitPairBuckets
+/// for why each width gets the opposite trade). Each bucket stores
+/// those runs explicitly (the run's i slot plus its [runStart[r],
+/// runStart[r+1]) pair range, with a sentinel entry at the end). The
+/// kernels then iterate a plain counted loop per run instead of
+/// re-testing the i index every pair, the i position/force live in
+/// registers for the whole run, and runs are long enough for the wide
+/// SIMD kernels to spend their time in full-width blocks (each run's
+/// sub-width tail is one more masked block over the sentinel-padded
+/// j channels).
 struct PairBuckets {
     AlignedVector<int> ljJ;   ///< plain 12-6 LJ: j slot per pair
     AlignedVector<int> qJ;    ///< LJ + reaction-field Coulomb: j slot
@@ -61,6 +70,12 @@ struct PairBuckets {
     /// moves more than skin/2 before the list is rebuilt, and the cell
     /// build requires box lengths >= 3 list cutoffs).
     AlignedVector<unsigned char> ljRunS, qRunS, goRunS;
+    /// Positions are wrapped into the box with frozen per-slot offsets
+    /// (cell-built periodic lists). Implied by `shifted`.
+    bool wrapped = false;
+    /// Runs split by shift code and the shifted kernels image via the
+    /// per-run code table. Width-1 kernel sets only: wide sets leave
+    /// runs unsplit and image per block with a vector rint.
     bool shifted = false;
 
     /// NeighborList::numBuilds() value the buckets were split from;
@@ -81,6 +96,7 @@ struct PairBuckets {
         ljRunS.clear();
         qRunS.clear();
         goRunS.clear();
+        wrapped = false;
         shifted = false;
     }
 };
@@ -112,6 +128,12 @@ struct ForceWorkspace {
     std::size_t stride = 0;
     std::size_t nStripes = 0;
 
+    // Counting-sort scratch for splitPairBuckets' (i slot, shift code)
+    // pair ordering: composite key per pair, the sorted permutation, and
+    // 27 * n + 1 bucket offsets. Rebuilt only when the neighbour list
+    // changes; capacity persists across rebuilds.
+    AlignedVector<int> pairKey, pairOrder, keyOffset;
+
     // Legacy AoS per-chunk buffers (Scalar / Blocked4 threaded path).
     std::vector<std::vector<Vec3>> aosBuffers;
     // Per-chunk energy slots: nonbonded, coulomb, virial.
@@ -124,7 +146,13 @@ struct ForceWorkspace {
     /// sized.
     void ensure(std::size_t n, std::size_t chunks) {
         if (stride < n) {
-            const std::size_t padded = paddedSize(n);
+            // n + 2 before rounding: the wide kernels touch position and
+            // force triplets with full 4-double vector loads/stores (the
+            // 4th lane is read and written back unchanged), so the last
+            // slot's triplet over-reaches by one double. The slack keeps
+            // that in-bounds — per stripe, too, since stripes are stride
+            // apart.
+            const std::size_t padded = paddedSize(n + 2);
             pos3.resize(3 * padded);
             o3.resize(3 * padded);
             f3.resize(3 * padded);

@@ -4,6 +4,11 @@
 #include <cmath>
 #include <utility>
 
+#include "mdlib/evaluators/angle.hpp"
+#include "mdlib/evaluators/bond.hpp"
+#include "mdlib/evaluators/contact.hpp"
+#include "mdlib/evaluators/dihedral.hpp"
+#include "mdlib/evaluators/evaluate.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -11,64 +16,9 @@ namespace cop::md {
 
 namespace {
 
-/// Signed dihedral angle for positions a-b-c-d, plus the four gradient
-/// vectors, using the standard textbook formulation (Blondel & Karplus).
-struct DihedralGeometry {
-    double phi;
-    Vec3 fi, fj, fk, fl; ///< -dphi/dr scaled later by dE/dphi
-};
-
-DihedralGeometry dihedralGeometry(const Vec3& ri, const Vec3& rj,
-                                  const Vec3& rk, const Vec3& rl) {
-    const Vec3 b1 = rj - ri;
-    const Vec3 b2 = rk - rj;
-    const Vec3 b3 = rl - rk;
-    const Vec3 n1 = cross(b1, b2);
-    const Vec3 n2 = cross(b2, b3);
-    const double n1sq = norm2(n1);
-    const double n2sq = norm2(n2);
-    const double b2len = norm(b2);
-
-    DihedralGeometry g{};
-    if (n1sq < 1e-12 || n2sq < 1e-12 || b2len < 1e-12) {
-        // Degenerate (collinear) geometry: zero force, zero angle.
-        g.phi = 0.0;
-        return g;
-    }
-    g.phi = std::atan2(dot(cross(n1, n2), b2) / b2len, dot(n1, n2));
-
-    // dphi/dri = -(b2len / n1sq) * n1 ; dphi/drl = (b2len / n2sq) * n2.
-    // The middle-atom projections use s12 = -(b1.b2)/|b2|^2 and
-    // s32 = -(b3.b2)/|b2|^2 with our bond-vector convention b1 = rj - ri,
-    // b2 = rk - rj, b3 = rl - rk (verified against finite differences).
-    const Vec3 dphi_dri = n1 * (-b2len / n1sq);
-    const Vec3 dphi_drl = n2 * (b2len / n2sq);
-    const double s12 = -dot(b1, b2) / (b2len * b2len);
-    const double s32 = -dot(b3, b2) / (b2len * b2len);
-    const Vec3 dphi_drj = dphi_dri * (s12 - 1.0) - dphi_drl * s32;
-    const Vec3 dphi_drk = dphi_drl * (s32 - 1.0) - dphi_dri * s12;
-
-    g.fi = dphi_dri;
-    g.fj = dphi_drj;
-    g.fk = dphi_drk;
-    g.fl = dphi_drl;
-    return g;
-}
-
-/// Constants consumed by the SoA inner loops. For an open (non-periodic)
-/// box the lengths and inverse lengths are zero, which turns the
-/// minimum-image fixup into arithmetic no-ops — no branch in the loop.
-/// The tab arrays decode per-pair shift codes (0..26) into the three
-/// components of the pair's periodic shift vector.
-struct SoaParams {
-    double cut2 = 0.0, minR2 = 1e-12;
-    double Lx = 0.0, Ly = 0.0, Lz = 0.0;
-    double iLx = 0.0, iLy = 0.0, iLz = 0.0;
-    double sig2 = 0.0, eps4 = 0.0, eps24 = 0.0, ljShift = 0.0;
-    double kRF = 0.0, cRF = 0.0;
-    double repSig2 = 0.0, repEps = 0.0;
-    double tabX[27] = {}, tabY[27] = {}, tabZ[27] = {};
-};
+// SoaParams moved to kernel_params.hpp: it is now the shared contract
+// between this file's scalar reference kernels and the per-ISA SIMD TUs
+// (kernels_*.cpp), all of which implement the NbPairKernelFn signature.
 
 // The three SoA kernels below stream the bucketed pair indices (and shift
 // codes / charge products) as flat channels while reading positions and
@@ -84,15 +34,20 @@ struct SoaParams {
 // interaction kind ahead of time is what removes the per-pair dispatch the
 // Scalar/Blocked4 kernels pay for.
 //
-// Shifted kernels (cell-built lists) image with a table lookup of the
-// run's precomputed shift vector, folded into the i position once per run
-// — the inner loop then does no imaging work at all, where the
-// rounding-based loop pays three multiply-round-multiply-subtract chains
-// per pair (its single largest cost). Shift codes can live on runs
-// because runs split when the code changes; pairs are emitted cell-pair
-// by cell-pair, so such splits are rare. Unshifted kernels (brute-force
-// lists: open boxes or boxes too small for cells) keep the per-pair rint
-// minimum image, which is correct for arbitrary positions.
+// Shifted kernels (cell-built lists, width-1 sets) image with a table
+// lookup of the run's precomputed shift vector, folded into the i
+// position once per run — the inner loop then does no imaging work at
+// all, where the rounding-based loop pays three
+// multiply-round-multiply-subtract chains per pair (a scalar kernel's
+// single largest cost). Shift codes can live on runs because runs split
+// when the code changes; pairs are emitted cell-pair by cell-pair, so
+// such splits are rare. Unshifted kernels keep the per-pair rint minimum
+// image, which is correct for arbitrary positions; they serve the
+// brute-force lists (open boxes or boxes too small for cells) and ALL
+// lists under the wide SIMD sets, where the rounding chain is amortized
+// over W lanes and not splitting runs by code buys more than the table
+// lookup saves (one run per atom instead of one per (atom, code) — see
+// splitPairBuckets).
 //
 // The pair buckets preserve the cell-major emission order of the neighbour
 // list, so equal i indices arrive in consecutive runs, and the buckets
@@ -113,9 +68,10 @@ struct SoaParams {
 
 template <bool Shifted>
 void soaLjKernel(const int* runI, const int* runStart, const int* pj,
-                 const unsigned char* rs, std::size_t rLo, std::size_t rHi,
-                 const double* xyz, double* f, const SoaParams k,
-                 double& enbOut, double& evirOut) {
+                 const unsigned char* rs, const double* /*qq*/,
+                 std::size_t rLo, std::size_t rHi, const double* xyz,
+                 double* f, const SoaParams k, double& enbOut,
+                 double& /*ecoulOut*/, double& evirOut) {
     double enb = 0.0, evir = 0.0;
     for (std::size_t r = rLo; r < rHi; ++r) {
         const std::size_t i3 = 3 * std::size_t(runI[r]);
@@ -227,9 +183,10 @@ void soaLjCoulKernel(const int* runI, const int* runStart, const int* pj,
 
 template <bool Shifted>
 void soaGoKernel(const int* runI, const int* runStart, const int* pj,
-                 const unsigned char* rs, std::size_t rLo, std::size_t rHi,
-                 const double* xyz, double* f, const SoaParams k,
-                 double& enbOut, double& evirOut) {
+                 const unsigned char* rs, const double* /*qq*/,
+                 std::size_t rLo, std::size_t rHi, const double* xyz,
+                 double* f, const SoaParams k, double& enbOut,
+                 double& /*ecoulOut*/, double& evirOut) {
     double enb = 0.0, evir = 0.0;
     for (std::size_t r = rLo; r < rHi; ++r) {
         const std::size_t i3 = 3 * std::size_t(runI[r]);
@@ -279,6 +236,23 @@ void soaGoKernel(const int* runI, const int* runStart, const int* pj,
     evirOut += evir;
 }
 
+/// The scalar reference kernels above, packaged as a width-1 kernel
+/// table — the Soa flavor goes through the same dispatch seam as the
+/// SIMD sets, so there is exactly one engine (computeNonbondedSoa) and
+/// the flavors differ only in the table they install.
+NonbondedKernelSet soaKernelSet() {
+    NonbondedKernelSet s;
+    s.name = "soa";
+    s.width = 1;
+    s.lj[0] = &soaLjKernel<false>;
+    s.lj[1] = &soaLjKernel<true>;
+    s.ljCoul[0] = &soaLjCoulKernel<false>;
+    s.ljCoul[1] = &soaLjCoulKernel<true>;
+    s.go[0] = &soaGoKernel<false>;
+    s.go[1] = &soaGoKernel<true>;
+    return s;
+}
+
 } // namespace
 
 ForceField::ForceField(const Topology& top, const Box& box,
@@ -287,6 +261,12 @@ ForceField::ForceField(const Topology& top, const Box& box,
       neighborList_(params.cutoff, params.neighborSkin) {
     COP_REQUIRE(top.finalized(), "topology must be finalized");
     COP_REQUIRE(params.cutoff > 0.0, "cutoff must be positive");
+    if (params_.flavor == KernelFlavor::SimdAuto) {
+        activeIsa_ = resolveSimdIsa(params_.simdIsa);
+        kernels_ = kernelSetFor(activeIsa_);
+    } else {
+        kernels_ = soaKernelSet();
+    }
 }
 
 Energies ForceField::compute(const std::vector<Vec3>& positions,
@@ -300,7 +280,8 @@ Energies ForceField::compute(const std::vector<Vec3>& positions,
 
     Energies e = computeBonded(positions, forces);
     e.contact = computeContacts(positions, forces, e.pairVirial);
-    if (params_.flavor == KernelFlavor::Soa)
+    if (params_.flavor == KernelFlavor::Soa ||
+        params_.flavor == KernelFlavor::SimdAuto)
         computeNonbondedSoa(positions, forces, e);
     else
         computeNonbonded(positions, forces, e);
@@ -309,92 +290,25 @@ Energies ForceField::compute(const std::vector<Vec3>& positions,
 
 Energies ForceField::computeBonded(const std::vector<Vec3>& positions,
                                    std::vector<Vec3>& forces) const {
+    // One header-only evaluator per interaction family (the GPU-backend
+    // seam, see evaluators/evaluate.hpp); term order and arithmetic are
+    // those of the pre-refactor monolithic loops, bit for bit.
+    using namespace evaluators;
     Energies e;
-
-    for (const auto& b : top_.bonds()) {
-        const Vec3 d = box_.minimumImage(positions[std::size_t(b.i)],
-                                         positions[std::size_t(b.j)]);
-        const double r = norm(d);
-        const double dr = r - b.r0;
-        e.bond += 0.5 * b.k * dr * dr;
-        if (r > 1e-12) {
-            const Vec3 f = d * (-b.k * dr / r);
-            forces[std::size_t(b.i)] += f;
-            forces[std::size_t(b.j)] -= f;
-            e.pairVirial += dot(d, f);
-        }
-    }
-
-    for (const auto& a : top_.angles()) {
-        const Vec3 rij = box_.minimumImage(positions[std::size_t(a.i)],
-                                           positions[std::size_t(a.j)]);
-        const Vec3 rkj = box_.minimumImage(positions[std::size_t(a.k)],
-                                           positions[std::size_t(a.j)]);
-        const double nij = norm(rij);
-        const double nkj = norm(rkj);
-        if (nij < 1e-12 || nkj < 1e-12) continue;
-        double cosTheta = dot(rij, rkj) / (nij * nkj);
-        cosTheta = std::clamp(cosTheta, -1.0, 1.0);
-        const double theta = std::acos(cosTheta);
-        const double dTheta = theta - a.theta0;
-        e.angle += 0.5 * a.forceK * dTheta * dTheta;
-
-        const double sinTheta = std::sqrt(std::max(1e-12, 1.0 - cosTheta * cosTheta));
-        // F_i = -dE/dri = -(k dTheta)(dTheta/dcos)(dcos/dri); dTheta/dcos =
-        // -1/sin(theta), so the prefactor is +k dTheta / sin(theta).
-        const double coeff = a.forceK * dTheta / sinTheta;
-        // dcos/dri and dcos/drk
-        const Vec3 dcos_dri = (rkj / (nij * nkj)) - rij * (cosTheta / (nij * nij));
-        const Vec3 dcos_drk = (rij / (nij * nkj)) - rkj * (cosTheta / (nkj * nkj));
-        const Vec3 fi = dcos_dri * coeff;
-        const Vec3 fk = dcos_drk * coeff;
-        forces[std::size_t(a.i)] += fi;
-        forces[std::size_t(a.k)] += fk;
-        forces[std::size_t(a.j)] -= fi + fk;
-    }
-
-    for (const auto& d : top_.dihedrals()) {
-        const auto g = dihedralGeometry(positions[std::size_t(d.i)],
-                                        positions[std::size_t(d.j)],
-                                        positions[std::size_t(d.k)],
-                                        positions[std::size_t(d.l)]);
-        const double dphi = g.phi - d.phi0;
-        e.dihedral += d.k1 * (1.0 - std::cos(dphi)) +
-                      d.k3 * (1.0 - std::cos(3.0 * dphi));
-        const double dEdPhi =
-            d.k1 * std::sin(dphi) + 3.0 * d.k3 * std::sin(3.0 * dphi);
-        forces[std::size_t(d.i)] -= g.fi * dEdPhi;
-        forces[std::size_t(d.j)] -= g.fj * dEdPhi;
-        forces[std::size_t(d.k)] -= g.fk * dEdPhi;
-        forces[std::size_t(d.l)] -= g.fl * dEdPhi;
-    }
-
+    e.bond = evaluateFamily<BondEvaluator>(top_.bonds(), positions, box_,
+                                           forces, e.pairVirial);
+    e.angle = evaluateFamily<AngleEvaluator>(top_.angles(), positions, box_,
+                                             forces, e.pairVirial);
+    e.dihedral = evaluateFamily<DihedralEvaluator>(
+        top_.dihedrals(), positions, box_, forces, e.pairVirial);
     return e;
 }
 
 double ForceField::computeContacts(const std::vector<Vec3>& positions,
                                    std::vector<Vec3>& forces,
                                    double& virial) const {
-    // 12-10 potential: E = eps * (5 (r0/r)^12 - 6 (r0/r)^10)
-    // dE/dr = eps * (-60 r0^12 / r^13 + 60 r0^10 / r^11)
-    //       = (60 eps / r) * ((r0/r)^10 - (r0/r)^12)
-    double energy = 0.0;
-    for (const auto& c : top_.contacts()) {
-        const Vec3 d = box_.minimumImage(positions[std::size_t(c.i)],
-                                         positions[std::size_t(c.j)]);
-        const double r2 = norm2(d);
-        if (r2 < 1e-12) continue;
-        const double inv2 = (c.r0 * c.r0) / r2;
-        const double inv10 = inv2 * inv2 * inv2 * inv2 * inv2;
-        const double inv12 = inv10 * inv2;
-        energy += c.eps * (5.0 * inv12 - 6.0 * inv10);
-        const double fOverR = 60.0 * c.eps * (inv12 - inv10) / r2;
-        const Vec3 f = d * fOverR;
-        forces[std::size_t(c.i)] += f;
-        forces[std::size_t(c.j)] -= f;
-        virial += fOverR * r2;
-    }
-    return energy;
+    return evaluators::evaluateFamily<evaluators::ContactEvaluator>(
+        top_.contacts(), positions, box_, forces, virial);
 }
 
 void ForceField::computeNonbonded(const std::vector<Vec3>& positions,
@@ -550,13 +464,22 @@ void ForceField::splitPairBuckets(const std::vector<Vec3>& positions) {
     }
 
     // Cell-built lists (always periodic, box >= 3 list cutoffs per
-    // dimension) get precomputed per-pair shift codes: freeze each atom's
-    // wrap offset now, and record which of the 27 shift vectors makes the
-    // wrapped displacement the minimum image. Until the next rebuild no
-    // atom moves more than skin/2, so the recorded shift stays the right
-    // image for every pair that can still be inside the cutoff.
-    bk.shifted = reordered && box_.periodic;
-    if (bk.shifted) {
+    // dimension) work on wrapped coordinates: freeze each atom's wrap
+    // offset now so the wrapped positions stay continuous between
+    // rebuilds. Width-1 kernel sets additionally get precomputed
+    // per-pair shift codes — record which of the 27 shift vectors makes
+    // the wrapped displacement the minimum image; until the next rebuild
+    // no atom moves more than skin/2, so the recorded shift stays the
+    // right image for every pair that can still be inside the cutoff.
+    // Wide kernel sets skip the codes and image per block with a vector
+    // rint instead: a scalar kernel pays the rounding chain per pair, a
+    // wide one amortizes it over W lanes — and runs no longer split at
+    // code changes, so each atom contributes ONE run (measured 14541 ->
+    // 9999 runs at N=10000, ~30% off the width-8 kernel time; fewer
+    // per-run reductions and far fewer sub-width tails).
+    bk.wrapped = reordered && box_.periodic;
+    bk.shifted = bk.wrapped && kernels_.width == 1;
+    if (bk.wrapped) {
         const Vec3 L = box_.lengths;
         for (std::size_t r = 0; r < n; ++r) {
             const Vec3& p = positions[std::size_t(ord[r])];
@@ -583,18 +506,23 @@ void ForceField::splitPairBuckets(const std::vector<Vec3>& positions) {
                                           (sz + 1));
     };
 
-    // Opens a new run when the i slot or the shift code changes (pairs
-    // arrive grouped by i and emitted cell-pair by cell-pair, so both are
-    // near-constant along the scan and a linear pass finds every
-    // boundary). Making the shift a per-run property lets the kernels
-    // fold it into the i position once per run instead of per pair.
+    // Opens a new run when the i slot or the shift code changes (the
+    // counting sort below makes equal (i, code) pairs contiguous, so a
+    // linear pass finds every boundary and emits exactly one run per
+    // key). Making the shift a per-run property lets the kernels fold it
+    // into the i position once per run instead of per pair. Runs are NOT
+    // padded to the kernel width: padding with culled j = i self pairs
+    // was tried and lost ~20% at width 8 — every duplicate-index lane
+    // extends a serial read-modify-write chain through one force slot,
+    // which costs more than letting the kernels' scalar remainder loop
+    // finish the sub-width tail.
     auto pushRun = [](AlignedVector<int>& runI, AlignedVector<int>& runStart,
                       AlignedVector<unsigned char>& runS, int ri,
-                      unsigned char code, std::size_t nPairs) {
+                      unsigned char code, AlignedVector<int>& J) {
         if (runI.empty() || runI.back() != ri || runS.back() != code) {
             runI.push_back(ri);
             runS.push_back(code);
-            runStart.push_back(int(nPairs));
+            runStart.push_back(int(J.size()));
         }
     };
     // Code 13 is the zero shift; used as a constant for unshifted buckets
@@ -604,39 +532,83 @@ void ForceField::splitPairBuckets(const std::vector<Vec3>& positions) {
                           : static_cast<unsigned char>(13);
     };
 
+    // Order pairs by (i slot, shift code) before bucketing. The list
+    // emits pairs cell-pair by cell-pair, which scatters one atom's
+    // pairs across many short segments — measured 2.7 pairs per run at
+    // N=10000, leaving the wide SIMD kernels stuck in their scalar
+    // remainder tails. A stable counting sort on the composite key
+    // (O(P + 27 N) per rebuild, deterministic on every host) merges them
+    // into one long run per (i, code): ~27 pairs per atom split over at
+    // most a handful of codes — or exactly one run per atom when the
+    // kernel set is wide (codeOf pins the code, see above).
+    const auto& pairs = neighborList_.pairs();
+    const std::size_t nP = pairs.size();
+    constexpr int K = 27;
+    auto& key = ws_.pairKey;
+    auto& order = ws_.pairOrder;
+    auto& off = ws_.keyOffset;
+    key.resize(nP);
+    order.resize(nP);
+    off.resize(std::size_t(K) * n + 1);
+    std::fill(off.begin(), off.end(), 0);
+    for (std::size_t p = 0; p < nP; ++p) {
+        const int ri = rank[std::size_t(pairs[p].i)];
+        const int rj = rank[std::size_t(pairs[p].j)];
+        key[p] = ri * K + int(codeOf(ri, rj));
+        ++off[std::size_t(key[p]) + 1];
+    }
+    for (std::size_t s = 1; s < off.size(); ++s) off[s] += off[s - 1];
+    for (std::size_t p = 0; p < nP; ++p)
+        order[std::size_t(off[std::size_t(key[p])]++)] = int(p);
+
     if (params_.kind == NonbondedKind::GoRepulsive) {
-        for (const auto& p : neighborList_.pairs()) {
-            const int ri = rank[std::size_t(p.i)];
+        for (std::size_t s = 0; s < nP; ++s) {
+            const auto& p = pairs[std::size_t(order[s])];
+            const int k = key[std::size_t(order[s])];
+            const int ri = k / K;
+            const auto code = static_cast<unsigned char>(k % K);
             const int rj = rank[std::size_t(p.j)];
-            pushRun(bk.goRunI, bk.goRunStart, bk.goRunS, ri, codeOf(ri, rj),
-                    bk.goJ.size());
+            pushRun(bk.goRunI, bk.goRunStart, bk.goRunS, ri, code, bk.goJ);
             bk.goJ.push_back(rj);
         }
     } else {
         const bool coul = params_.useCoulombRF;
-        for (const auto& p : neighborList_.pairs()) {
+        for (std::size_t s = 0; s < nP; ++s) {
+            const auto& p = pairs[std::size_t(order[s])];
+            const int k = key[std::size_t(order[s])];
+            const int ri = k / K;
+            const auto code = static_cast<unsigned char>(k % K);
             const double qq = coul ? params_.coulombPrefactor *
                                          top_.charge(std::size_t(p.i)) *
                                          top_.charge(std::size_t(p.j))
                                    : 0.0;
-            const int ri = rank[std::size_t(p.i)];
             const int rj = rank[std::size_t(p.j)];
             if (qq != 0.0) {
-                pushRun(bk.qRunI, bk.qRunStart, bk.qRunS, ri,
-                        codeOf(ri, rj), bk.qJ.size());
+                pushRun(bk.qRunI, bk.qRunStart, bk.qRunS, ri, code, bk.qJ);
                 bk.qJ.push_back(rj);
                 bk.qq.push_back(qq);
             } else {
-                pushRun(bk.ljRunI, bk.ljRunStart, bk.ljRunS, ri,
-                        codeOf(ri, rj), bk.ljJ.size());
+                pushRun(bk.ljRunI, bk.ljRunStart, bk.ljRunS, ri, code,
+                        bk.ljJ);
                 bk.ljJ.push_back(rj);
             }
         }
     }
-    // Close the run tables with their end sentinels.
+    // Close the run tables with end sentinels.
     bk.ljRunStart.push_back(int(bk.ljJ.size()));
     bk.qRunStart.push_back(int(bk.qJ.size()));
     bk.goRunStart.push_back(int(bk.goJ.size()));
+    // Over-allocate each j / qq channel by a vector width of sentinel
+    // entries (slot 0, charge 0). The kernels compute a run's sub-width
+    // tail as one full-width masked block, so the channel loads read up
+    // to width - 1 entries past the last real pair; the masked lanes
+    // never contribute and are never written back.
+    for (int t = 0; t < kernels_.width; ++t) {
+        bk.ljJ.push_back(0);
+        bk.qJ.push_back(0);
+        bk.qq.push_back(0.0);
+        bk.goJ.push_back(0);
+    }
     bk.sourceBuild = neighborList_.numBuilds();
 }
 
@@ -650,13 +622,13 @@ void ForceField::computeNonbondedSoa(const std::vector<Vec3>& positions,
     const auto& bk = ws_.buckets;
 
     // Scatter positions into SoA slots, in cell order when available (the
-    // buckets were renumbered the same way by splitPairBuckets). Shifted
+    // buckets were renumbered the same way by splitPairBuckets). Wrapped
     // buckets work on wrapped coordinates: the frozen per-slot offsets are
     // exact multiples of the box lengths, applied every step so wrapped
     // positions move continuously between rebuilds.
     const auto& ord = neighborList_.cellOrder();
     const bool reordered = ord.size() == n;
-    if (bk.shifted) {
+    if (bk.wrapped) {
         for (std::size_t r = 0; r < n; ++r) {
             const auto a = std::size_t(ord[r]);
             ws_.pos3[3 * r] = positions[a].x + ws_.o3[3 * r];
@@ -717,6 +689,7 @@ void ForceField::computeNonbondedSoa(const std::vector<Vec3>& positions,
     // run boundaries (runs average a couple dozen pairs, so the per-chunk
     // imbalance is negligible) and each bucket is sliced independently to
     // keep chunks balanced regardless of the LJ/charged/Gō mix.
+    const int sh = bk.shifted ? 1 : 0;
     auto runSlice = [&](std::size_t c, std::size_t nSlices, double* f,
                         double& enb, double& ecoul, double& evir) {
         auto slice = [&](std::size_t len) {
@@ -724,40 +697,24 @@ void ForceField::computeNonbondedSoa(const std::vector<Vec3>& positions,
                                                        (c + 1) * len / nSlices};
         };
         const auto [ljLo, ljHi] = slice(bk.ljRunI.size());
-        if (ljLo < ljHi) {
-            if (bk.shifted)
-                soaLjKernel<true>(bk.ljRunI.data(), bk.ljRunStart.data(),
-                                  bk.ljJ.data(), bk.ljRunS.data(), ljLo,
-                                  ljHi, xyz, f, k, enb, evir);
-            else
-                soaLjKernel<false>(bk.ljRunI.data(), bk.ljRunStart.data(),
-                                   bk.ljJ.data(), nullptr, ljLo, ljHi, xyz,
-                                   f, k, enb, evir);
-        }
+        if (ljLo < ljHi)
+            kernels_.lj[sh](bk.ljRunI.data(), bk.ljRunStart.data(),
+                            bk.ljJ.data(),
+                            bk.shifted ? bk.ljRunS.data() : nullptr, nullptr,
+                            ljLo, ljHi, xyz, f, k, enb, ecoul, evir);
         const auto [qLo, qHi] = slice(bk.qRunI.size());
-        if (qLo < qHi) {
-            if (bk.shifted)
-                soaLjCoulKernel<true>(bk.qRunI.data(), bk.qRunStart.data(),
-                                      bk.qJ.data(), bk.qRunS.data(),
-                                      bk.qq.data(), qLo, qHi, xyz, f, k, enb,
-                                      ecoul, evir);
-            else
-                soaLjCoulKernel<false>(bk.qRunI.data(), bk.qRunStart.data(),
-                                       bk.qJ.data(), nullptr, bk.qq.data(),
-                                       qLo, qHi, xyz, f, k, enb, ecoul,
-                                       evir);
-        }
+        if (qLo < qHi)
+            kernels_.ljCoul[sh](bk.qRunI.data(), bk.qRunStart.data(),
+                                bk.qJ.data(),
+                                bk.shifted ? bk.qRunS.data() : nullptr,
+                                bk.qq.data(), qLo, qHi, xyz, f, k, enb,
+                                ecoul, evir);
         const auto [goLo, goHi] = slice(bk.goRunI.size());
-        if (goLo < goHi) {
-            if (bk.shifted)
-                soaGoKernel<true>(bk.goRunI.data(), bk.goRunStart.data(),
-                                  bk.goJ.data(), bk.goRunS.data(), goLo,
-                                  goHi, xyz, f, k, enb, evir);
-            else
-                soaGoKernel<false>(bk.goRunI.data(), bk.goRunStart.data(),
-                                   bk.goJ.data(), nullptr, goLo, goHi, xyz,
-                                   f, k, enb, evir);
-        }
+        if (goLo < goHi)
+            kernels_.go[sh](bk.goRunI.data(), bk.goRunStart.data(),
+                            bk.goJ.data(),
+                            bk.shifted ? bk.goRunS.data() : nullptr, nullptr,
+                            goLo, goHi, xyz, f, k, enb, ecoul, evir);
     };
 
     const std::size_t nPairs =

@@ -10,13 +10,17 @@
 ///     lists against textbook behaviour, mirroring the paper's use of a
 ///     reaction field for villin electrostatics.
 ///
-/// Forces are accumulated through one of three kernels (the "SIMD level" of
-/// the paper's Fig. 6): a scalar reference loop, a 4-wide blocked loop, or
+/// Forces are accumulated through one of four kernels (the "SIMD level" of
+/// the paper's Fig. 6): a scalar reference loop, a 4-wide blocked loop,
 /// the default structure-of-arrays engine (branch-free kind-split pair
 /// buckets, stored as same-i runs with precomputed periodic shifts, over
 /// cache-aligned xyz-interleaved coordinate triplets, with a striped
-/// zero-allocation threaded reduction). All flavors are required by tests
-/// to agree within 1e-10.
+/// zero-allocation threaded reduction), or the SoA engine driven by
+/// runtime-dispatched SIMD kernels (SSE2/AVX2/AVX-512F/NEON selected at
+/// startup via simd_dispatch.hpp; same buckets, width-templated inner
+/// loops). Scalar/Blocked4/Soa are required by tests to agree within
+/// 1e-10; the SIMD flavors within 1e-9 (vector accumulators change only
+/// the summation order).
 
 #include <cstddef>
 #include <vector>
@@ -24,6 +28,7 @@
 #include "mdlib/force_workspace.hpp"
 #include "mdlib/neighborlist.hpp"
 #include "mdlib/pbc.hpp"
+#include "mdlib/simd_dispatch.hpp"
 #include "mdlib/topology.hpp"
 #include "util/vec3.hpp"
 
@@ -68,11 +73,24 @@ enum class KernelFlavor {
     Soa,      ///< structure-of-arrays kernel over kind-split pair buckets:
               ///< branch-free inner loops, precomputed charge products,
               ///< striped zero-allocation threaded reduction
+    SimdAuto, ///< the Soa engine with explicit-SIMD inner loops, ISA
+              ///< picked at startup (ForceFieldParams::simdIsa override >
+              ///< COPERNICUS_SIMD env var > CPU detection)
 };
 
 struct ForceFieldParams {
     NonbondedKind kind = NonbondedKind::GoRepulsive;
+    /// Soa (not SimdAuto) on purpose: the default must produce identical
+    /// trajectories on every host, and checkpoints migrate across
+    /// heterogeneous workers — ISA-dependent rounding in the default
+    /// kernel would make both host-dependent. Opting into SimdAuto is a
+    /// per-project throughput decision (see DESIGN.md).
     KernelFlavor flavor = KernelFlavor::Soa;
+    /// Which SIMD kernel set SimdAuto uses; Auto defers to the
+    /// COPERNICUS_SIMD env var and then CPU detection. Ignored by the
+    /// other flavors. Non-runnable explicit choices throw at
+    /// construction.
+    SimdIsa simdIsa = SimdIsa::Auto;
 
     double cutoff = 3.0;       ///< nonbonded cutoff (reduced units)
     double neighborSkin = 0.3; ///< Verlet buffer
@@ -118,6 +136,14 @@ public:
     /// (steady-state compute() must not reallocate).
     const ForceWorkspace& workspace() const { return ws_; }
 
+    /// The ISA the nonbonded kernel table was resolved to at
+    /// construction: the dispatch result for SimdAuto, SimdIsa::Scalar
+    /// for every other flavor (they run width-1 scalar kernels).
+    SimdIsa activeSimdIsa() const { return activeIsa_; }
+    /// The kernel table the SoA engine calls through (width 1 for the
+    /// Soa flavor's scalar reference set).
+    const NonbondedKernelSet& kernelSet() const { return kernels_; }
+
     /// Replaces the box (barostat rescale); invalidates the neighbour
     /// list so the next compute() rebuilds it.
     void setBox(const Box& box) {
@@ -146,6 +172,8 @@ private:
     ThreadPool* pool_;
     NeighborList neighborList_;
     ForceWorkspace ws_;
+    NonbondedKernelSet kernels_;
+    SimdIsa activeIsa_ = SimdIsa::Scalar;
 };
 
 /// Numerical-gradient check helper used by tests: returns the maximum

@@ -226,4 +226,86 @@ double Integrator::conservedQuantity(const State& state) const {
     return e;
 }
 
+FireResult fireMinimize(ForceField& ff, std::vector<Vec3>& positions,
+                        const FireParams& p) {
+    COP_REQUIRE(p.dtInit > 0.0 && p.dtMax >= p.dtInit,
+                "FIRE time steps must satisfy 0 < dtInit <= dtMax");
+    COP_REQUIRE(p.forceTol > 0.0, "FIRE force tolerance must be positive");
+    COP_REQUIRE(p.fDec > 0.0 && p.fDec < 1.0 && p.fInc > 1.0,
+                "FIRE requires 0 < fDec < 1 < fInc");
+
+    const std::size_t n = positions.size();
+    std::vector<Vec3> forces, velocities(n, Vec3{});
+
+    FireResult result;
+    result.energies = ff.compute(positions, forces);
+
+    auto maxForce = [&] {
+        double m = 0.0;
+        for (const auto& f : forces) m = std::max(m, norm(f));
+        return m;
+    };
+
+    double dt = p.dtInit;
+    double alpha = p.alphaStart;
+    int nPos = 0;
+
+    for (result.steps = 0; result.steps < p.maxSteps; ++result.steps) {
+        result.maxForce = maxForce();
+        if (result.maxForce < p.forceTol) {
+            result.converged = true;
+            return result;
+        }
+
+        // F1: the power decides whether we are still going downhill.
+        double power = 0.0, v2 = 0.0, f2 = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            power += dot(forces[i], velocities[i]);
+            v2 += norm2(velocities[i]);
+            f2 += norm2(forces[i]);
+        }
+        if (power > 0.0) {
+            // F3: after nMin downhill steps, accelerate and trust the
+            // dynamics more (decay the steering).
+            if (++nPos > p.nMin) {
+                dt = std::min(dt * p.fInc, p.dtMax);
+                alpha *= p.fAlpha;
+            }
+        } else {
+            // F4: uphill — stop, shrink the step, steer hard again.
+            nPos = 0;
+            dt *= p.fDec;
+            alpha = p.alphaStart;
+            for (auto& v : velocities) v = Vec3{};
+            v2 = 0.0;
+        }
+
+        // F2: mix the velocity toward the force direction,
+        // v <- (1 - alpha) v + alpha |v| F-hat (no-op right after a
+        // reset, where |v| = 0).
+        if (f2 > 0.0 && v2 > 0.0) {
+            const double mix = alpha * std::sqrt(v2 / f2);
+            for (std::size_t i = 0; i < n; ++i)
+                velocities[i] =
+                    velocities[i] * (1.0 - alpha) + forces[i] * mix;
+        }
+
+        // Semi-implicit Euler with unit masses, with the per-atom
+        // displacement clamped so overlapping starting structures (the
+        // whole point of a relaxation integrator) cannot explode on the
+        // first steps.
+        for (std::size_t i = 0; i < n; ++i) {
+            velocities[i] += forces[i] * dt;
+            Vec3 dx = velocities[i] * dt;
+            const double len = norm(dx);
+            if (len > p.maxDisp) dx = dx * (p.maxDisp / len);
+            positions[i] += dx;
+        }
+        result.energies = ff.compute(positions, forces);
+    }
+    result.maxForce = maxForce();
+    result.converged = result.maxForce < p.forceTol;
+    return result;
+}
+
 } // namespace cop::md

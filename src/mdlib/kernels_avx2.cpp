@@ -1,0 +1,17 @@
+/// AVX2 kernel TU: width-4 packs with hardware gathers. Compiled with
+/// -mavx2 -mfma; must only be reached through the dispatcher after
+/// __builtin_cpu_supports("avx2") says yes.
+
+#define COP_SIMD_ARCH_NS arch_avx2
+#define COP_SIMD_WIDTH 4
+#define COP_SIMD_TARGET_AVX2 1
+
+#include "mdlib/simd_kernels_impl.hpp"
+
+#include "mdlib/simd_kernel_sets.hpp"
+
+namespace cop::md::simd {
+
+NonbondedKernelSet avx2Kernels() { return arch_avx2::makeKernelSet("avx2"); }
+
+} // namespace cop::md::simd

@@ -1,0 +1,22 @@
+/// AVX-512F kernel TU: width-8 packs with k-register predication.
+/// Compiled with -mavx512f; reached only after
+/// __builtin_cpu_supports("avx512f"). Note the compiler also defines
+/// __AVX2__ here, which is why simd.hpp's specializations are gated on
+/// the COP_SIMD_TARGET_* request macros as well — this TU instantiates
+/// the width-8 pack only.
+
+#define COP_SIMD_ARCH_NS arch_avx512
+#define COP_SIMD_WIDTH 8
+#define COP_SIMD_TARGET_AVX512 1
+
+#include "mdlib/simd_kernels_impl.hpp"
+
+#include "mdlib/simd_kernel_sets.hpp"
+
+namespace cop::md::simd {
+
+NonbondedKernelSet avx512Kernels() {
+    return arch_avx512::makeKernelSet("avx512");
+}
+
+} // namespace cop::md::simd

@@ -1,0 +1,18 @@
+/// Portable kernel TU: the width-4 lane-loop SimdPack fallback, compiled
+/// with the project's baseline flags only. This is the COPERNICUS_SIMD=
+/// "scalar" dispatch target and the set every host can run.
+
+#define COP_SIMD_ARCH_NS arch_generic
+#define COP_SIMD_WIDTH 4
+
+#include "mdlib/simd_kernels_impl.hpp"
+
+#include "mdlib/simd_kernel_sets.hpp"
+
+namespace cop::md::simd {
+
+NonbondedKernelSet genericKernels() {
+    return arch_generic::makeKernelSet("scalar");
+}
+
+} // namespace cop::md::simd

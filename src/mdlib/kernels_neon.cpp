@@ -1,0 +1,17 @@
+/// NEON kernel TU (AArch64): width-2 packs. NEON with double-precision
+/// arithmetic is baseline on AArch64, so no extra flags are needed and
+/// the set is always runnable there.
+
+#define COP_SIMD_ARCH_NS arch_neon
+#define COP_SIMD_WIDTH 2
+#define COP_SIMD_TARGET_NEON 1
+
+#include "mdlib/simd_kernels_impl.hpp"
+
+#include "mdlib/simd_kernel_sets.hpp"
+
+namespace cop::md::simd {
+
+NonbondedKernelSet neonKernels() { return arch_neon::makeKernelSet("neon"); }
+
+} // namespace cop::md::simd

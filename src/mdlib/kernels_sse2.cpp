@@ -1,0 +1,17 @@
+/// SSE2 kernel TU (x86-64 baseline): width-2 packs. Compiled with -msse2
+/// — a no-op on x86-64, but kept explicit so the TU is honest about what
+/// it assumes and so 32-bit builds get the flag they need.
+
+#define COP_SIMD_ARCH_NS arch_sse2
+#define COP_SIMD_WIDTH 2
+#define COP_SIMD_TARGET_SSE2 1
+
+#include "mdlib/simd_kernels_impl.hpp"
+
+#include "mdlib/simd_kernel_sets.hpp"
+
+namespace cop::md::simd {
+
+NonbondedKernelSet sse2Kernels() { return arch_sse2::makeKernelSet("sse2"); }
+
+} // namespace cop::md::simd

@@ -1,0 +1,162 @@
+#include "mdlib/simd_dispatch.hpp"
+
+#include <cstdlib>
+
+#include "mdlib/simd_kernel_sets.hpp"
+#include "util/error.hpp"
+
+namespace cop::md {
+
+const char* simdIsaName(SimdIsa isa) {
+    switch (isa) {
+    case SimdIsa::Auto: return "auto";
+    case SimdIsa::Scalar: return "scalar";
+    case SimdIsa::Sse2: return "sse2";
+    case SimdIsa::Avx2: return "avx2";
+    case SimdIsa::Avx512: return "avx512";
+    case SimdIsa::Neon: return "neon";
+    }
+    return "unknown";
+}
+
+SimdIsa parseSimdIsaName(const std::string& name) {
+    if (name == "auto") return SimdIsa::Auto;
+    if (name == "scalar" || name == "generic") return SimdIsa::Scalar;
+    if (name == "sse2") return SimdIsa::Sse2;
+    if (name == "avx2") return SimdIsa::Avx2;
+    if (name == "avx512") return SimdIsa::Avx512;
+    if (name == "neon") return SimdIsa::Neon;
+    throw InvalidArgument("unknown SIMD ISA name: '" + name +
+                          "' (expected auto|scalar|sse2|avx2|avx512|neon)");
+}
+
+const std::vector<SimdIsa>& compiledSimdIsas() {
+    static const std::vector<SimdIsa> isas = [] {
+        std::vector<SimdIsa> v{SimdIsa::Scalar};
+#ifdef COPERNICUS_SIMD_HAVE_SSE2
+        v.push_back(SimdIsa::Sse2);
+#endif
+#ifdef COPERNICUS_SIMD_HAVE_NEON
+        v.push_back(SimdIsa::Neon);
+#endif
+#ifdef COPERNICUS_SIMD_HAVE_AVX2
+        v.push_back(SimdIsa::Avx2);
+#endif
+#ifdef COPERNICUS_SIMD_HAVE_AVX512
+        v.push_back(SimdIsa::Avx512);
+#endif
+        return v;
+    }();
+    return isas;
+}
+
+namespace {
+
+bool hostSupports(SimdIsa isa) {
+    switch (isa) {
+    case SimdIsa::Auto:
+        return false;
+    case SimdIsa::Scalar:
+        return true;
+    case SimdIsa::Sse2:
+#if defined(__x86_64__) || defined(_M_X64)
+        return true; // SSE2 is the x86-64 baseline
+#else
+        return false;
+#endif
+    case SimdIsa::Avx2:
+#if defined(__x86_64__) || defined(__i386__)
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+    case SimdIsa::Avx512:
+#if defined(__x86_64__) || defined(__i386__)
+        return __builtin_cpu_supports("avx512f") != 0;
+#else
+        return false;
+#endif
+    case SimdIsa::Neon:
+#if defined(__aarch64__)
+        return true; // double-precision NEON is the AArch64 baseline
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+bool isCompiled(SimdIsa isa) {
+    for (SimdIsa c : compiledSimdIsas())
+        if (c == isa) return true;
+    return false;
+}
+
+} // namespace
+
+bool simdIsaRunnable(SimdIsa isa) {
+    return isCompiled(isa) && hostSupports(isa);
+}
+
+SimdIsa detectSimdIsa() {
+    const auto& isas = compiledSimdIsas(); // ordered narrowest to widest
+    SimdIsa best = SimdIsa::Scalar;
+    for (SimdIsa isa : isas)
+        if (hostSupports(isa)) best = isa;
+    return best;
+}
+
+SimdIsa resolveSimdIsa(SimdIsa requested) {
+    SimdIsa isa = requested;
+    if (isa == SimdIsa::Auto) {
+        const char* env = std::getenv("COPERNICUS_SIMD");
+        if (env != nullptr && env[0] != '\0') isa = parseSimdIsaName(env);
+    }
+    if (isa == SimdIsa::Auto) return detectSimdIsa();
+    if (!simdIsaRunnable(isa))
+        throw InvalidArgument(
+            std::string("requested SIMD ISA '") + simdIsaName(isa) +
+            (isCompiled(isa) ? "' is not supported by this CPU"
+                             : "' was not compiled into this binary"));
+    return isa;
+}
+
+const NonbondedKernelSet& kernelSetFor(SimdIsa isa) {
+    COP_REQUIRE(isa != SimdIsa::Auto,
+                "kernelSetFor requires a resolved ISA, not Auto");
+    COP_REQUIRE(simdIsaRunnable(isa), "kernelSetFor: ISA not runnable here");
+    switch (isa) {
+    case SimdIsa::Scalar: {
+        static const NonbondedKernelSet s = simd::genericKernels();
+        return s;
+    }
+#ifdef COPERNICUS_SIMD_HAVE_SSE2
+    case SimdIsa::Sse2: {
+        static const NonbondedKernelSet s = simd::sse2Kernels();
+        return s;
+    }
+#endif
+#ifdef COPERNICUS_SIMD_HAVE_AVX2
+    case SimdIsa::Avx2: {
+        static const NonbondedKernelSet s = simd::avx2Kernels();
+        return s;
+    }
+#endif
+#ifdef COPERNICUS_SIMD_HAVE_AVX512
+    case SimdIsa::Avx512: {
+        static const NonbondedKernelSet s = simd::avx512Kernels();
+        return s;
+    }
+#endif
+#ifdef COPERNICUS_SIMD_HAVE_NEON
+    case SimdIsa::Neon: {
+        static const NonbondedKernelSet s = simd::neonKernels();
+        return s;
+    }
+#endif
+    default:
+        throw InternalError("kernelSetFor: unreachable ISA");
+    }
+}
+
+} // namespace cop::md

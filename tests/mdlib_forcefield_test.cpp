@@ -1,7 +1,11 @@
 #include "mdlib/forcefield.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
+#include "mdlib/evaluators/dihedral.hpp"
 #include "mdlib/proteins.hpp"
 #include "util/random.hpp"
 #include "util/thread_pool.hpp"
@@ -236,6 +240,120 @@ TEST(ForceField, EnergiesPotentialSumsTerms) {
     e.nonbonded = 5;
     e.coulomb = 6;
     EXPECT_DOUBLE_EQ(e.potential(), 21.0);
+}
+
+/// The pre-refactor monolithic computeBonded + computeContacts loops,
+/// kept verbatim as the bit-identity reference for the header-only
+/// evaluator refactor (evaluators/*.hpp): same term order, same
+/// arithmetic, compared with EXPECT_EQ (no tolerance).
+struct MonolithRef {
+    double bond = 0.0, angle = 0.0, dihedral = 0.0, contact = 0.0,
+           virial = 0.0;
+};
+
+MonolithRef monolithBonded(const Topology& top, const Box& box,
+                           const std::vector<Vec3>& positions,
+                           std::vector<Vec3>& forces) {
+    MonolithRef e;
+    for (const auto& b : top.bonds()) {
+        const Vec3 d = box.minimumImage(positions[std::size_t(b.i)],
+                                        positions[std::size_t(b.j)]);
+        const double r = norm(d);
+        const double dr = r - b.r0;
+        e.bond += 0.5 * b.k * dr * dr;
+        if (r > 1e-12) {
+            const Vec3 f = d * (-b.k * dr / r);
+            forces[std::size_t(b.i)] += f;
+            forces[std::size_t(b.j)] -= f;
+            e.virial += dot(d, f);
+        }
+    }
+    for (const auto& a : top.angles()) {
+        const Vec3 rij = box.minimumImage(positions[std::size_t(a.i)],
+                                          positions[std::size_t(a.j)]);
+        const Vec3 rkj = box.minimumImage(positions[std::size_t(a.k)],
+                                          positions[std::size_t(a.j)]);
+        const double nij = norm(rij);
+        const double nkj = norm(rkj);
+        if (nij < 1e-12 || nkj < 1e-12) continue;
+        double cosTheta = dot(rij, rkj) / (nij * nkj);
+        cosTheta = std::clamp(cosTheta, -1.0, 1.0);
+        const double theta = std::acos(cosTheta);
+        const double dTheta = theta - a.theta0;
+        e.angle += 0.5 * a.forceK * dTheta * dTheta;
+        const double sinTheta =
+            std::sqrt(std::max(1e-12, 1.0 - cosTheta * cosTheta));
+        const double coeff = a.forceK * dTheta / sinTheta;
+        const Vec3 dcos_dri =
+            (rkj / (nij * nkj)) - rij * (cosTheta / (nij * nij));
+        const Vec3 dcos_drk =
+            (rij / (nij * nkj)) - rkj * (cosTheta / (nkj * nkj));
+        const Vec3 fi = dcos_dri * coeff;
+        const Vec3 fk = dcos_drk * coeff;
+        forces[std::size_t(a.i)] += fi;
+        forces[std::size_t(a.k)] += fk;
+        forces[std::size_t(a.j)] -= fi + fk;
+    }
+    for (const auto& d : top.dihedrals()) {
+        const auto g = evaluators::dihedralGeometry(
+            positions[std::size_t(d.i)], positions[std::size_t(d.j)],
+            positions[std::size_t(d.k)], positions[std::size_t(d.l)]);
+        const double dphi = g.phi - d.phi0;
+        e.dihedral += d.k1 * (1.0 - std::cos(dphi)) +
+                      d.k3 * (1.0 - std::cos(3.0 * dphi));
+        const double dEdPhi =
+            d.k1 * std::sin(dphi) + 3.0 * d.k3 * std::sin(3.0 * dphi);
+        forces[std::size_t(d.i)] -= g.fi * dEdPhi;
+        forces[std::size_t(d.j)] -= g.fj * dEdPhi;
+        forces[std::size_t(d.k)] -= g.fk * dEdPhi;
+        forces[std::size_t(d.l)] -= g.fl * dEdPhi;
+    }
+    for (const auto& c : top.contacts()) {
+        const Vec3 d = box.minimumImage(positions[std::size_t(c.i)],
+                                        positions[std::size_t(c.j)]);
+        const double r2 = norm2(d);
+        if (r2 < 1e-12) continue;
+        const double inv2 = (c.r0 * c.r0) / r2;
+        const double inv10 = inv2 * inv2 * inv2 * inv2 * inv2;
+        const double inv12 = inv10 * inv2;
+        e.contact += c.eps * (5.0 * inv12 - 6.0 * inv10);
+        const double fOverR = 60.0 * c.eps * (inv12 - inv10) / r2;
+        const Vec3 f = d * fOverR;
+        forces[std::size_t(c.i)] += f;
+        forces[std::size_t(c.j)] -= f;
+        e.virial += fOverR * r2;
+    }
+    return e;
+}
+
+TEST(ForceField, BondedEvaluatorsBitIdenticalToMonolith) {
+    const auto model = villinGoModel();
+    cop::Rng rng(57);
+    auto pos = model.native;
+    for (auto& p : pos) p += rng.gaussianVec3(0.15);
+
+    // Shrink the cutoff so every nonbonded pair lands outside it: the
+    // kernels then add exact zeros and the ForceField forces are the
+    // bonded + contact terms alone.
+    auto params = model.forceFieldParams();
+    params.cutoff = 1e-3;
+    params.neighborSkin = 1e-3;
+    ForceField ff(model.topology, Box::open(), params);
+    std::vector<Vec3> forces;
+    const auto e = ff.compute(pos, forces);
+    EXPECT_EQ(e.nonbonded, 0.0);
+
+    std::vector<Vec3> refForces(pos.size(), Vec3{});
+    const auto ref =
+        monolithBonded(model.topology, Box::open(), pos, refForces);
+
+    EXPECT_EQ(e.bond, ref.bond);
+    EXPECT_EQ(e.angle, ref.angle);
+    EXPECT_EQ(e.dihedral, ref.dihedral);
+    EXPECT_EQ(e.contact, ref.contact);
+    EXPECT_EQ(e.pairVirial, ref.virial);
+    for (std::size_t i = 0; i < forces.size(); ++i)
+        for (int d = 0; d < 3; ++d) EXPECT_EQ(forces[i][d], refForces[i][d]);
 }
 
 TEST(ForceField, RejectsMismatchedPositions) {

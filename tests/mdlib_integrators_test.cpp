@@ -191,5 +191,98 @@ TEST(Integrators, RejectsBadParameters) {
     EXPECT_THROW(Integrator(sys.ff, p, cop::Rng(1)), cop::InvalidArgument);
 }
 
+TEST(Fire, ConvergesPerturbedGoStructure) {
+    // A hostile start: every residue displaced from native. FIRE must
+    // drive the max force below tolerance and end well below the
+    // starting energy (near the native basin floor).
+    TestSystem sys(/*perturb=*/0.12, /*seed=*/71);
+    std::vector<Vec3> scratch;
+    const double e0 =
+        sys.ff.compute(sys.state.positions, scratch).potential();
+
+    FireParams p;
+    p.maxSteps = 50000;
+    const auto r = fireMinimize(sys.ff, sys.state.positions, p);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(r.maxForce, p.forceTol);
+    EXPECT_LT(r.energies.potential(), e0);
+    // The relaxed structure sits at (or below) a local minimum close to
+    // the native basin: bonded strain nearly gone, contacts near their
+    // -eps minima.
+    EXPECT_LT(r.energies.potential(),
+              -0.8 * double(sys.model.numContacts()));
+}
+
+TEST(Fire, LjDimerRelaxesToPotentialMinimum) {
+    Topology top(2);
+    top.finalize();
+    ForceFieldParams params;
+    params.kind = NonbondedKind::LennardJonesRF;
+    params.cutoff = 2.5;
+    params.shiftLJ = false;
+    ForceField ff(top, Box::open(), params);
+
+    std::vector<Vec3> pos{{0, 0, 0}, {1.5, 0, 0}};
+    FireParams p;
+    p.forceTol = 1e-8;
+    const auto r = fireMinimize(ff, pos, p);
+    EXPECT_TRUE(r.converged);
+    // LJ minimum at r = 2^(1/6) sigma.
+    EXPECT_NEAR(norm(pos[1] - pos[0]), std::pow(2.0, 1.0 / 6.0), 1e-6);
+}
+
+TEST(Fire, OverlappingStartDoesNotExplode) {
+    // Two nearly coincident particles: raw LJ force ~ 1e+26. The
+    // displacement clamp keeps the first steps finite and the dimer
+    // still relaxes to the minimum.
+    Topology top(2);
+    top.finalize();
+    ForceFieldParams params;
+    params.kind = NonbondedKind::LennardJonesRF;
+    params.cutoff = 2.5;
+    params.shiftLJ = false;
+    ForceField ff(top, Box::open(), params);
+
+    std::vector<Vec3> pos{{0, 0, 0}, {0.05, 0, 0}};
+    FireParams p;
+    p.forceTol = 1e-8;
+    const auto r = fireMinimize(ff, pos, p);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(norm(pos[1] - pos[0]), std::pow(2.0, 1.0 / 6.0), 1e-6);
+    for (const auto& x : pos) EXPECT_TRUE(std::isfinite(norm(x)));
+}
+
+TEST(Fire, AlreadyMinimizedReturnsImmediately) {
+    Topology top(2);
+    top.finalize();
+    ForceFieldParams params;
+    params.kind = NonbondedKind::LennardJonesRF;
+    params.cutoff = 2.5;
+    params.shiftLJ = false;
+    ForceField ff(top, Box::open(), params);
+    std::vector<Vec3> pos{{0, 0, 0}, {std::pow(2.0, 1.0 / 6.0), 0, 0}};
+    FireParams p;
+    p.forceTol = 1e-6;
+    const auto r = fireMinimize(ff, pos, p);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.steps, 0);
+}
+
+TEST(Fire, RejectsBadParameters) {
+    TestSystem sys;
+    FireParams p;
+    p.dtInit = 0.0;
+    EXPECT_THROW(fireMinimize(sys.ff, sys.state.positions, p),
+                 cop::InvalidArgument);
+    p = FireParams{};
+    p.forceTol = -1.0;
+    EXPECT_THROW(fireMinimize(sys.ff, sys.state.positions, p),
+                 cop::InvalidArgument);
+    p = FireParams{};
+    p.fDec = 1.5;
+    EXPECT_THROW(fireMinimize(sys.ff, sys.state.positions, p),
+                 cop::InvalidArgument);
+}
+
 } // namespace
 } // namespace cop::md

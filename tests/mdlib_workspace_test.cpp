@@ -102,7 +102,8 @@ TEST_P(SteadyStateAllocations, SerialComputeIsAllocationFree) {
 INSTANTIATE_TEST_SUITE_P(Flavors, SteadyStateAllocations,
                          ::testing::Values(KernelFlavor::Scalar,
                                            KernelFlavor::Blocked4,
-                                           KernelFlavor::Soa));
+                                           KernelFlavor::Soa,
+                                           KernelFlavor::SimdAuto));
 
 TEST(ForceWorkspace, ThreadedBuffersAreReusedAcrossSteps) {
     auto sys = makeLj(343, 12.0, 43);

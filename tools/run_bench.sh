@@ -1,32 +1,70 @@
 #!/usr/bin/env bash
 # Builds and runs the microbenchmarks, emitting google-benchmark JSON to
 # BENCH_micro_md.json, BENCH_micro_msm.json and BENCH_micro_sched.json in
-# the repo root so the perf trajectory — kernel flavors x thread counts,
-# MSM rebuild modes, scheduler flavors x queue depths — is tracked PR
-# over PR.
+# the repo root so the perf trajectory — kernel flavors x SIMD ISAs x
+# thread counts, MSM rebuild modes, scheduler flavors x queue depths — is
+# tracked PR over PR.
 #
 # Usage:
 #   tools/run_bench.sh                 # full sweep
 #   FILTER=BM_NonbondedKernel tools/run_bench.sh
-#   BUILD_DIR=build-release tools/run_bench.sh -- --benchmark_min_time=0.1s
+#   BUILD_DIR=build-release tools/run_bench.sh -- --benchmark_min_time=0.1
+#   tools/run_bench.sh --allow-debug   # explicitly bless a non-Release dir
+#
+# Refuses to run from a non-Release build directory unless --allow-debug
+# is given: debug-build timings silently committed as BENCH_*.json would
+# poison the PR-over-PR trajectory. Every emitted JSON is stamped with
+# the build type and the detected SIMD ISA so results stay
+# self-describing after they leave this machine.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 FILTER=${FILTER:-.}
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+allow_debug=0
+extra=()
+for arg in "$@"; do
+  case "$arg" in
+    --allow-debug) allow_debug=1 ;;
+    --) ;;
+    *) extra+=("$arg") ;;
+  esac
+done
+
+# Fresh dirs are configured Release; an existing dir keeps its cached
+# build type (so BUILD_DIR=build-debug genuinely trips the gate below
+# instead of being silently reconfigured).
+if [[ -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+else
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+build_type=${build_type:-unset}
+if [[ "$build_type" != "Release" && $allow_debug -ne 1 ]]; then
+  echo "error: $BUILD_DIR is a '$build_type' build; benchmark numbers from" >&2
+  echo "non-Release builds are meaningless. Re-run with --allow-debug to" >&2
+  echo "override, or point BUILD_DIR at a Release tree." >&2
+  exit 1
+fi
+
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_md micro_msm micro_sched \
   macro_overlay
 
-extra=()
-for arg in "$@"; do
-  [[ "$arg" == "--" ]] && continue
-  extra+=("$arg")
-done
+simd_isa=$("$BUILD_DIR"/bench/micro_md --print-simd-isa)
+echo "build type: $build_type, detected SIMD ISA: $simd_isa"
 
+# Repetitions + random interleaving for micro_md: the SIMD headline is a
+# ratio of two benchmarks that would otherwise run minutes apart, and on
+# a shared host the load drifts on that timescale. Interleaved
+# repetitions spread any slow phase across every benchmark, so the
+# medians compare like with like.
 "$BUILD_DIR"/bench/micro_md \
   --benchmark_filter="$FILTER" \
+  --benchmark_repetitions=3 \
+  --benchmark_enable_random_interleaving=true \
   --benchmark_out=BENCH_micro_md.json \
   --benchmark_out_format=json \
   "${extra[@]+"${extra[@]}"}"
@@ -47,7 +85,63 @@ done
 # trickle, batched vs unbatched). Writes BENCH_macro_overlay.json itself.
 "$BUILD_DIR"/bench/macro_overlay
 
+# Stamp build type + detected ISA into every JSON (micro_md carries them
+# natively via benchmark context; the others get them injected here so a
+# lone file is still self-describing).
+if command -v python3 >/dev/null 2>&1; then
+  COP_BUILD_TYPE="$build_type" COP_SIMD_ISA="$simd_isa" python3 - <<'EOF'
+import json, os
+stamp = {"cop_build_type": os.environ["COP_BUILD_TYPE"],
+         "cop_simd_isa_detected": os.environ["COP_SIMD_ISA"]}
+for path in ("BENCH_micro_md.json", "BENCH_micro_msm.json",
+             "BENCH_micro_sched.json", "BENCH_macro_overlay.json"):
+    try:
+        with open(path) as f:
+            d = json.load(f)
+    except (OSError, ValueError):
+        continue
+    if "context" in d and isinstance(d["context"], dict):
+        d["context"].update(stamp)
+    else:
+        d.update(stamp)
+    with open(path, "w") as f:
+        json.dump(d, f, indent=1)
+        f.write("\n")
+EOF
+fi
+
 echo "Wrote BENCH_micro_md.json, BENCH_micro_msm.json, BENCH_micro_sched.json and BENCH_macro_overlay.json"
+
+# Headline for the SIMD kernel tier: runtime-dispatched widest ISA vs the
+# width-1 SoA baseline at N=10000 (single thread, uncharged + charged).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF' || true
+import json
+with open("BENCH_micro_md.json") as f:
+    runs = json.load(f).get("benchmarks", [])
+def real(name):
+    # Prefer the median aggregate when the run was recorded with
+    # repetitions; fall back to the single-run entry.
+    for b in runs:
+        if b.get("name", "") == name + "_median":
+            return b.get("real_time")
+    for b in runs:
+        if b.get("name", "") == name:
+            return b.get("real_time")
+    return None
+isas = [b["name"].split("/")[1].split(":")[1]
+        for b in runs
+        if b.get("name", "").startswith("BM_NonbondedIsa/")]
+widest = isas[-1] if isas else None
+for charged in (0, 1):
+    soa = real(f"BM_NonbondedIsa/isa:soa/atoms:10000/charged:{charged}")
+    simd = real(f"BM_NonbondedIsa/isa:{widest}/atoms:10000/charged:{charged}")
+    if soa and simd:
+        kind = "charged" if charged else "uncharged"
+        print(f"simd {kind} @1e4 atoms: soa {soa/1e6:.2f} ms, "
+              f"{widest} {simd/1e6:.2f} ms ({soa/simd:.2f}x)")
+EOF
+fi
 
 # Headline for the adaptive-MSM sweep: from-scratch rebuild vs incremental
 # update of the same generation (BM_MsmFullGeneration / gen:N against
