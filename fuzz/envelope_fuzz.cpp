@@ -34,7 +34,7 @@ namespace {
 
 /// Count of net::MessageType enumerators (message.hpp); the selector byte
 /// is reduced mod this so every tag stays reachable as the enum grows.
-constexpr unsigned kMessageTypeCount = 15;
+constexpr unsigned kMessageTypeCount = 16;
 
 void drainReaderPrimitives(std::span<const std::uint8_t> bytes) {
     using cop::BinaryReader;
@@ -174,6 +174,40 @@ int generateCorpus(const fs::path& dir) {
     lr.worker = 9;
     lr.commands = {42, 43, 44};
     writeSeed(dir, "lease_renew", lr.kType, lr.encode());
+
+    HeartbeatSummaryPayload hs;
+    hs.edge = 4;
+    hs.workers = {9, 10};
+    hs.counts = {2, 1};
+    hs.commands = {42, 43, 44};
+    writeSeed(dir, "heartbeat_summary", hs.kType, hs.encode());
+
+    // Hostile summary shapes: the per-worker counts must stay parallel
+    // to the worker list and tile the flattened command list exactly.
+    {
+        cop::BinaryWriter w;
+        w.write(std::int32_t(4));
+        w.write(std::uint64_t(2)); // two workers...
+        w.write(std::int32_t(9));
+        w.write(std::int32_t(10));
+        w.write(std::uint64_t(1)); // ...but one count
+        w.write(std::uint32_t(1));
+        w.write(std::uint64_t(1));
+        w.write(std::uint64_t(42));
+        writeSeed(dir, "summary_count_mismatch", hs.kType, w.takeBuffer());
+    }
+    {
+        cop::BinaryWriter w;
+        w.write(std::int32_t(4));
+        w.write(std::uint64_t(1));
+        w.write(std::int32_t(9));
+        w.write(std::uint64_t(1));
+        w.write(std::uint32_t(3)); // claims three commands...
+        w.write(std::uint64_t(2)); // ...two present
+        w.write(std::uint64_t(42));
+        w.write(std::uint64_t(43));
+        writeSeed(dir, "summary_tiling_mismatch", hs.kType, w.takeBuffer());
+    }
 
     NoWorkPayload nw;
     nw.worker = 9;

@@ -24,8 +24,25 @@ public:
     virtual net::SimTime now() const = 0;
 
     /// Queues a command. The framework fills in id, projectId and
-    /// projectServer; returns the assigned id.
+    /// projectServer; returns the assigned id. Bypasses admission control
+    /// (a controller reacting to a finished command must never deadlock
+    /// its own project on its quota).
     virtual CommandId submitCommand(CommandSpec spec) = 0;
+
+    /// Outcome of an admission-checked submission.
+    struct SubmitResult {
+        CommandId id = 0;        ///< 0 when rejected
+        bool admitted = true;
+        double retryAfter = 0.0; ///< suggested backoff when !admitted
+    };
+
+    /// Admission-checked variant of submitCommand: a submission over the
+    /// project's pending-depth or byte quota is rejected with a suggested
+    /// retry-after instead of being queued. Default forwards to
+    /// submitCommand (single-tenant contexts have no quotas).
+    virtual SubmitResult trySubmitCommand(CommandSpec spec) {
+        return SubmitResult{submitCommand(std::move(spec)), true, 0.0};
+    }
 
     /// Number of commands of this project not yet finished.
     virtual std::size_t outstandingCommands() const = 0;

@@ -11,6 +11,9 @@ Client::Client(net::OverlayNetwork& network, std::string name,
             const auto* reply = std::get_if<ClientResponsePayload>(&env.payload);
             if (!reply) return;
             lastStatus_ = reply->text;
+            lastAccepted_ = reply->accepted;
+            lastRetryAfter_ = reply->retryAfterSeconds;
+            if (!reply->accepted) ++shed_;
             ++responses_;
         });
 }

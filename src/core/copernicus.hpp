@@ -38,6 +38,12 @@ public:
 
     const std::string& lastStatus() const { return lastStatus_; }
     std::size_t responsesReceived() const { return responses_; }
+    /// False when the last response was load-shed by admission control;
+    /// lastRetryAfter() then carries the server's suggested backoff.
+    bool lastAccepted() const { return lastAccepted_; }
+    double lastRetryAfter() const { return lastRetryAfter_; }
+    /// Responses rejected by admission control so far.
+    std::size_t responsesShed() const { return shed_; }
     /// The client's typed endpoint (benches attach latency observers).
     wire::Endpoint& endpoint() { return endpoint_; }
 
@@ -47,6 +53,9 @@ private:
     wire::Endpoint endpoint_;
     std::string lastStatus_;
     std::size_t responses_ = 0;
+    std::size_t shed_ = 0;
+    bool lastAccepted_ = true;
+    double lastRetryAfter_ = 0.0;
 };
 
 /// Canonical link presets (order-of-magnitude values from the paper's

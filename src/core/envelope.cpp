@@ -38,6 +38,8 @@ std::optional<AnyPayload> decodePayload(const net::Message& msg) {
             return ClientRequestPayload::decode(msg.payload);
         case MessageType::ClientResponse:
             return ClientResponsePayload::decode(msg.payload);
+        case MessageType::HeartbeatSummary:
+            return HeartbeatSummaryPayload::decode(msg.payload);
         case MessageType::Ack:
             return AckPayload::decode(msg.payload);
         case MessageType::Batch:

@@ -35,8 +35,8 @@ using AnyPayload =
     std::variant<WorkloadRequestPayload, WorkloadAssignPayload,
                  HeartbeatPayload, CheckpointPayload, CommandOutputPayload,
                  WorkerFailedPayload, LeaseRenewPayload, NoWorkPayload,
-                 ClientRequestPayload, ClientResponsePayload, AckPayload,
-                 BatchPayload>;
+                 ClientRequestPayload, ClientResponsePayload,
+                 HeartbeatSummaryPayload, AckPayload, BatchPayload>;
 
 /// A decoded incoming message.
 struct Envelope {

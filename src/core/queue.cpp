@@ -23,6 +23,7 @@ void CommandQueue::push(CommandSpec cmd) {
 void CommandQueue::insertPending(CommandSpec cmd, std::int64_t seq) {
     auto& bucket = buckets_[cmd.executable];
     bucket.byCores.insert(CoreKey{cmd.priority, cmd.preferredCores, seq});
+    pendingBytes_ += cmd.input.size();
     bucket.byKey.emplace(Key{cmd.priority, seq}, std::move(cmd));
     ++pendingCount_;
 }
@@ -45,6 +46,7 @@ CommandSpec CommandQueue::take(Bucket& bucket,
         CoreKey{it->first.priority, spec.preferredCores, it->first.seq});
     bucket.byKey.erase(it);
     --pendingCount_;
+    pendingBytes_ -= spec.input.size();
     inFlight_[spec.id] = InFlight{spec, worker};
     return spec;
 }

@@ -68,6 +68,8 @@ public:
     void push(CommandSpec cmd);
 
     std::size_t pendingCount() const { return pendingCount_; }
+    /// Sum of input-payload bytes over pending commands (admission quotas).
+    std::size_t pendingBytes() const { return pendingBytes_; }
     std::size_t inFlightCount() const { return inFlight_.size(); }
     bool empty() const { return pendingCount_ == 0; }
 
@@ -157,6 +159,7 @@ private:
     std::map<CommandId, InFlight> inFlight_;
     std::unordered_set<CommandId> knownIds_; ///< pending + in flight
     std::size_t pendingCount_ = 0;
+    std::size_t pendingBytes_ = 0; ///< input bytes across pending commands
     std::int64_t nextSeq_ = 0;  ///< push order (increasing)
     std::int64_t headSeq_ = -1; ///< requeue-to-head order (decreasing)
     mutable SchedulerStats stats_; ///< mutable: const probes count too

@@ -23,9 +23,25 @@ public:
         spec.projectServer = server_->id();
         const CommandId cid = spec.id;
         server_->projects_.at(id_).outstanding.insert(cid);
-        server_->queue_.push(std::move(spec));
+        // Controller reactions to finished commands must never deadlock on
+        // the project's own quota: plain submits bypass admission.
+        server_->scheduler_.push(id_, std::move(spec), /*force=*/true);
         server_->scheduleServiceWaiting();
         return cid;
+    }
+
+    SubmitResult trySubmitCommand(CommandSpec spec) override {
+        spec.id = server_->nextCommandId();
+        spec.projectId = id_;
+        spec.projectServer = server_->id();
+        const CommandId cid = spec.id;
+        const auto decision =
+            server_->scheduler_.push(id_, std::move(spec), /*force=*/false);
+        if (!decision.admitted)
+            return SubmitResult{0, false, decision.retryAfter};
+        server_->projects_.at(id_).outstanding.insert(cid);
+        server_->scheduleServiceWaiting();
+        return SubmitResult{cid, true, 0.0};
     }
 
     std::size_t outstandingCommands() const override {
@@ -44,6 +60,7 @@ Server::Server(net::OverlayNetwork& network, std::string name,
     COP_REQUIRE(config.heartbeatInterval > 0.0, "bad heartbeat interval");
     COP_REQUIRE(config.failureMultiplier >= 1.0, "bad failure multiplier");
     COP_REQUIRE(config.leaseMultiplier >= 1.0, "bad lease multiplier");
+    COP_REQUIRE(config.summaryWindow >= 0.0, "bad summary window");
     endpoint_.onEnvelope(
         [this](const wire::Envelope& env, const net::Message& msg) {
             handleEnvelope(env, msg);
@@ -60,18 +77,32 @@ void Server::addPeer(net::NodeId peer) {
         peers_.push_back(peer);
 }
 
-ProjectId Server::createProject(std::string name,
+ProjectId Server::createProject(ProjectSpec spec,
                                 std::unique_ptr<Controller> controller) {
     COP_REQUIRE(controller != nullptr, "project needs a controller");
     const ProjectId id = nextProjectId_++;
+    TenantConfig tenant;
+    tenant.weight = spec.weight;
+    tenant.claimPolicy = spec.claimPolicy.value_or(config_.claimPolicy);
+    tenant.maxPendingCommands = spec.maxPendingCommands;
+    tenant.maxPendingBytes = spec.maxPendingBytes;
+    tenant.admissionRetryAfter = spec.admissionRetryAfter;
+    scheduler_.addTenant(id, tenant);
     ProjectEntry entry;
-    entry.name = std::move(name);
+    entry.name = std::move(spec.name);
     entry.controller = std::move(controller);
     entry.context = std::make_unique<ContextImpl>(*this, id);
     auto [it, inserted] = projects_.emplace(id, std::move(entry));
     COP_ENSURE(inserted, "duplicate project id");
     it->second.controller->onProjectStart(*it->second.context);
     return id;
+}
+
+ProjectId Server::createProject(std::string name,
+                                std::unique_ptr<Controller> controller) {
+    ProjectSpec spec;
+    spec.name = std::move(name);
+    return createProject(std::move(spec), std::move(controller));
 }
 
 bool Server::projectDone(ProjectId id) const {
@@ -92,6 +123,28 @@ std::string Server::projectStatus(ProjectId id) const {
 
 Controller& Server::projectController(ProjectId id) {
     return *projects_.at(id).controller;
+}
+
+ServerMetrics Server::metricsSnapshot() const {
+    ServerMetrics m;
+    m.server = stats_;
+    m.scheduler = scheduler_.stats();
+    m.wire = endpoint_.stats();
+    m.tenants.reserve(projects_.size());
+    for (const auto& [pid, entry] : projects_) {
+        TenantMetrics t;
+        t.id = pid;
+        t.name = entry.name;
+        t.config = scheduler_.tenantConfig(pid);
+        t.counters = scheduler_.tenantStats(pid);
+        t.pending = scheduler_.pendingOf(pid);
+        t.pendingBytes = scheduler_.pendingBytesOf(pid);
+        t.inFlight = scheduler_.inFlightOf(pid);
+        t.outstanding = entry.outstanding.size();
+        t.done = entry.controller->isDone(*entry.context);
+        m.tenants.push_back(std::move(t));
+    }
+    return m;
 }
 
 CommandId Server::nextCommandId() {
@@ -117,6 +170,8 @@ void Server::handleEnvelope(const wire::Envelope& env,
                 handleWorkerFailed(payload);
             else if constexpr (std::is_same_v<T, LeaseRenewPayload>)
                 handleLeaseRenew(payload);
+            else if constexpr (std::is_same_v<T, HeartbeatSummaryPayload>)
+                handleHeartbeatSummary(payload);
             else if constexpr (std::is_same_v<T, ClientRequestPayload>)
                 handleClientRequest(payload, msg);
             else
@@ -129,15 +184,15 @@ void Server::handleEnvelope(const wire::Envelope& env,
 
 std::vector<CommandSpec> Server::claimFor(
     const WorkloadRequestPayload& request) {
-    auto claimed = queue_.claim(request.executables, request.cores,
-                                request.worker, config_.claimPolicy);
+    auto claimed =
+        scheduler_.claim(request.executables, request.cores, request.worker);
     std::vector<CommandSpec> fresh;
     fresh.reserve(claimed.size());
     for (auto& cmd : claimed) {
         if (completedCommands_.count(cmd.id) > 0) {
             // Stale re-execution of a command whose first run already
             // delivered its result (requeue raced with recovery).
-            queue_.complete(cmd.id);
+            scheduler_.complete(cmd.id);
             releaseLease(cmd.id);
             continue;
         }
@@ -181,10 +236,34 @@ void Server::handleWorkloadRequest(const WorkloadRequestPayload& request,
         return;
     }
     if (config_.parkRequests && hostsUnfinishedProject()) {
+        // Park-queue backpressure: a worker that already holds a parked
+        // slot may always refresh it, but beyond the cap new workers are
+        // bounced with an explicit retry-after instead of growing the
+        // queue (and the per-slot sweep cost) without bound.
+        const bool alreadyParked = std::any_of(
+            parkedRequests_.begin(), parkedRequests_.end(),
+            [&](const auto& p) { return p.worker == request.worker; });
+        if (!alreadyParked && config_.maxParkedRequests > 0 &&
+            parkedRequests_.size() >= config_.maxParkedRequests) {
+            ++stats_.parkRejections;
+            endpoint_.send(request.worker,
+                           NoWorkPayload{request.worker,
+                                         config_.parkRetryAfter});
+            return;
+        }
         parkRequest(std::move(fwd));
         return;
     }
     endpoint_.send(request.worker, NoWorkPayload{request.worker});
+}
+
+void Server::pruneParkedRequest(net::NodeId dead) {
+    const auto parkedEnd = std::remove_if(
+        parkedRequests_.begin(), parkedRequests_.end(),
+        [dead](const WorkloadRequestPayload& p) { return p.worker == dead; });
+    stats_.parkedRequestsDropped +=
+        std::uint64_t(parkedRequests_.end() - parkedEnd);
+    parkedRequests_.erase(parkedEnd, parkedRequests_.end());
 }
 
 void Server::parkRequest(WorkloadRequestPayload request) {
@@ -216,8 +295,16 @@ void Server::scheduleServiceWaiting() {
 }
 
 void Server::serviceWaitingRequests() {
+    if (parkedRequests_.empty()) return;
+    // Rotate the starting slot each pass: when fresh work only covers a
+    // few of the parked workers, the ones at the head of the list must not
+    // monopolize every refill (the claim itself is tenant-fair via DRR;
+    // this keeps it worker-fair too).
+    const std::size_t n = parkedRequests_.size();
+    const std::size_t start = unparkCursor_ % n;
     std::vector<WorkloadRequestPayload> stillParked;
-    for (auto& request : parkedRequests_) {
+    for (std::size_t k = 0; k < n; ++k) {
+        auto& request = parkedRequests_[(start + k) % n];
         auto claimed = claimFor(request);
         if (!claimed.empty()) {
             stats_.commandsAssigned += claimed.size();
@@ -231,6 +318,7 @@ void Server::serviceWaitingRequests() {
         }
     }
     parkedRequests_ = std::move(stillParked);
+    unparkCursor_ = start + 1;
 }
 
 void Server::handleCommandOutput(const CommandOutputPayload& payload) {
@@ -256,12 +344,12 @@ void Server::dispatchResult(CommandResult result) {
         // A requeued copy of this command also ran to completion; the
         // first result won. Clear any in-flight record so the re-execution
         // does not linger (and its lease with it).
-        queue_.complete(result.commandId);
+        scheduler_.complete(result.commandId);
         releaseLease(result.commandId);
         ++stats_.duplicateResultsDropped;
         return;
     }
-    auto spec = queue_.complete(result.commandId);
+    auto spec = scheduler_.complete(result.commandId);
     releaseLease(result.commandId);
     auto& entry = projects_.at(result.projectId);
     entry.outstanding.erase(result.commandId);
@@ -283,10 +371,12 @@ void Server::handleHeartbeat(const HeartbeatPayload& hb) {
     rec.lastPayload = hb;
     ensureSweepScheduled();
 
-    // Renew leases: locally for commands we host, via LeaseRenew towards
-    // remote project servers (heartbeats themselves never leave the
-    // closest server, paper §2.3).
-    std::map<net::NodeId, LeaseRenewPayload> remote;
+    // Renew leases: locally for commands we host; renewals towards remote
+    // project servers are buffered and flushed as one HeartbeatSummary
+    // digest per server per aggregation window (heartbeats themselves
+    // never leave the closest server, paper §2.3 — and with aggregation,
+    // neither does a per-heartbeat renewal message).
+    std::map<net::NodeId, std::vector<CommandId>> remote;
     for (std::size_t i = 0; i < hb.running.size(); ++i) {
         const net::NodeId ps = i < hb.projectServers.size()
                                    ? hb.projectServers[i]
@@ -294,13 +384,57 @@ void Server::handleHeartbeat(const HeartbeatPayload& hb) {
         if (ps == id()) {
             renewLease(hb.running[i], hb.worker);
         } else if (ps != net::kInvalidNode) {
-            auto& renew = remote[ps];
-            renew.worker = hb.worker;
-            renew.commands.push_back(hb.running[i]);
+            remote[ps].push_back(hb.running[i]);
         }
     }
-    for (auto& [ps, renew] : remote)
-        endpoint_.send(ps, renew, /*reliable=*/false);
+    for (auto& [ps, commands] : remote)
+        bufferLeaseRenewals(ps, hb.worker, std::move(commands));
+}
+
+void Server::bufferLeaseRenewals(net::NodeId projectServer,
+                                 net::NodeId worker,
+                                 std::vector<CommandId> commands) {
+    if (commands.empty()) return;
+    stats_.leaseRenewalsAggregated += commands.size();
+    // A newer heartbeat supersedes the older one within the window: the
+    // flush renews each lease once either way.
+    summaryBuffers_[projectServer][worker] = std::move(commands);
+    ensureSummaryFlushScheduled();
+}
+
+void Server::ensureSummaryFlushScheduled() {
+    if (summaryFlushScheduled_ || summaryBuffers_.empty()) return;
+    summaryFlushScheduled_ = true;
+    network_->loop().schedule(summaryWindow(),
+                              [this] { flushHeartbeatSummaries(); });
+}
+
+void Server::flushHeartbeatSummaries() {
+    summaryFlushScheduled_ = false;
+    for (auto& [ps, byWorker] : summaryBuffers_) {
+        if (byWorker.empty()) continue; // all renewers died this window
+        HeartbeatSummaryPayload summary;
+        summary.edge = id();
+        for (auto& [worker, commands] : byWorker) {
+            summary.workers.push_back(worker);
+            summary.counts.push_back(std::uint32_t(commands.size()));
+            summary.commands.insert(summary.commands.end(), commands.begin(),
+                                    commands.end());
+        }
+        ++stats_.heartbeatSummariesSent;
+        // Unreliable like the LeaseRenew it replaces: a lost digest is
+        // covered by the next window; leases span several windows.
+        endpoint_.send(ps, summary, /*reliable=*/false);
+    }
+    summaryBuffers_.clear();
+}
+
+void Server::handleHeartbeatSummary(const HeartbeatSummaryPayload& summary) {
+    ++stats_.heartbeatSummariesReceived;
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < summary.workers.size(); ++i)
+        for (std::uint32_t j = 0; j < summary.counts[i]; ++j, ++k)
+            renewLease(summary.commands[k], summary.workers[i]);
 }
 
 void Server::handleLeaseRenew(const LeaseRenewPayload& payload) {
@@ -313,7 +447,7 @@ void Server::handleCheckpoint(const CheckpointPayload& cp) {
     // If we host the project ourselves, feed the checkpoint straight into
     // the in-flight record; otherwise cache it for failure handoff.
     if (projects_.find(cp.projectId) != projects_.end()) {
-        queue_.updateCheckpoint(cp.commandId, cp.blob);
+        scheduler_.updateCheckpoint(cp.commandId, cp.blob);
         return;
     }
     checkpointCache_[cp.commandId] = cp;
@@ -322,13 +456,19 @@ void Server::handleCheckpoint(const CheckpointPayload& cp) {
 void Server::handleWorkerFailed(const WorkerFailedPayload& payload) {
     for (std::size_t i = 0; i < payload.commands.size(); ++i) {
         if (i < payload.checkpoints.size() && !payload.checkpoints[i].empty())
-            queue_.updateCheckpoint(payload.commands[i],
-                                    payload.checkpoints[i]);
+            scheduler_.updateCheckpoint(payload.commands[i],
+                                        payload.checkpoints[i]);
     }
-    const auto requeued = queue_.requeueWorker(payload.worker);
+    const auto requeued = scheduler_.requeueWorker(payload.worker);
     stats_.commandsRequeued += requeued.size();
     for (CommandId id : requeued) releaseLease(id);
-    if (!requeued.empty()) scheduleServiceWaiting();
+    if (!requeued.empty()) {
+        scheduleServiceWaiting();
+        // The worker died holding our commands; if it also held a parked
+        // long-poll slot here (request raced ahead of its final outputs),
+        // drop it — nobody will answer for a dead worker.
+        pruneParkedRequest(payload.worker);
+    }
     COP_LOG_INFO("server") << name() << ": worker "
                            << network_->node(payload.worker).name()
                            << " failed; requeued " << requeued.size()
@@ -344,6 +484,20 @@ void Server::handleClientRequest(const ClientRequestPayload& request,
     } else if (request.command.empty() || request.command == "status") {
         reply = projectStatus(request.projectId);
     } else {
+        // Control commands can fan out into fresh submissions; when the
+        // tenant is already over its admission quota the request is shed
+        // up front with a retry-after instead of reaching the controller.
+        const auto gate = scheduler_.admit(request.projectId, CommandSpec{});
+        if (!gate.admitted) {
+            ++stats_.clientRequestsShed;
+            ClientResponsePayload shed;
+            shed.text = "busy: project " + std::to_string(request.projectId) +
+                        " over admission quota";
+            shed.accepted = false;
+            shed.retryAfterSeconds = gate.retryAfter;
+            endpoint_.send(msg.source, shed);
+            return;
+        }
         // Control command: routed to the project's controller (dynamic
         // parameter changes, §3.2 "future versions").
         reply = it->second.controller->handleClientCommand(
@@ -362,9 +516,9 @@ void Server::handleDeliveryFailure(const net::Message& failed) {
     const auto& assign = std::get<WorkloadAssignPayload>(*decoded);
     std::size_t requeued = 0;
     for (const auto& cmd : assign.commands) {
-        const auto holder = queue_.holderOf(cmd.id);
+        const auto holder = scheduler_.holderOf(cmd.id);
         if (holder && *holder == failed.destination &&
-            queue_.requeueCommand(cmd.id)) {
+            scheduler_.requeueCommand(cmd.id)) {
             releaseLease(cmd.id);
             ++requeued;
         }
@@ -398,7 +552,7 @@ void Server::sweepLeases() {
     for (auto it = leases_.begin(); it != leases_.end();) {
         if (it->second.expires <= now) {
             ++stats_.leasesExpired;
-            if (queue_.requeueCommand(it->first)) ++requeued;
+            if (scheduler_.requeueCommand(it->first)) ++requeued;
             it = leases_.erase(it);
         } else {
             ++it;
@@ -424,6 +578,7 @@ void Server::sweepWorkers() {
     for (auto it = workers_.begin(); it != workers_.end();) {
         if (now - it->second.lastHeartbeat > deadline) {
             ++stats_.workersFailed;
+            const net::NodeId dead = it->first;
             const auto& hb = it->second.lastPayload;
             // Group the dead worker's commands by project server and send
             // each one a failure signal with our cached checkpoints.
@@ -434,7 +589,7 @@ void Server::sweepWorkers() {
                                            : net::kInvalidNode;
                 if (ps == net::kInvalidNode) continue;
                 auto& p = perServer[ps];
-                p.worker = it->first;
+                p.worker = dead;
                 p.commands.push_back(hb.running[i]);
                 auto cpIt = checkpointCache_.find(hb.running[i]);
                 // Shares the cached buffer into the payload — no copy.
@@ -442,14 +597,16 @@ void Server::sweepWorkers() {
                                             ? cpIt->second.blob
                                             : SharedBytes{});
             }
+            std::size_t requeuedFromDead = 0;
             for (auto& [ps, payload] : perServer) {
                 if (ps == id()) {
                     // We host the project: requeue directly.
                     for (std::size_t i = 0; i < payload.commands.size(); ++i)
                         if (!payload.checkpoints[i].empty())
-                            queue_.updateCheckpoint(payload.commands[i],
-                                                    payload.checkpoints[i]);
-                    const auto requeued = queue_.requeueWorker(it->first);
+                            scheduler_.updateCheckpoint(payload.commands[i],
+                                                        payload.checkpoints[i]);
+                    const auto requeued = scheduler_.requeueWorker(dead);
+                    requeuedFromDead += requeued.size();
                     stats_.commandsRequeued += requeued.size();
                     for (CommandId cid : requeued) releaseLease(cid);
                     if (!requeued.empty()) scheduleServiceWaiting();
@@ -459,10 +616,24 @@ void Server::sweepWorkers() {
             }
             // If the worker ran commands we host but never heartbeated them
             // (edge case), requeue those too.
-            const auto extra = queue_.requeueWorker(it->first);
+            const auto extra = scheduler_.requeueWorker(dead);
+            requeuedFromDead += extra.size();
             stats_.commandsRequeued += extra.size();
             for (CommandId cid : extra) releaseLease(cid);
             if (!extra.empty()) scheduleServiceWaiting();
+            // Drop the dead worker's parked request — but only when the
+            // scheduler still attributed in-flight commands to it: dying
+            // mid-run is real evidence of death, and without the prune the
+            // park queue leaks one entry per such worker. An *idle* parked
+            // worker is legitimately silent (no heartbeats without running
+            // commands, and its last heartbeat may still list commands that
+            // since completed); its park slot is the long-poll contract and
+            // must survive the liveness sweep.
+            if (requeuedFromDead > 0) pruneParkedRequest(dead);
+            // And its buffered lease renewals: renewing on behalf of a
+            // worker we just declared dead would only delay recovery.
+            for (auto& [ps, byWorker] : summaryBuffers_)
+                byWorker.erase(dead);
             it = workers_.erase(it);
         } else {
             ++it;

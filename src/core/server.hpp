@@ -4,17 +4,23 @@
 /// A Copernicus server (paper §2): all servers run identical code; their
 /// role (project server vs. network relay) is determined solely by their
 /// connectivity and whether they hold projects. A server:
-///   - maintains a command queue for the projects it hosts,
-///   - matches workload requests against that queue, forwarding requests
+///   - maintains a per-tenant sharded scheduling plane for the projects it
+///     hosts (one CommandQueue shard per project, weighted fair-share
+///     claim across them — see core/scheduler.hpp),
+///   - matches workload requests against those shards, forwarding requests
 ///     it cannot satisfy to peer servers ("first server with available
 ///     commands"),
+///   - applies per-tenant admission control: submissions over a project's
+///     pending-depth or byte quota are rejected with a retry-after hint
+///     instead of growing the backlog without bound,
 ///   - monitors worker heartbeats and signals failures to project servers,
 ///   - caches worker checkpoints so commands can transparently continue on
 ///     another worker after a failure,
 ///   - holds a lease on every assigned command, renewed by heartbeats
-///     (directly, or via LeaseRenew relayed by the worker's closest
-///     server); an expired lease requeues the command from its newest
-///     checkpoint — the backstop when failure signals themselves are lost,
+///     (directly, or — batched into HeartbeatSummary digests per
+///     aggregation window — towards remote project servers); an expired
+///     lease requeues the command from its newest checkpoint — the
+///     backstop when failure signals themselves are lost,
 ///   - dispatches controller plugin events as command output arrives.
 ///
 /// All messaging goes through a typed wire::Endpoint: payload structs in
@@ -22,13 +28,14 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "core/controller.hpp"
 #include "core/envelope.hpp"
-#include "core/queue.hpp"
+#include "core/scheduler.hpp"
 #include "core/wire.hpp"
 #include "net/overlay.hpp"
 
@@ -52,15 +59,43 @@ struct ServerConfig {
     /// on servers hosting unfinished projects; elsewhere the worker falls
     /// back to polling.
     bool parkRequests = true;
-    /// How the scheduler assembles workloads from matching commands:
-    /// FirstFit preserves strict arrival order within a priority level;
-    /// LargestFit bin-packs the worker's core offer (largest request
-    /// first) for higher utilization on heterogeneous commands.
+    /// Backpressure on the park queue: beyond this many parked workers new
+    /// requests are answered NoWork with `parkRetryAfter` instead of
+    /// parked. 0 = unlimited.
+    std::size_t maxParkedRequests = 0;
+    /// Suggested worker backoff when the park queue rejects a request.
+    double parkRetryAfter = 15.0;
+    /// Per-tenant *default* claim policy: projects created without an
+    /// explicit ProjectSpec::claimPolicy inherit this. FirstFit preserves
+    /// strict arrival order within a priority level; LargestFit bin-packs
+    /// the worker's core offer (largest request first).
     ClaimPolicy claimPolicy = ClaimPolicy::FirstFit;
+    /// Window over which lease renewals towards remote project servers are
+    /// aggregated into one HeartbeatSummary digest per server (paper §2.3
+    /// pushed further: heartbeats are summarized, never forwarded).
+    /// 0 = heartbeatInterval / 4. Must stay well under
+    /// (leaseMultiplier - 1) heartbeat intervals or remote leases would
+    /// expire while their renewals sit in the buffer.
+    double summaryWindow = 0.0;
     /// Ack/retransmit policy for reliable sends.
     wire::RetryPolicy rpc;
     /// Transmit coalescing + ack piggybacking (enabled by default).
     wire::BatchPolicy batch;
+};
+
+/// Scheduling contract of one hosted project (satellite of the tenant
+/// plane): everything createProject needs beyond the controller itself.
+struct ProjectSpec {
+    std::string name;
+    /// Fair-share weight across this server's tenants (DRR).
+    double weight = 1.0;
+    /// Per-tenant claim policy; unset = ServerConfig::claimPolicy.
+    std::optional<ClaimPolicy> claimPolicy;
+    /// Admission quotas (0 = unlimited), and the retry-after hint handed
+    /// to rejected submitters.
+    std::size_t maxPendingCommands = 0;
+    std::size_t maxPendingBytes = 0;
+    double admissionRetryAfter = 30.0;
 };
 
 struct ServerStats {
@@ -74,6 +109,41 @@ struct ServerStats {
     std::uint64_t heartbeatsReceived = 0;
     std::uint64_t duplicateResultsDropped = 0; ///< re-executions ignored
     std::uint64_t leasesExpired = 0;
+    /// Parked requests discarded because their worker was declared dead
+    /// before any work arrived (the park-queue leak fix).
+    std::uint64_t parkedRequestsDropped = 0;
+    /// Requests bounced with a retry-after because the park queue was full.
+    std::uint64_t parkRejections = 0;
+    /// Client control commands load-shed by admission control.
+    std::uint64_t clientRequestsShed = 0;
+    // --- Heartbeat/lease aggregation -------------------------------------
+    std::uint64_t heartbeatSummariesSent = 0;
+    std::uint64_t heartbeatSummariesReceived = 0;
+    /// Individual lease renewals that rode a summary instead of paying
+    /// their own LeaseRenew message.
+    std::uint64_t leaseRenewalsAggregated = 0;
+};
+
+/// Point-in-time metrics of one tenant (project) on this server.
+struct TenantMetrics {
+    ProjectId id = 0;
+    std::string name;
+    TenantConfig config;
+    TenantCounters counters;
+    std::size_t pending = 0;
+    std::size_t pendingBytes = 0;
+    std::size_t inFlight = 0;
+    std::size_t outstanding = 0; ///< submitted, not yet finished
+    bool done = false;
+};
+
+/// One-call metrics surface consolidating the former stats() /
+/// schedulerStats() / wireStats() triple plus the per-tenant breakdown.
+struct ServerMetrics {
+    ServerStats server;
+    SchedulerStats scheduler; ///< aggregated over every shard
+    wire::EndpointStats wire;
+    std::vector<TenantMetrics> tenants;
 };
 
 class Server {
@@ -90,8 +160,14 @@ public:
     /// (Connectivity itself is established via OverlayNetwork::connect.)
     void addPeer(net::NodeId peer);
 
-    /// Creates a project hosted on this server. The controller's
+    /// Creates a project hosted on this server with an explicit scheduling
+    /// contract (weight, claim policy, admission quotas). The controller's
     /// onProjectStart fires immediately.
+    ProjectId createProject(ProjectSpec spec,
+                            std::unique_ptr<Controller> controller);
+    /// Convenience wrapper: default contract (weight 1, server-default
+    /// claim policy, no quotas). Kept so pre-tenancy callers compile
+    /// unchanged.
     ProjectId createProject(std::string name,
                             std::unique_ptr<Controller> controller);
 
@@ -101,11 +177,17 @@ public:
     std::string projectStatus(ProjectId id) const;
     Controller& projectController(ProjectId id);
 
-    const CommandQueue& queue() const { return queue_; }
+    /// The sharded scheduling plane (tests/benches introspect shards and
+    /// per-tenant counters through it).
+    const ShardedScheduler& scheduler() const { return scheduler_; }
+
+    /// Consolidated point-in-time metrics with per-tenant breakdown. The
+    /// three accessors below are const views over its components, kept for
+    /// callers that only need one slice.
+    ServerMetrics metricsSnapshot() const;
     const ServerStats& stats() const { return stats_; }
-    /// Scheduler hot-path counters (pushes, claims, scan lengths,
-    /// checkpoint bytes shared instead of copied).
-    const SchedulerStats& schedulerStats() const { return queue_.stats(); }
+    /// Scheduler hot-path counters summed over every tenant shard.
+    const SchedulerStats& schedulerStats() const { return scheduler_.stats(); }
     /// Wire-layer counters (retransmits, acks, duplicates dropped,
     /// batching/flush breakdown).
     const wire::EndpointStats& wireStats() const { return endpoint_.stats(); }
@@ -141,6 +223,7 @@ private:
     void handleCheckpoint(const CheckpointPayload& cp);
     void handleWorkerFailed(const WorkerFailedPayload& payload);
     void handleLeaseRenew(const LeaseRenewPayload& payload);
+    void handleHeartbeatSummary(const HeartbeatSummaryPayload& summary);
     void handleClientRequest(const ClientRequestPayload& request,
                              const net::Message& msg);
     void handleDeliveryFailure(const net::Message& failed);
@@ -154,6 +237,8 @@ private:
     /// that already completed, and grants leases for the assignment.
     std::vector<CommandSpec> claimFor(const WorkloadRequestPayload& request);
     void parkRequest(WorkloadRequestPayload request);
+    /// Removes a dead worker's parked long-poll slot (and counts the drop).
+    void pruneParkedRequest(net::NodeId dead);
 
     void grantLease(CommandId id, net::NodeId worker);
     void renewLease(CommandId id, net::NodeId worker);
@@ -171,13 +256,24 @@ private:
     void scheduleServiceWaiting();
     void serviceWaitingRequests();
 
+    /// Buffers a worker's lease renewals towards a remote project server
+    /// for the current aggregation window.
+    void bufferLeaseRenewals(net::NodeId projectServer, net::NodeId worker,
+                             std::vector<CommandId> commands);
+    void ensureSummaryFlushScheduled();
+    void flushHeartbeatSummaries();
+    double summaryWindow() const {
+        return config_.summaryWindow > 0.0 ? config_.summaryWindow
+                                           : config_.heartbeatInterval / 4.0;
+    }
+
     CommandId nextCommandId();
 
     net::OverlayNetwork* network_;
     net::Node node_;
     wire::Endpoint endpoint_;
     ServerConfig config_;
-    CommandQueue queue_;
+    ShardedScheduler scheduler_;
     std::vector<net::NodeId> peers_;
     std::map<ProjectId, ProjectEntry> projects_;
     std::map<net::NodeId, WorkerRecord> workers_;
@@ -187,11 +283,20 @@ private:
     std::set<CommandId> completedCommands_;
     ServerStats stats_;
     std::vector<WorkloadRequestPayload> parkedRequests_;
+    /// Start offset into parkedRequests_ for the next service pass, so
+    /// repeated partial refills round-robin over parked workers instead of
+    /// always feeding the head of the list first.
+    std::size_t unparkCursor_ = 0;
+    /// Lease renewals buffered per remote project server, grouped by
+    /// worker, awaiting the next summary flush.
+    std::map<net::NodeId, std::map<net::NodeId, std::vector<CommandId>>>
+        summaryBuffers_;
     ProjectId nextProjectId_ = 1;
     std::uint64_t commandCounter_ = 0;
     bool sweepScheduled_ = false;
     bool leaseSweepScheduled_ = false;
     bool servicePending_ = false;
+    bool summaryFlushScheduled_ = false;
 };
 
 } // namespace cop::core

@@ -153,11 +153,15 @@ LeaseRenewPayload LeaseRenewPayload::deserialize(BinaryReader& r) {
 
 void NoWorkPayload::serialize(BinaryWriter& w) const {
     w.write(std::int32_t(worker));
+    w.write(retryAfterSeconds);
 }
 
 NoWorkPayload NoWorkPayload::deserialize(BinaryReader& r) {
     NoWorkPayload p;
     p.worker = r.read<std::int32_t>();
+    p.retryAfterSeconds = r.read<double>();
+    if (!(p.retryAfterSeconds >= 0.0)) // also rejects NaN
+        throw IoError("negative or NaN retry-after in NoWork payload");
     return p;
 }
 
@@ -175,11 +179,55 @@ ClientRequestPayload ClientRequestPayload::deserialize(BinaryReader& r) {
 
 void ClientResponsePayload::serialize(BinaryWriter& w) const {
     w.write(text);
+    w.write(std::uint8_t(accepted ? 1 : 0));
+    w.write(retryAfterSeconds);
 }
 
 ClientResponsePayload ClientResponsePayload::deserialize(BinaryReader& r) {
     ClientResponsePayload p;
     p.text = r.readString();
+    p.accepted = r.read<std::uint8_t>() != 0;
+    p.retryAfterSeconds = r.read<double>();
+    if (!(p.retryAfterSeconds >= 0.0)) // also rejects NaN
+        throw IoError("negative or NaN retry-after in ClientResponse payload");
+    return p;
+}
+
+void HeartbeatSummaryPayload::serialize(BinaryWriter& w) const {
+    w.write(std::int32_t(edge));
+    w.write(std::uint64_t(workers.size()));
+    for (auto id : workers) w.write(std::int32_t(id));
+    w.write(std::uint64_t(counts.size()));
+    for (auto c : counts) w.write(c);
+    w.write(std::uint64_t(commands.size()));
+    for (auto id : commands) w.write(id);
+}
+
+HeartbeatSummaryPayload HeartbeatSummaryPayload::deserialize(BinaryReader& r) {
+    HeartbeatSummaryPayload p;
+    p.edge = r.read<std::int32_t>();
+    const auto nw = r.readCount(4);
+    for (std::uint64_t i = 0; i < nw; ++i)
+        p.workers.push_back(r.read<std::int32_t>());
+    const auto nc = r.readCount(4);
+    if (nc != nw)
+        throw IoError("heartbeat summary: " + std::to_string(nw) +
+                      " workers but " + std::to_string(nc) + " counts");
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < nc; ++i) {
+        p.counts.push_back(r.read<std::uint32_t>());
+        total += p.counts.back();
+    }
+    const auto nk = r.readCount(8);
+    // The per-worker grouping must tile the flattened command list
+    // exactly; a mismatch means a corrupt (or hostile) summary and the
+    // whole digest is rejected rather than mis-attributed.
+    if (total != nk)
+        throw IoError("heartbeat summary: counts sum to " +
+                      std::to_string(total) + " but " + std::to_string(nk) +
+                      " commands present");
+    for (std::uint64_t i = 0; i < nk; ++i)
+        p.commands.push_back(r.read<std::uint64_t>());
     return p;
 }
 
@@ -273,14 +321,19 @@ std::size_t LeaseRenewPayload::encodedSize() const {
     return 4 + 8 + 8 * commands.size();
 }
 
-std::size_t NoWorkPayload::encodedSize() const { return 4; }
+std::size_t NoWorkPayload::encodedSize() const { return 4 + 8; }
 
 std::size_t ClientRequestPayload::encodedSize() const {
     return 8 + 8 + command.size();
 }
 
 std::size_t ClientResponsePayload::encodedSize() const {
-    return 8 + text.size();
+    return 8 + text.size() + 1 + 8;
+}
+
+std::size_t HeartbeatSummaryPayload::encodedSize() const {
+    return 4 + 8 + 4 * workers.size() + 8 + 4 * counts.size() + 8 +
+           8 * commands.size();
 }
 
 std::size_t AckPayload::encodedSize() const { return 8; }
@@ -308,6 +361,7 @@ COP_WIRE_WHOLE(LeaseRenewPayload)
 COP_WIRE_WHOLE(NoWorkPayload)
 COP_WIRE_WHOLE(ClientRequestPayload)
 COP_WIRE_WHOLE(ClientResponsePayload)
+COP_WIRE_WHOLE(HeartbeatSummaryPayload)
 COP_WIRE_WHOLE(AckPayload)
 COP_WIRE_WHOLE(BatchPayload)
 

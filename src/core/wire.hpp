@@ -129,11 +129,14 @@ struct LeaseRenewPayload {
     static LeaseRenewPayload decode(std::span<const std::uint8_t> data);
 };
 
-/// Negative response to a workload request (no commands anywhere).
+/// Negative response to a workload request (no commands anywhere), or a
+/// backpressure signal: retryAfterSeconds > 0 asks the worker to hold its
+/// next poll at least that long (park queue full, admission pressure).
 struct NoWorkPayload {
     static constexpr net::MessageType kType = net::MessageType::NoWorkAvailable;
 
     net::NodeId worker = net::kInvalidNode; ///< the requester being answered
+    double retryAfterSeconds = 0.0; ///< 0 = poll at the worker's own backoff
 
     void serialize(BinaryWriter& w) const;
     static NoWorkPayload deserialize(BinaryReader& r);
@@ -160,12 +163,39 @@ struct ClientResponsePayload {
     static constexpr net::MessageType kType = net::MessageType::ClientResponse;
 
     std::string text;
+    /// False when the request was load-shed by admission control; the
+    /// client should back off retryAfterSeconds before resubmitting.
+    bool accepted = true;
+    double retryAfterSeconds = 0.0;
 
     void serialize(BinaryWriter& w) const;
     static ClientResponsePayload deserialize(BinaryReader& r);
     std::vector<std::uint8_t> encode() const;
     std::size_t encodedSize() const; ///< exact wire size, for reserve()
     static ClientResponsePayload decode(std::span<const std::uint8_t> data);
+};
+
+/// An edge server's aggregated heartbeat digest towards one project
+/// server: instead of relaying a LeaseRenew per heartbeat, the edge
+/// accumulates renewals across its workers and flushes one summary per
+/// aggregation window (paper §2.3 pushed further: heartbeats are
+/// *summarized*, never forwarded). `counts[i]` commands in the flattened
+/// `commands` list belong to `workers[i]`; decode validates that the
+/// counts sum to exactly `commands.size()`.
+struct HeartbeatSummaryPayload {
+    static constexpr net::MessageType kType =
+        net::MessageType::HeartbeatSummary;
+
+    net::NodeId edge = net::kInvalidNode; ///< aggregating edge server
+    std::vector<net::NodeId> workers;
+    std::vector<std::uint32_t> counts; ///< parallel to `workers`
+    std::vector<CommandId> commands;   ///< flattened, grouped by worker
+
+    void serialize(BinaryWriter& w) const;
+    static HeartbeatSummaryPayload deserialize(BinaryReader& r);
+    std::vector<std::uint8_t> encode() const;
+    std::size_t encodedSize() const; ///< exact wire size, for reserve()
+    static HeartbeatSummaryPayload decode(std::span<const std::uint8_t> data);
 };
 
 /// One coalesced sub-envelope inside a Batch frame: the fields of the

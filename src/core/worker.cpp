@@ -51,6 +51,7 @@ void Worker::failAfter(double delay) {
 void Worker::requestWork() {
     if (!alive_ || draining_ || requestPending_) return;
     requestPending_ = true;
+    requestSentAt_ = network_->loop().now();
     ++stats_.workloadRequestsSent;
     WorkloadRequestPayload req;
     req.worker = id();
@@ -70,6 +71,9 @@ void Worker::handleEnvelope(const wire::Envelope& env) {
         [&](const auto& payload) {
             using T = std::decay_t<decltype(payload)>;
             if constexpr (std::is_same_v<T, WorkloadAssignPayload>) {
+                if (requestPending_ && assignLatencyObserver_)
+                    assignLatencyObserver_(network_->loop().now() -
+                                           requestSentAt_);
                 requestPending_ = false;
                 pollAttempt_ = 0;
                 handleAssignment(payload);
@@ -77,10 +81,15 @@ void Worker::handleEnvelope(const wire::Envelope& env) {
                 requestPending_ = false;
                 // The queue was empty everywhere; retry after a backoff
                 // (this is the "no more than 30 seconds per day" wait of
-                // §4, now with jitter so idle fleets desynchronize).
+                // §4, now with jitter so idle fleets desynchronize). A
+                // server retry-after hint (park-queue/admission
+                // backpressure) is honored as a floor on the delay.
                 ++stats_.pollRetries;
-                const double delay =
-                    config_.pollBackoff.delay(pollAttempt_++, rng_);
+                double delay = config_.pollBackoff.delay(pollAttempt_++, rng_);
+                if (payload.retryAfterSeconds > delay) {
+                    ++stats_.backpressureDeferrals;
+                    delay = payload.retryAfterSeconds;
+                }
                 network_->loop().schedule(delay, [this] { requestWork(); });
             } else {
                 COP_LOG_WARN("worker")

@@ -14,6 +14,7 @@
 /// backoff; and if its server becomes unreachable the worker fails over
 /// to the next configured fallback server.
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -47,6 +48,9 @@ struct WorkerStats {
     std::uint64_t heartbeatsSent = 0;
     std::uint64_t checkpointsSent = 0;
     std::uint64_t pollRetries = 0;      ///< NoWorkAvailable backoffs taken
+    /// NoWork answers carrying a server retry-after hint (park-queue or
+    /// admission backpressure) that stretched our poll delay.
+    std::uint64_t backpressureDeferrals = 0;
     std::uint64_t serverFailovers = 0;  ///< switched to a fallback server
     std::uint64_t duplicateAssignmentsDropped = 0;
     double busySeconds = 0.0; ///< virtual seconds of command execution
@@ -78,6 +82,14 @@ public:
     /// Stops requesting new work after the current commands complete.
     void drain() { draining_ = true; }
 
+    /// Observer called with (sim-seconds between sending a workload
+    /// request and receiving its assignment) for every assignment that
+    /// answers an open request. Benches use it for claim-latency
+    /// percentiles.
+    void onAssignLatency(std::function<void(double)> observer) {
+        assignLatencyObserver_ = std::move(observer);
+    }
+
     /// Injects a crash `delay` seconds from now: the worker stops dead —
     /// no more heartbeats, checkpoints, results, acks or retransmits.
     void failAfter(double delay);
@@ -108,6 +120,8 @@ private:
     std::vector<net::NodeId> fallbackServers_;
     std::map<CommandId, Running> running_;
     WorkerStats stats_;
+    std::function<void(double)> assignLatencyObserver_;
+    double requestSentAt_ = 0.0; ///< for the assign-latency observer
     int pollAttempt_ = 0;
     bool alive_ = true;
     bool draining_ = false;

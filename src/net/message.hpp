@@ -27,6 +27,7 @@ enum class MessageType : std::uint8_t {
     // Server <-> server
     ProjectData,      ///< relayed command output towards the project server
     NoWorkAvailable,  ///< negative response to a workload request
+                      ///  (may carry an admission retry-after hint)
     // Client <-> server
     ClientRequest,    ///< monitoring/control from the command line client
     ClientResponse,
@@ -34,11 +35,13 @@ enum class MessageType : std::uint8_t {
     Ack,              ///< end-to-end delivery acknowledgement
     LeaseRenew,       ///< closest server renews command leases for a worker
     Batch,            ///< coalesced sub-envelopes sharing one frame
+    HeartbeatSummary, ///< edge server's aggregated lease renewals (§2.3:
+                      ///  heartbeats are summarized, never forwarded)
 };
 
 /// Number of MessageType enumerators (keep in sync with the enum above;
 /// the fuzz harness and the Batch decode loop both gate on it).
-inline constexpr unsigned kMessageTypeCount = 15;
+inline constexpr unsigned kMessageTypeCount = 16;
 
 const char* messageTypeName(MessageType t);
 

@@ -42,6 +42,7 @@ const char* messageTypeName(MessageType t) {
     case MessageType::Ack: return "Ack";
     case MessageType::LeaseRenew: return "LeaseRenew";
     case MessageType::Batch: return "Batch";
+    case MessageType::HeartbeatSummary: return "HeartbeatSummary";
     }
     return "Unknown";
 }

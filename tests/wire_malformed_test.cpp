@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <new>
 #include <string>
 #include <vector>
@@ -114,6 +115,13 @@ std::vector<WireCase> allPayloadCases() {
     cresp.text = "9 commands pending";
     cases.push_back({"ClientResponse", cresp.kType, cresp.encode()});
 
+    HeartbeatSummaryPayload hs;
+    hs.edge = 4;
+    hs.workers = {9, 10};
+    hs.counts = {2, 1};
+    hs.commands = {42, 43, 44};
+    cases.push_back({"HeartbeatSummary", hs.kType, hs.encode()});
+
     AckPayload ack;
     ack.ackedMessageId = 1234;
     cases.push_back({"Ack", ack.kType, ack.encode()});
@@ -215,6 +223,100 @@ TEST(WireMalformed, HugeElementCountInsidePayloadIsRejected) {
     EXPECT_THROW(HeartbeatPayload::decode(bytes), IoError);
     EXPECT_FALSE(decodePayload(
         messageWith(net::MessageType::Heartbeat, std::move(bytes))));
+}
+
+// --- HeartbeatSummary digests ----------------------------------------------
+
+TEST(WireMalformed, HeartbeatSummaryRoundTripsFieldForField) {
+    HeartbeatSummaryPayload hs;
+    hs.edge = 4;
+    hs.workers = {9, 10, 11};
+    hs.counts = {1, 0, 2};
+    hs.commands = {42, 43, 44};
+    const auto bytes = hs.encode();
+    EXPECT_EQ(bytes.size(), hs.encodedSize());
+    const auto back = HeartbeatSummaryPayload::decode(bytes);
+    EXPECT_EQ(back.edge, hs.edge);
+    EXPECT_EQ(back.workers, hs.workers);
+    EXPECT_EQ(back.counts, hs.counts);
+    EXPECT_EQ(back.commands, hs.commands);
+}
+
+TEST(WireMalformed, HeartbeatSummaryRejectsWorkerCountMismatch) {
+    // Two workers but only one group count: the per-worker grouping no
+    // longer tiles, so the digest must be rejected, not mis-attributed.
+    BinaryWriter w;
+    w.write(std::int32_t(4));    // edge
+    w.write(std::uint64_t(2));   // 2 workers
+    w.write(std::int32_t(9));
+    w.write(std::int32_t(10));
+    w.write(std::uint64_t(1));   // ...but 1 count
+    w.write(std::uint32_t(1));
+    w.write(std::uint64_t(1));   // 1 command
+    w.write(std::uint64_t(42));
+    EXPECT_THROW(HeartbeatSummaryPayload::decode(w.buffer()), IoError);
+    EXPECT_FALSE(decodePayload(messageWith(
+        net::MessageType::HeartbeatSummary,
+        {w.buffer().begin(), w.buffer().end()})));
+}
+
+TEST(WireMalformed, HeartbeatSummaryRejectsCountsNotTilingCommands) {
+    BinaryWriter w;
+    w.write(std::int32_t(4));    // edge
+    w.write(std::uint64_t(1));   // 1 worker
+    w.write(std::int32_t(9));
+    w.write(std::uint64_t(1));   // 1 count...
+    w.write(std::uint32_t(3));   // ...claiming 3 commands
+    w.write(std::uint64_t(2));   // but only 2 present
+    w.write(std::uint64_t(42));
+    w.write(std::uint64_t(43));
+    EXPECT_THROW(HeartbeatSummaryPayload::decode(w.buffer()), IoError);
+}
+
+// --- Retry-after hints -----------------------------------------------------
+
+// Both retry-after carriers put the double last on the wire; a hostile
+// negative or NaN value must be rejected at decode (a NaN would otherwise
+// poison every backoff comparison downstream).
+TEST(WireMalformed, RetryAfterRejectsNegativeAndNan) {
+    const double hostile[] = {-1.0, -1e300,
+                              std::numeric_limits<double>::quiet_NaN()};
+    for (const double bad : hostile) {
+        SCOPED_TRACE("retryAfter = " + std::to_string(bad));
+
+        NoWorkPayload nw;
+        nw.worker = 9;
+        nw.retryAfterSeconds = 15.0;
+        auto nwBytes = nw.encode();
+        std::memcpy(nwBytes.data() + nwBytes.size() - 8, &bad, 8);
+        EXPECT_THROW(NoWorkPayload::decode(nwBytes), IoError);
+
+        ClientResponsePayload cr;
+        cr.text = "busy";
+        cr.accepted = false;
+        cr.retryAfterSeconds = 30.0;
+        auto crBytes = cr.encode();
+        std::memcpy(crBytes.data() + crBytes.size() - 8, &bad, 8);
+        EXPECT_THROW(ClientResponsePayload::decode(crBytes), IoError);
+    }
+}
+
+TEST(WireMalformed, RetryAfterRoundTripsThroughNoWorkAndClientResponse) {
+    NoWorkPayload nw;
+    nw.worker = 9;
+    nw.retryAfterSeconds = 12.5;
+    const auto nwBack = NoWorkPayload::decode(nw.encode());
+    EXPECT_EQ(nwBack.worker, 9);
+    EXPECT_DOUBLE_EQ(nwBack.retryAfterSeconds, 12.5);
+
+    ClientResponsePayload cr;
+    cr.text = "busy: over quota";
+    cr.accepted = false;
+    cr.retryAfterSeconds = 30.0;
+    const auto crBack = ClientResponsePayload::decode(cr.encode());
+    EXPECT_EQ(crBack.text, cr.text);
+    EXPECT_FALSE(crBack.accepted);
+    EXPECT_DOUBLE_EQ(crBack.retryAfterSeconds, 30.0);
 }
 
 TEST(WireMalformed, BadMagicAndTruncatedHeaderAreRejected) {

@@ -51,7 +51,7 @@ if [[ "$build_type" != "Release" && $allow_debug -ne 1 ]]; then
 fi
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_md micro_msm micro_sched \
-  macro_overlay
+  macro_overlay macro_tenancy
 
 simd_isa=$("$BUILD_DIR"/bench/micro_md --print-simd-isa)
 echo "build type: $build_type, detected SIMD ISA: $simd_isa"
@@ -85,6 +85,12 @@ echo "build type: $build_type, detected SIMD ISA: $simd_isa"
 # trickle, batched vs unbatched). Writes BENCH_macro_overlay.json itself.
 "$BUILD_DIR"/bench/macro_overlay
 
+# Multi-tenant scheduling-plane study (10k workers x 100 projects,
+# weighted DRR, admission, single-tenant parity). Must run after
+# macro_overlay: it reads BENCH_macro_overlay.json as the parity
+# baseline. Writes BENCH_macro_tenancy.json itself. Slow (~7 min).
+"$BUILD_DIR"/bench/macro_tenancy
+
 # Stamp build type + detected ISA into every JSON (micro_md carries them
 # natively via benchmark context; the others get them injected here so a
 # lone file is still self-describing).
@@ -94,7 +100,8 @@ import json, os
 stamp = {"cop_build_type": os.environ["COP_BUILD_TYPE"],
          "cop_simd_isa_detected": os.environ["COP_SIMD_ISA"]}
 for path in ("BENCH_micro_md.json", "BENCH_micro_msm.json",
-             "BENCH_micro_sched.json", "BENCH_macro_overlay.json"):
+             "BENCH_micro_sched.json", "BENCH_macro_overlay.json",
+             "BENCH_macro_tenancy.json"):
     try:
         with open(path) as f:
             d = json.load(f)
@@ -110,7 +117,7 @@ for path in ("BENCH_micro_md.json", "BENCH_micro_msm.json",
 EOF
 fi
 
-echo "Wrote BENCH_micro_md.json, BENCH_micro_msm.json, BENCH_micro_sched.json and BENCH_macro_overlay.json"
+echo "Wrote BENCH_micro_md.json, BENCH_micro_msm.json, BENCH_micro_sched.json, BENCH_macro_overlay.json and BENCH_macro_tenancy.json"
 
 # Headline for the SIMD kernel tier: runtime-dispatched widest ISA vs the
 # width-1 SoA baseline at N=10000 (single thread, uncharged + charged).
@@ -180,6 +187,29 @@ print(f"overlay hot: {on['wall_commands_per_sec']:.0f} cps batched vs "
 sp = d["sparse"]
 print(f"overlay sparse: ack p99 {sp['batched']['ack_latency_p99_s']:.4f}s batched vs "
       f"{sp['unbatched']['ack_latency_p99_s']:.4f}s unbatched")
+EOF
+fi
+
+# Headline for the multi-tenant plane: flagship fairness + claim latency,
+# weighted shares, and single-tenant parity with macro_overlay.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF' || true
+import json
+with open("BENCH_macro_tenancy.json") as f:
+    d = json.load(f)
+t = d["tenancy"]
+print(f"tenancy: {t['workers']} workers x {t['projects']} tenants, "
+      f"Jain {t['jain_fairness_midrun']:.4f}, claim p50/p99 "
+      f"{t['claim_latency_p50_s']:.3f}s/{t['claim_latency_p99_s']:.3f}s")
+w = d["weighted"]
+print(f"weighted: shares {['%.3f' % s for s in w['midrun_shares']]} vs "
+      f"expected {['%.3f' % s for s in w['expected_shares']]} "
+      f"(max err {w['max_share_error']:.3f})")
+s = d["single_tenant"]
+print(f"single-tenant parity: {s['sim_commands_per_sec']:.2f} sim cps vs "
+      f"overlay {s['baseline_sim_commands_per_sec']:.2f} "
+      f"(ratio {s['ratio_vs_macro_overlay']:.4f}, "
+      f"within 5%: {s['within_5pct']})")
 EOF
 fi
 
