@@ -6,7 +6,10 @@
 
 #include <cstdio>
 
+#include "mdlib/proteins.hpp"
+#include "mdlib/simulation.hpp"
 #include "perfmodel/scaling.hpp"
+#include "util/codec.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -14,6 +17,23 @@
 using namespace cop;
 
 namespace {
+
+/// Measured compression ratio of the tiered store's codec (delta/XOR
+/// pre-filter + LZ) on a real MD checkpoint — the blob the server
+/// actually spills per generation (ISSUE 9). The "MB/gen stored" column
+/// scales the ensemble traffic by this ratio.
+double measuredCheckpointRatio() {
+    const auto model = md::hairpinGoModel();
+    auto sim = md::Simulation::forGoModel(
+        model, model.native, md::villinSimulationConfig(7));
+    sim.initializeVelocities();
+    sim.run(500);
+    const auto blob = sim.checkpoint();
+    const auto enc = util::encode(blob);
+    return enc.frame.empty()
+               ? 1.0
+               : double(blob.size()) / double(enc.frame.size());
+}
 
 std::vector<int> sweepPoints(int coresPerSim) {
     std::vector<int> out;
@@ -49,6 +69,10 @@ int main() {
     std::printf("%s\n", tiers.render().c_str());
 
     std::printf("=== Fig. 9: ensemble-level bandwidth vs total cores ===\n\n");
+    const double ratio = measuredCheckpointRatio();
+    std::printf("checkpoint codec ratio (measured on a Go-model hairpin "
+                "checkpoint): %.2fx\n\n",
+                ratio);
     perf::ScalingConfig base;
     for (int m : {12, 24, 48, 96}) {
         base.coresPerSim = m;
@@ -61,7 +85,8 @@ int main() {
         flat.batching = false;
         const auto unbatched = perf::sweepTotalCores(flat, sweepPoints(m));
         Table table({"Ncores", "bandwidth (MB/s)", "MB/gen batched",
-                     "MB/gen unbatched", "frames saved"});
+                     "MB/gen unbatched", "MB/gen stored", "ratio",
+                     "frames saved"});
         std::vector<double> xs, ys;
         for (std::size_t i = 0; i < results.size(); ++i) {
             const auto& r = results[i];
@@ -74,6 +99,9 @@ int main() {
                           formatFixed(r.ensembleBandwidth / 1e6, 4),
                           formatFixed(r.bytesPerGeneration / 1e6, 2),
                           formatFixed(u.bytesPerGeneration / 1e6, 2),
+                          formatFixed(r.bytesPerGeneration / ratio / 1e6,
+                                      2),
+                          formatFixed(ratio, 2) + "x",
                           formatFixed(framesSaved * 100.0, 1) + "%"});
             xs.push_back(double(r.totalCores));
             ys.push_back(r.ensembleBandwidth / 1e6);

@@ -43,10 +43,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "core/copernicus.hpp"
@@ -200,15 +202,33 @@ struct TenancyMetrics {
     std::uint64_t leaseRenewalsAggregated = 0;
     std::uint64_t parkedRequestsDropped = 0;
     std::uint64_t parkRejections = 0;
+    std::uint64_t walRecords = 0;
+    std::uint64_t walSyncs = 0;
 };
 
-TenancyMetrics runTenancy(const TenancyConfig& tc) {
+/// `walDir` non-empty enables the durability plane (group-commit WAL +
+/// capped store) on the multi-tenant project server — the WAL-on leg of
+/// the <5% hot-path-tax A/B (ISSUE 9).
+TenancyMetrics runTenancy(const TenancyConfig& tc,
+                          const std::string& walDir = {}) {
     core::Deployment dep(11);
     core::ServerConfig sc;
     sc.heartbeatInterval = 60.0;
     sc.batch.maxEnvelopes = 64;
     sc.batch.maxBytes = 1 << 20;
-    auto& project = dep.addServer("project", sc);
+    core::ServerConfig psc = sc;
+    if (!walDir.empty()) {
+        psc.durability.walEnabled = true;
+        psc.durability.walDir = walDir;
+        // 120 sim-s group-commit window; see the matching comment in
+        // macro_overlay.cpp (sim/wall compression makes per-burst fdatasync
+        // unrepresentatively expensive).
+        psc.durability.walFlushDelay = 120.0;
+        psc.durability.snapshotEveryRecords = 50000;
+        psc.durability.storeRamBytes = std::size_t(256) << 10;
+        psc.durability.storeDir = walDir + "/store";
+    }
+    auto& project = dep.addServer("project", psc);
 
     std::vector<core::Server*> edges;
     for (int e = 0; e < tc.edges; ++e) {
@@ -298,6 +318,10 @@ TenancyMetrics runTenancy(const TenancyConfig& tc) {
     for (const auto* edge : edges) {
         m.heartbeatSummariesSent += edge->stats().heartbeatSummariesSent;
         m.leaseRenewalsAggregated += edge->stats().leaseRenewalsAggregated;
+    }
+    if (project.wal()) {
+        m.walRecords = project.wal()->stats().records;
+        m.walSyncs = project.wal()->stats().syncs;
     }
     return m;
 }
@@ -630,6 +654,37 @@ int main(int argc, char** argv) {
     const auto adm = runAdmission();
     const auto sgl = runSingle();
 
+    // WAL A/B: a mid-size tenancy plane with the durability plane off vs
+    // on; the multi-tenant scheduler is the hottest WAL producer (one
+    // claim record per service visit), so this is the adversarial leg of
+    // the <5% tax contract.
+    TenancyConfig ab;
+    ab.edges = 4;
+    ab.workersPerEdge = 250;
+    ab.projects = 20;
+    ab.commandsPerProject = 100;
+    const auto walTmp =
+        (std::filesystem::temp_directory_path() /
+         ("cop_tenancy_wal_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(walTmp);
+    // Best-of-2 per leg: fdatasync latency noise exceeds the tax being
+    // measured (see the matching comment in macro_overlay.cpp).
+    auto bestLeg = [&](const std::string& dir) {
+        auto best = runTenancy(ab, dir);
+        std::filesystem::remove_all(walTmp);
+        const auto again = runTenancy(ab, dir);
+        if (again.wallCommandsPerSec > best.wallCommandsPerSec) best = again;
+        std::filesystem::remove_all(walTmp);
+        return best;
+    };
+    const auto walOff = bestLeg({});
+    const auto walOn = bestLeg(walTmp);
+    const double walTax = walOff.wallCommandsPerSec > 0.0
+                              ? walOn.wallCommandsPerSec /
+                                    walOff.wallCommandsPerSec
+                              : 0.0;
+
     Table t({"scenario", "result"});
     t.addRow({"tenancy",
               formatFixed(ten.jainMidrun, 4) + " Jain, p99 claim " +
@@ -645,6 +700,11 @@ int main(int argc, char** argv) {
                             " sim cps vs baseline " +
                             formatFixed(sgl.baseline, 2) + " (ratio " +
                             formatFixed(sgl.ratio, 3) + ")"});
+    t.addRow({"wal A/B", formatFixed(walOn.wallCommandsPerSec, 0) +
+                             " cps on / " +
+                             formatFixed(walOff.wallCommandsPerSec, 0) +
+                             " off = " + formatFixed(walTax, 3) +
+                             "x (gate >= 0.95)"});
     std::printf("%s\n", t.render().c_str());
 
     std::printf("tenancy: %d workers x %d tenants, claim p50/p99 "
@@ -660,7 +720,19 @@ int main(int argc, char** argv) {
     appendTenancy(json, tc, ten);
     json += "  },\n";
 
+    json += "  \"wal_ab\": {\n    \"wal_on\": {\n";
+    appendTenancy(json, ab, walOn);
+    json += "    },\n    \"wal_off\": {\n";
+    appendTenancy(json, ab, walOff);
     char buf[1024];
+    std::snprintf(buf, sizeof buf,
+                  "    },\n    \"wal_records\": %llu,\n"
+                  "    \"wal_syncs\": %llu,\n"
+                  "    \"wal_tax_cps_ratio\": %.4f,\n"
+                  "    \"wal_tax_gate\": 0.95\n  },\n",
+                  (unsigned long long)walOn.walRecords,
+                  (unsigned long long)walOn.walSyncs, walTax);
+    json += buf;
     std::snprintf(buf, sizeof buf,
                   "  \"weighted\": {\n"
                   "    \"weights\": %s,\n"

@@ -1,0 +1,442 @@
+/// Data-plane microbenchmarks for the tiered segment store, the blob
+/// codec, and the group-commit WAL (ISSUE 9).
+///
+/// Three experiments:
+///
+///  - "codec": encode/decode a *real* MD checkpoint (Gō-model hairpin
+///    after a short run) and report the compression ratio and both
+///    directions' throughput. The delta/XOR pre-filter targets exactly
+///    this payload: slowly-varying doubles.
+///
+///  - "store": the headline RSS experiment. Push one checkpoint-sized
+///    blob per simulated command — 1M commands by default — through a
+///    SegmentStore whose RAM tier is capped far below the raw total, and
+///    read VmRSS/VmHWM from /proc/self/status before and after. The
+///    bounded-RAM contract holds when resident growth tracks the cap (plus
+///    O(entries) index metadata), not the multi-GB raw payload.
+///
+///  - "wal": group-commit append throughput (records/s, MB/s, syncs) and
+///    cold replay throughput over the same log.
+///
+/// Results go to BENCH_micro_store.json. `--smoke` runs scaled-down
+/// versions of all three and exits nonzero unless the RSS stays bounded,
+/// the codec round-trips with ratio > 1 on checkpoint bytes, and WAL
+/// replay returns every appended record (the CI gate).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "core/segment_store.hpp"
+#include "core/wal.hpp"
+#include "mdlib/proteins.hpp"
+#include "mdlib/simulation.hpp"
+#include "net/event_loop.hpp"
+#include "util/codec.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+using namespace cop;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double nowSeconds() {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// VmRSS / VmHWM in bytes from /proc/self/status (0 when unavailable,
+/// e.g. non-Linux hosts — the gate degrades to the stats-based checks).
+struct MemUsage {
+    std::size_t rssBytes = 0;
+    std::size_t peakBytes = 0;
+};
+
+MemUsage readMemUsage() {
+    MemUsage m;
+    std::ifstream f("/proc/self/status");
+    std::string line;
+    while (std::getline(f, line)) {
+        const auto parse = [&](const char* key) -> std::size_t {
+            if (line.rfind(key, 0) != 0) return 0;
+            return std::size_t(
+                       std::strtoull(line.c_str() + std::strlen(key),
+                                     nullptr, 10)) *
+                   1024;
+        };
+        if (auto v = parse("VmRSS:")) m.rssBytes = v;
+        if (auto v = parse("VmHWM:")) m.peakBytes = v;
+    }
+    return m;
+}
+
+struct TempDir {
+    fs::path path;
+    explicit TempDir(const char* tag) {
+        path = fs::temp_directory_path() /
+               (std::string("cop_micro_store_") + tag + "_" +
+                std::to_string(::getpid()));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+/// A real checkpoint payload: hairpin Gō model advanced far enough to
+/// have velocities, trajectory frames and non-trivial positions.
+std::vector<std::uint8_t> realCheckpointBytes() {
+    const auto model = md::hairpinGoModel();
+    auto sim =
+        md::Simulation::forGoModel(model, model.native,
+                                   md::villinSimulationConfig(7));
+    sim.initializeVelocities();
+    sim.run(500);
+    return sim.checkpoint();
+}
+
+// ---- codec -------------------------------------------------------------
+
+struct CodecMetrics {
+    std::size_t rawBytes = 0;
+    std::size_t frameBytes = 0;
+    double ratio = 0.0; ///< raw / compressed
+    double encodeMBps = 0.0;
+    double decodeMBps = 0.0;
+    bool roundTripOk = false;
+    const char* filter = "none";
+    const char* method = "stored";
+};
+
+CodecMetrics runCodec(const std::vector<std::uint8_t>& checkpoint,
+                      int reps) {
+    CodecMetrics m;
+    m.rawBytes = checkpoint.size();
+
+    const auto first = util::encode(checkpoint);
+    m.frameBytes = first.frame.size();
+    m.ratio = m.frameBytes > 0
+                  ? double(m.rawBytes) / double(m.frameBytes)
+                  : 0.0;
+    m.filter = first.filter == util::CodecFilter::DeltaXor24 ? "deltaxor24"
+               : first.filter == util::CodecFilter::DeltaXor8
+                   ? "deltaxor8"
+                   : "none";
+    m.method =
+        first.method == util::CodecMethod::Lz ? "lz" : "stored";
+    const auto decoded = util::decode(first.frame, std::size_t(1) << 30);
+    m.roundTripOk = decoded == checkpoint;
+
+    double t0 = nowSeconds();
+    for (int i = 0; i < reps; ++i) {
+        const auto r = util::encode(checkpoint);
+        if (r.frame.empty()) return m; // unreachable; defeats DCE
+    }
+    double dt = nowSeconds() - t0;
+    m.encodeMBps =
+        dt > 0.0 ? double(m.rawBytes) * reps / dt / 1e6 : 0.0;
+
+    t0 = nowSeconds();
+    for (int i = 0; i < reps; ++i) {
+        const auto r = util::decode(first.frame, std::size_t(1) << 30);
+        if (r.empty()) return m;
+    }
+    dt = nowSeconds() - t0;
+    m.decodeMBps =
+        dt > 0.0 ? double(m.rawBytes) * reps / dt / 1e6 : 0.0;
+    return m;
+}
+
+// ---- store: bounded-RSS under 1M commands ------------------------------
+
+struct StoreMetrics {
+    std::uint64_t commands = 0;
+    std::size_t blobBytes = 0;
+    std::size_t ramCapBytes = 0;
+    double rawTotalMb = 0.0;
+    double rssBeforeMb = 0.0;
+    double rssAfterMb = 0.0;
+    double rssDeltaMb = 0.0;
+    double peakMb = 0.0;
+    double putsPerSec = 0.0;
+    double wallSeconds = 0.0;
+    std::uint64_t spills = 0;
+    std::uint64_t segmentsCreated = 0;
+    double ramTierMb = 0.0;
+    double coldTierMb = 0.0;
+    double storeRatio = 0.0; ///< spilled raw / spilled compressed
+    bool bounded = false;
+    double boundMb = 0.0;
+};
+
+StoreMetrics runStore(const std::vector<std::uint8_t>& checkpoint,
+                      std::uint64_t commands, std::size_t ramCap) {
+    TempDir tmp("store");
+    core::StoreConfig cfg;
+    cfg.ramBytes = ramCap;
+    cfg.dir = tmp.path.string();
+
+    // One checkpoint-sized payload per command: tile the real checkpoint
+    // to a fixed 4 KiB record and vary the head per key so frames are not
+    // all byte-identical.
+    std::vector<std::uint8_t> blob(4096);
+    for (std::size_t i = 0; i < blob.size(); ++i)
+        blob[i] = checkpoint[i % checkpoint.size()];
+
+    StoreMetrics m;
+    m.commands = commands;
+    m.blobBytes = blob.size();
+    m.ramCapBytes = ramCap;
+    m.rawTotalMb = double(commands) * double(blob.size()) / 1e6;
+
+    const auto before = readMemUsage();
+    m.rssBeforeMb = double(before.rssBytes) / 1e6;
+
+    const double t0 = nowSeconds();
+    {
+        core::SegmentStore store(cfg);
+        for (std::uint64_t k = 0; k < commands; ++k) {
+            std::memcpy(blob.data(), &k, sizeof k);
+            store.put(k, core::SharedBytes(
+                             std::vector<std::uint8_t>(blob)));
+        }
+        m.wallSeconds = nowSeconds() - t0;
+        const auto after = readMemUsage();
+        m.rssAfterMb = double(after.rssBytes) / 1e6;
+        m.peakMb = double(after.peakBytes) / 1e6;
+        m.rssDeltaMb = m.rssAfterMb - m.rssBeforeMb;
+        const auto& s = store.stats();
+        m.spills = s.spills;
+        m.segmentsCreated = s.segmentsCreated;
+        m.ramTierMb = double(s.ramBytesUsed) / 1e6;
+        m.coldTierMb = double(s.coldBytesLive) / 1e6;
+        m.storeRatio = s.spilledCompressedBytes > 0
+                           ? double(s.spilledRawBytes) /
+                                 double(s.spilledCompressedBytes)
+                           : 0.0;
+    }
+    m.putsPerSec =
+        m.wallSeconds > 0.0 ? double(commands) / m.wallSeconds : 0.0;
+
+    // Bounded-RAM contract: resident growth is the hot-tier cap plus
+    // O(entries) index metadata — never the raw payload. 512 B/entry
+    // covers the std::map node + Entry + allocator overhead; the flat
+    // 64 MB absorbs allocator arenas and the transient encode buffers.
+    m.boundMb = double(ramCap) / 1e6 +
+                double(commands) * 512.0 / 1e6 + 64.0;
+    m.bounded = before.rssBytes == 0 /* no /proc: trust tier stats */
+                    ? m.ramTierMb <= double(ramCap) / 1e6 + 1.0
+                    : m.rssDeltaMb <= m.boundMb;
+    return m;
+}
+
+// ---- wal: group-commit append + replay throughput ----------------------
+
+struct WalMetrics {
+    std::uint64_t records = 0;
+    std::size_t bodyBytes = 0;
+    double appendsPerSec = 0.0;
+    double appendMBps = 0.0;
+    std::uint64_t flushes = 0;
+    std::uint64_t syncs = 0;
+    double recordsPerSync = 0.0;
+    double replayPerSec = 0.0;
+    std::uint64_t replayed = 0;
+    double logMb = 0.0;
+};
+
+WalMetrics runWal(std::uint64_t records, int flushEvery) {
+    TempDir tmp("wal");
+    net::EventLoop loop;
+    core::WalConfig cfg;
+    cfg.dir = tmp.path.string();
+    cfg.loop = &loop;
+
+    WalMetrics m;
+    m.records = records;
+    std::vector<std::uint8_t> body(64);
+    m.bodyBytes = body.size();
+
+    {
+        core::Wal wal(cfg);
+        const double t0 = nowSeconds();
+        for (std::uint64_t i = 0; i < records; ++i) {
+            std::memcpy(body.data(), &i, sizeof i);
+            wal.append(core::WalRecordType::Push, body);
+            // Group commit: one write+fdatasync per flush window, exactly
+            // what the zero-delay timer does per event-loop tick.
+            if ((i + 1) % std::uint64_t(flushEvery) == 0) wal.flush();
+        }
+        wal.flush();
+        const double dt = nowSeconds() - t0;
+        m.appendsPerSec = dt > 0.0 ? double(records) / dt : 0.0;
+        m.appendMBps =
+            dt > 0.0 ? double(wal.stats().bytesWritten) / dt / 1e6 : 0.0;
+        m.flushes = wal.stats().flushes;
+        m.syncs = wal.stats().syncs;
+        m.recordsPerSync =
+            m.syncs > 0 ? double(records) / double(m.syncs) : 0.0;
+        m.logMb = double(wal.stats().bytesWritten) / 1e6;
+    }
+    {
+        core::Wal wal(cfg);
+        const double t0 = nowSeconds();
+        std::uint64_t n = 0;
+        wal.replay([&](core::WalRecordType,
+                       std::span<const std::uint8_t>) { ++n; });
+        const double dt = nowSeconds() - t0;
+        m.replayed = n;
+        m.replayPerSec = dt > 0.0 ? double(n) / dt : 0.0;
+    }
+    return m;
+}
+
+// ---- output ------------------------------------------------------------
+
+void writeJson(const CodecMetrics& c, const StoreMetrics& s,
+               const WalMetrics& w) {
+    char buf[4096];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\n  \"bench\": \"micro_store\",\n"
+        "  \"codec\": {\n"
+        "    \"raw_bytes\": %zu,\n"
+        "    \"frame_bytes\": %zu,\n"
+        "    \"compression_ratio\": %.3f,\n"
+        "    \"filter\": \"%s\",\n"
+        "    \"method\": \"%s\",\n"
+        "    \"encode_mb_per_sec\": %.1f,\n"
+        "    \"decode_mb_per_sec\": %.1f,\n"
+        "    \"round_trip_ok\": %s\n  },\n"
+        "  \"store\": {\n"
+        "    \"commands\": %llu,\n"
+        "    \"blob_bytes\": %zu,\n"
+        "    \"ram_cap_mb\": %.1f,\n"
+        "    \"raw_total_mb\": %.1f,\n"
+        "    \"rss_before_mb\": %.1f,\n"
+        "    \"rss_after_mb\": %.1f,\n"
+        "    \"rss_delta_mb\": %.1f,\n"
+        "    \"rss_bound_mb\": %.1f,\n"
+        "    \"vm_hwm_mb\": %.1f,\n"
+        "    \"ram_tier_mb\": %.2f,\n"
+        "    \"cold_tier_mb\": %.1f,\n"
+        "    \"spills\": %llu,\n"
+        "    \"segments_created\": %llu,\n"
+        "    \"spill_compression_ratio\": %.3f,\n"
+        "    \"puts_per_sec\": %.0f,\n"
+        "    \"rss_bounded\": %s\n  },\n"
+        "  \"wal\": {\n"
+        "    \"records\": %llu,\n"
+        "    \"body_bytes\": %zu,\n"
+        "    \"appends_per_sec\": %.0f,\n"
+        "    \"append_mb_per_sec\": %.1f,\n"
+        "    \"syncs\": %llu,\n"
+        "    \"records_per_sync\": %.1f,\n"
+        "    \"log_mb\": %.2f,\n"
+        "    \"replayed\": %llu,\n"
+        "    \"replays_per_sec\": %.0f\n  }\n}\n",
+        c.rawBytes, c.frameBytes, c.ratio, c.filter, c.method,
+        c.encodeMBps, c.decodeMBps, c.roundTripOk ? "true" : "false",
+        (unsigned long long)s.commands, s.blobBytes,
+        double(s.ramCapBytes) / 1e6, s.rawTotalMb, s.rssBeforeMb,
+        s.rssAfterMb, s.rssDeltaMb, s.boundMb, s.peakMb, s.ramTierMb,
+        s.coldTierMb, (unsigned long long)s.spills,
+        (unsigned long long)s.segmentsCreated, s.storeRatio,
+        s.putsPerSec, s.bounded ? "true" : "false",
+        (unsigned long long)w.records, w.bodyBytes, w.appendsPerSec,
+        w.appendMBps, (unsigned long long)w.syncs, w.recordsPerSync,
+        w.logMb, (unsigned long long)w.replayed, w.replayPerSec);
+    std::ofstream out("BENCH_micro_store.json");
+    out << buf;
+    std::printf("\nwrote BENCH_micro_store.json\n");
+}
+
+int gate(const CodecMetrics& c, const StoreMetrics& s,
+         const WalMetrics& w) {
+    int failures = 0;
+    if (!c.roundTripOk) {
+        std::printf("FAILED: codec round-trip mismatch\n");
+        ++failures;
+    }
+    if (c.ratio <= 1.0) {
+        std::printf("FAILED: no compression on checkpoint bytes "
+                    "(ratio %.3f)\n",
+                    c.ratio);
+        ++failures;
+    }
+    if (!s.bounded) {
+        std::printf("FAILED: RSS not bounded by the RAM cap "
+                    "(delta %.1f MB > bound %.1f MB for %.1f MB raw)\n",
+                    s.rssDeltaMb, s.boundMb, s.rawTotalMb);
+        ++failures;
+    }
+    if (s.spills == 0) {
+        std::printf("FAILED: cap never engaged (no spills)\n");
+        ++failures;
+    }
+    if (w.replayed != w.records) {
+        std::printf("FAILED: WAL replay returned %llu of %llu records\n",
+                    (unsigned long long)w.replayed,
+                    (unsigned long long)w.records);
+        ++failures;
+    }
+    return failures;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    Logger::instance().setLevel(LogLevel::Warn);
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+    const auto checkpoint = realCheckpointBytes();
+
+    const auto codec = runCodec(checkpoint, smoke ? 20 : 200);
+    const auto store = runStore(checkpoint,
+                                smoke ? 50'000 : 1'000'000,
+                                smoke ? std::size_t(16) << 20
+                                      : std::size_t(128) << 20);
+    const auto wal =
+        runWal(smoke ? 20'000 : 500'000, /*flushEvery=*/512);
+
+    std::printf("=== micro_store: tiered store + codec + WAL ===\n\n");
+    Table t({"experiment", "metric", "value"});
+    t.addRow({"codec", "checkpoint bytes",
+              std::to_string(codec.rawBytes)});
+    t.addRow({"codec", "ratio (filter=" + std::string(codec.filter) + ")",
+              formatFixed(codec.ratio, 2) + "x"});
+    t.addRow({"codec", "encode / decode MB/s",
+              formatFixed(codec.encodeMBps, 0) + " / " +
+                  formatFixed(codec.decodeMBps, 0)});
+    t.addRow({"store", "commands", std::to_string(store.commands)});
+    t.addRow({"store", "raw / cap MB",
+              formatFixed(store.rawTotalMb, 0) + " / " +
+                  formatFixed(double(store.ramCapBytes) / 1e6, 0)});
+    t.addRow({"store", "RSS delta (bound) MB",
+              formatFixed(store.rssDeltaMb, 1) + " (" +
+                  formatFixed(store.boundMb, 1) + ")"});
+    t.addRow({"store", "spill ratio",
+              formatFixed(store.storeRatio, 2) + "x"});
+    t.addRow({"store", "puts/s", formatFixed(store.putsPerSec, 0)});
+    t.addRow({"wal", "appends/s", formatFixed(wal.appendsPerSec, 0)});
+    t.addRow({"wal", "records/sync",
+              formatFixed(wal.recordsPerSync, 0)});
+    t.addRow({"wal", "replay/s", formatFixed(wal.replayPerSec, 0)});
+    std::printf("%s\n", t.render().c_str());
+
+    writeJson(codec, store, wal);
+
+    const int failures = gate(codec, store, wal);
+    if (failures == 0)
+        std::printf(smoke ? "smoke OK\n" : "all gates OK\n");
+    return failures == 0 ? 0 : 1;
+}

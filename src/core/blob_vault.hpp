@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file blob_vault.hpp
+/// Interface the command queues use to park large input payloads
+/// (checkpoints, starting structures) in a tiered store instead of
+/// holding them inline. The queue stashes a command's bytes on insert,
+/// fetches them back only when a claim actually ships the command to a
+/// worker, and drops them on completion — so pending backlogs of any
+/// depth cost the RAM tier, not the heap. Implemented by the server over
+/// core::SegmentStore (segment_store.hpp).
+
+#include <cstddef>
+
+#include "core/command.hpp"
+#include "core/shared_bytes.hpp"
+
+namespace cop::core {
+
+struct BlobVault {
+    virtual ~BlobVault() = default;
+    /// Parks (or replaces) a command's payload.
+    virtual void stash(CommandId id, SharedBytes blob) = 0;
+    /// Fetches a parked payload without releasing it.
+    virtual SharedBytes fetch(CommandId id) = 0;
+    /// Releases a parked payload.
+    virtual void drop(CommandId id) = 0;
+    virtual bool holds(CommandId id) const = 0;
+    /// Raw byte size of a parked payload (0 when absent).
+    virtual std::size_t sizeOf(CommandId id) const = 0;
+};
+
+} // namespace cop::core

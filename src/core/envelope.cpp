@@ -339,4 +339,11 @@ void Endpoint::shutdown() {
     queues_.clear();
 }
 
+void Endpoint::reset() {
+    shutdown();
+    seenSet_.clear();
+    seenOrder_.clear();
+    down_ = false;
+}
+
 } // namespace cop::core::wire

@@ -133,6 +133,12 @@ public:
     void shutdown();
     bool isShutdown() const { return down_; }
 
+    /// Crash-and-restart semantics: drops every retransmit entry, queued
+    /// envelope and the dedup window (all volatile state a process loses),
+    /// then brings the endpoint back up. Cumulative stats_ survive — the
+    /// restarted process still reports lifetime counters in tests.
+    void reset();
+
     /// Observer called with (sim-seconds between first transmission and
     /// its ack) for every acked reliable send. Benches/tests use it for
     /// ack-latency percentiles.

@@ -21,11 +21,38 @@ void CommandQueue::push(CommandSpec cmd) {
 }
 
 void CommandQueue::insertPending(CommandSpec cmd, std::int64_t seq) {
+    stashInput(cmd);
     auto& bucket = buckets_[cmd.executable];
     bucket.byCores.insert(CoreKey{cmd.priority, cmd.preferredCores, seq});
-    pendingBytes_ += cmd.input.size();
+    pendingBytes_ += logicalSize(cmd);
     bucket.byKey.emplace(Key{cmd.priority, seq}, std::move(cmd));
     ++pendingCount_;
+}
+
+void CommandQueue::setVault(BlobVault* vault) {
+    COP_REQUIRE(knownIds_.empty(),
+                "vault must be attached before the first push");
+    vault_ = vault;
+}
+
+void CommandQueue::stashInput(CommandSpec& cmd) {
+    if (vault_ == nullptr) return;
+    if (cmd.input.size() == 0) return; // already stashed or genuinely empty
+    vault_->stash(cmd.id, std::move(cmd.input));
+    cmd.input = SharedBytes{};
+}
+
+std::size_t CommandQueue::logicalSize(const CommandSpec& spec) const {
+    if (vault_ != nullptr && spec.input.size() == 0)
+        return vault_->sizeOf(spec.id);
+    return spec.input.size();
+}
+
+CommandSpec CommandQueue::rehydrate(CommandSpec spec) const {
+    if (vault_ != nullptr && spec.input.size() == 0 &&
+        vault_->holds(spec.id))
+        spec.input = vault_->fetch(spec.id);
+    return spec;
 }
 
 bool CommandQueue::hasWorkFor(
@@ -46,9 +73,11 @@ CommandSpec CommandQueue::take(Bucket& bucket,
         CoreKey{it->first.priority, spec.preferredCores, it->first.seq});
     bucket.byKey.erase(it);
     --pendingCount_;
-    pendingBytes_ -= spec.input.size();
+    pendingBytes_ -= logicalSize(spec);
     inFlight_[spec.id] = InFlight{spec, worker};
-    return spec;
+    // The copy shipped to the worker carries the real payload; the
+    // in-flight table keeps it parked in the vault.
+    return rehydrate(std::move(spec));
 }
 
 std::vector<CommandSpec> CommandQueue::claim(
@@ -139,9 +168,10 @@ std::vector<CommandSpec> CommandQueue::claim(
 std::optional<CommandSpec> CommandQueue::complete(CommandId id) {
     auto it = inFlight_.find(id);
     if (it == inFlight_.end()) return std::nullopt;
-    CommandSpec spec = std::move(it->second.spec);
+    CommandSpec spec = rehydrate(std::move(it->second.spec));
     inFlight_.erase(it);
     knownIds_.erase(id);
+    if (vault_ != nullptr) vault_->drop(id);
     return spec;
 }
 
@@ -186,7 +216,12 @@ void CommandQueue::updateCheckpoint(CommandId id, SharedBytes checkpoint) {
     }
     ++stats_.checkpointUpdates;
     stats_.checkpointBytesShared += checkpoint.size();
-    it->second.spec.input = std::move(checkpoint);
+    if (vault_ != nullptr) {
+        vault_->stash(id, std::move(checkpoint));
+        it->second.spec.input = SharedBytes{};
+    } else {
+        it->second.spec.input = std::move(checkpoint);
+    }
 }
 
 void CommandQueue::updateCheckpoint(
@@ -201,13 +236,98 @@ void CommandQueue::updateCheckpoint(
     }
     ++stats_.checkpointUpdates;
     ++stats_.checkpointDeepCopies;
-    it->second.spec.input = SharedBytes(checkpoint);
+    if (vault_ != nullptr) {
+        vault_->stash(id, SharedBytes(checkpoint));
+        it->second.spec.input = SharedBytes{};
+    } else {
+        it->second.spec.input = SharedBytes(checkpoint);
+    }
 }
 
 std::optional<net::NodeId> CommandQueue::holderOf(CommandId id) const {
     auto it = inFlight_.find(id);
     if (it == inFlight_.end()) return std::nullopt;
     return it->second.worker;
+}
+
+void CommandQueue::forEachPending(
+    const std::function<void(const CommandSpec&)>& fn) const {
+    for (const auto& [exe, bucket] : buckets_)
+        for (const auto& [key, spec] : bucket.byKey) fn(spec);
+}
+
+void CommandQueue::forEachInFlight(
+    const std::function<void(const CommandSpec&, net::NodeId)>& fn) const {
+    for (const auto& [id, flight] : inFlight_)
+        fn(flight.spec, flight.worker);
+}
+
+void CommandQueue::serialize(BinaryWriter& w) const {
+    w.write(std::int64_t(nextSeq_));
+    w.write(std::int64_t(headSeq_));
+    // Pending entries with their ordering keys: (seq, spec). The vault
+    // payloads travel inline so the snapshot is self-contained.
+    w.write(std::uint64_t(pendingCount_));
+    for (const auto& [exe, bucket] : buckets_)
+        for (const auto& [key, spec] : bucket.byKey) {
+            w.write(std::int64_t(key.seq));
+            rehydrate(spec).serialize(w);
+        }
+    w.write(std::uint64_t(inFlight_.size()));
+    for (const auto& [id, flight] : inFlight_) {
+        w.write(std::int32_t(flight.worker));
+        rehydrate(flight.spec).serialize(w);
+    }
+    // Hot-path counters ride along so metrics stay continuous across a
+    // recovery.
+    w.write(stats_.pushes);
+    w.write(stats_.duplicatePushesRejected);
+    w.write(stats_.claims);
+    w.write(stats_.commandsClaimed);
+    w.write(stats_.commandsRequeued);
+    w.write(stats_.claimScanSteps);
+    w.write(stats_.hasWorkProbes);
+    w.write(stats_.checkpointUpdates);
+    w.write(stats_.checkpointBytesShared);
+    w.write(stats_.checkpointDeepCopies);
+    w.write(stats_.checkpointsUnknownId);
+}
+
+void CommandQueue::restore(BinaryReader& r) {
+    COP_REQUIRE(knownIds_.empty(), "restore into a non-empty queue");
+    nextSeq_ = r.read<std::int64_t>();
+    headSeq_ = r.read<std::int64_t>();
+    const std::uint64_t pending = r.readCount(16);
+    for (std::uint64_t i = 0; i < pending; ++i) {
+        const auto seq = r.read<std::int64_t>();
+        CommandSpec spec = CommandSpec::deserialize(r);
+        COP_IO_CHECK(spec.id != 0 && spec.preferredCores >= 1,
+                     "queue restore: invalid pending spec");
+        COP_IO_CHECK(knownIds_.insert(spec.id).second,
+                     "queue restore: duplicate pending id");
+        insertPending(std::move(spec), seq);
+    }
+    const std::uint64_t flights = r.readCount(16);
+    for (std::uint64_t i = 0; i < flights; ++i) {
+        const auto worker = net::NodeId(r.read<std::int32_t>());
+        CommandSpec spec = CommandSpec::deserialize(r);
+        COP_IO_CHECK(spec.id != 0, "queue restore: invalid in-flight spec");
+        COP_IO_CHECK(knownIds_.insert(spec.id).second,
+                     "queue restore: duplicate in-flight id");
+        stashInput(spec);
+        inFlight_[spec.id] = InFlight{std::move(spec), worker};
+    }
+    stats_.pushes = r.read<std::uint64_t>();
+    stats_.duplicatePushesRejected = r.read<std::uint64_t>();
+    stats_.claims = r.read<std::uint64_t>();
+    stats_.commandsClaimed = r.read<std::uint64_t>();
+    stats_.commandsRequeued = r.read<std::uint64_t>();
+    stats_.claimScanSteps = r.read<std::uint64_t>();
+    stats_.hasWorkProbes = r.read<std::uint64_t>();
+    stats_.checkpointUpdates = r.read<std::uint64_t>();
+    stats_.checkpointBytesShared = r.read<std::uint64_t>();
+    stats_.checkpointDeepCopies = r.read<std::uint64_t>();
+    stats_.checkpointsUnknownId = r.read<std::uint64_t>();
 }
 
 } // namespace cop::core

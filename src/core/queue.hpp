@@ -19,6 +19,7 @@
 /// equivalence tests and benchmarks).
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -26,7 +27,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/blob_vault.hpp"
 #include "core/command.hpp"
+#include "util/serialize.hpp"
 
 namespace cop::core {
 
@@ -114,6 +117,28 @@ public:
     /// Worker currently holding a command, if any.
     std::optional<net::NodeId> holderOf(CommandId id) const;
 
+    /// Attaches a payload vault: from now on pending and in-flight input
+    /// payloads are stashed in the vault (tiered store) instead of held
+    /// inline, and fetched back only when a claim ships the command.
+    /// Must be set before the first push.
+    void setVault(BlobVault* vault);
+
+    /// Enumeration for snapshotting and recovery bookkeeping. Pending
+    /// specs are visited in arbitrary (bucket) order with their stashed
+    /// inputs still parked (spec.input may be empty).
+    void forEachPending(
+        const std::function<void(const CommandSpec&)>& fn) const;
+    void forEachInFlight(
+        const std::function<void(const CommandSpec&, net::NodeId)>& fn)
+        const;
+
+    /// Full-state serialization for WAL snapshots: sequence counters,
+    /// pending entries (with payloads pulled from the vault) and the
+    /// in-flight table. restore() expects an empty queue and treats the
+    /// stream as untrusted (hostile counts/lengths throw IoError).
+    void serialize(BinaryWriter& w) const;
+    void restore(BinaryReader& r);
+
     const SchedulerStats& stats() const { return stats_; }
 
 private:
@@ -150,6 +175,12 @@ private:
     /// Single insertion point shared by push and both requeue paths (the
     /// three hand-rolled priority-scan loops of the legacy queue).
     void insertPending(CommandSpec cmd, std::int64_t seq);
+    /// Parks cmd.input in the vault (when attached), leaving it empty.
+    void stashInput(CommandSpec& cmd);
+    /// Input bytes a spec accounts for, stashed or inline.
+    std::size_t logicalSize(const CommandSpec& spec) const;
+    /// Rehydrates a spec's input from the vault without releasing it.
+    CommandSpec rehydrate(CommandSpec spec) const;
     /// Moves one bucket entry into the in-flight table; returns the spec.
     CommandSpec take(Bucket& bucket, std::map<Key, CommandSpec>::iterator it,
                      net::NodeId worker);
@@ -162,6 +193,7 @@ private:
     std::size_t pendingBytes_ = 0; ///< input bytes across pending commands
     std::int64_t nextSeq_ = 0;  ///< push order (increasing)
     std::int64_t headSeq_ = -1; ///< requeue-to-head order (decreasing)
+    BlobVault* vault_ = nullptr; ///< optional tiered payload store
     mutable SchedulerStats stats_; ///< mutable: const probes count too
 };
 

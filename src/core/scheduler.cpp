@@ -22,6 +22,7 @@ void ShardedScheduler::addTenant(ProjectId id, TenantConfig config) {
     COP_REQUIRE(inserted,
                 "duplicate tenant id " + std::to_string(id));
     it->second.config = config;
+    if (vault_) it->second.queue.setVault(vault_);
     ring_.clear();
     ring_.reserve(shards_.size());
     for (const auto& [pid, shard] : shards_) {
@@ -294,6 +295,105 @@ const TenantCounters& ShardedScheduler::tenantStats(ProjectId tenant) const {
 void ShardedScheduler::setQuantum(double coresPerRound) {
     COP_REQUIRE(coresPerRound > 0.0, "DRR quantum must be positive");
     quantum_ = coresPerRound;
+}
+
+void ShardedScheduler::setVault(BlobVault* vault) {
+    vault_ = vault;
+    for (auto& [pid, s] : shards_) {
+        (void)pid;
+        s.queue.setVault(vault);
+    }
+}
+
+void ShardedScheduler::forEachPending(
+    const std::function<void(ProjectId, const CommandSpec&)>& fn) const {
+    for (const auto& [pid, s] : shards_)
+        s.queue.forEachPending(
+            [&](const CommandSpec& spec) { fn(pid, spec); });
+}
+
+void ShardedScheduler::forEachInFlight(
+    const std::function<void(ProjectId, const CommandSpec&, net::NodeId)>&
+        fn) const {
+    for (const auto& [pid, s] : shards_)
+        s.queue.forEachInFlight(
+            [&](const CommandSpec& spec, net::NodeId worker) {
+                fn(pid, spec, worker);
+            });
+}
+
+void ShardedScheduler::serialize(BinaryWriter& w) const {
+    w.write(std::uint64_t(shards_.size()));
+    for (const auto& [pid, s] : shards_) {
+        w.write(std::uint64_t(pid));
+        const TenantConfig& c = s.config;
+        w.write(c.weight);
+        w.write(std::uint8_t(c.claimPolicy));
+        w.write(std::uint64_t(c.maxPendingCommands));
+        w.write(std::uint64_t(c.maxPendingBytes));
+        w.write(c.admissionRetryAfter);
+        w.write(s.deficit);
+        const TenantCounters& t = s.counters;
+        w.write(t.pushes);
+        w.write(t.admissionRejections);
+        w.write(t.commandsClaimed);
+        w.write(t.coresGranted);
+        w.write(t.commandsRequeued);
+        w.write(std::uint64_t(t.pendingPeak));
+        w.write(std::uint64_t(t.pendingBytesPeak));
+        s.queue.serialize(w);
+    }
+    // ring_ is always the sorted tenant-id order (rebuilt by addTenant),
+    // so only the service cursor needs to travel.
+    w.write(std::uint64_t(cursor_));
+    w.write(quantum_);
+    w.write(orphanCheckpoints_);
+}
+
+void ShardedScheduler::restore(BinaryReader& r) {
+    COP_REQUIRE(shards_.empty(), "restore into a non-empty scheduler");
+    const std::uint64_t tenants = r.readCount(128);
+    for (std::uint64_t i = 0; i < tenants; ++i) {
+        const auto pid = ProjectId(r.read<std::uint64_t>());
+        TenantConfig c;
+        c.weight = r.read<double>();
+        const auto policy = r.read<std::uint8_t>();
+        COP_IO_CHECK(policy <= std::uint8_t(ClaimPolicy::LargestFit),
+                     "scheduler restore: bad claim policy");
+        c.claimPolicy = ClaimPolicy(policy);
+        c.maxPendingCommands = std::size_t(r.read<std::uint64_t>());
+        c.maxPendingBytes = std::size_t(r.read<std::uint64_t>());
+        c.admissionRetryAfter = r.read<double>();
+        COP_IO_CHECK(c.weight > 0.0,
+                     "scheduler restore: non-positive tenant weight");
+        COP_IO_CHECK(!hasTenant(pid), "scheduler restore: duplicate tenant");
+        addTenant(pid, c);
+        Shard& s = shards_.at(pid);
+        s.deficit = r.read<double>();
+        TenantCounters& t = s.counters;
+        t.pushes = r.read<std::uint64_t>();
+        t.admissionRejections = r.read<std::uint64_t>();
+        t.commandsClaimed = r.read<std::uint64_t>();
+        t.coresGranted = r.read<std::uint64_t>();
+        t.commandsRequeued = r.read<std::uint64_t>();
+        t.pendingPeak = std::size_t(r.read<std::uint64_t>());
+        t.pendingBytesPeak = std::size_t(r.read<std::uint64_t>());
+        s.queue.restore(r);
+        s.queue.forEachPending([&](const CommandSpec& spec) {
+            COP_IO_CHECK(owners_.emplace(spec.id, pid).second,
+                         "scheduler restore: id owned by two tenants");
+        });
+        s.queue.forEachInFlight([&](const CommandSpec& spec, net::NodeId) {
+            COP_IO_CHECK(owners_.emplace(spec.id, pid).second,
+                         "scheduler restore: id owned by two tenants");
+        });
+    }
+    cursor_ = std::size_t(r.read<std::uint64_t>());
+    COP_IO_CHECK(ring_.empty() ? cursor_ == 0 : cursor_ < ring_.size(),
+                 "scheduler restore: cursor out of range");
+    quantum_ = r.read<double>();
+    COP_IO_CHECK(quantum_ > 0.0, "scheduler restore: bad quantum");
+    orphanCheckpoints_ = r.read<std::uint64_t>();
 }
 
 void ShardedScheduler::notePendingPeaks(Shard& s) {

@@ -122,6 +122,25 @@ public:
     void setQuantum(double coresPerRound);
     double quantum() const { return quantum_; }
 
+    /// Attaches a payload vault, propagated to every shard queue (existing
+    /// and future tenants). Must be attached before commands are queued.
+    void setVault(BlobVault* vault);
+
+    /// Cross-shard enumeration for recovery bookkeeping: tenants in
+    /// ascending id order, then each shard's bucket order. Stashed inputs
+    /// stay parked (spec.input may be empty when a vault is attached).
+    void forEachPending(
+        const std::function<void(ProjectId, const CommandSpec&)>& fn) const;
+    void forEachInFlight(
+        const std::function<void(ProjectId, const CommandSpec&,
+                                 net::NodeId)>& fn) const;
+
+    /// Full-state serialization for WAL snapshots (tenant contracts, DRR
+    /// state, every shard queue). restore() expects a freshly constructed
+    /// scheduler and treats the stream as untrusted (throws IoError).
+    void serialize(BinaryWriter& w) const;
+    void restore(BinaryReader& r);
+
 private:
     struct Shard {
         CommandQueue queue;
@@ -139,6 +158,7 @@ private:
     std::vector<ProjectId> ring_;
     std::size_t cursor_ = 0; ///< next ring position to start service from
     double quantum_ = 1.0;
+    BlobVault* vault_ = nullptr; ///< optional tiered payload store
     /// Checkpoints for ids no shard knows (late arrivals after completion).
     std::uint64_t orphanCheckpoints_ = 0;
     mutable SchedulerStats aggregate_; ///< cache for stats()

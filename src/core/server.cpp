@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "util/codec.hpp"
 #include "util/logging.hpp"
 
 namespace cop::core {
+
+namespace {
+
+/// Checkpoint blobs dominate WAL volume, so they ride the log as codec
+/// frames (util::encode). The Stored fallback caps the cost of an
+/// incompressible blob at the 18-byte frame header; replay bounds the
+/// inflation below before allocating.
+constexpr std::size_t kMaxWalBlobBytes = std::size_t(1) << 30;
+
+} // namespace
 
 /// ProjectContext implementation bound to one hosted project.
 class Server::ContextImpl : public ProjectContext {
@@ -22,6 +33,9 @@ public:
         spec.projectId = id_;
         spec.projectServer = server_->id();
         const CommandId cid = spec.id;
+        // Logged before the push stashes the input into the vault, while
+        // the payload still travels inline with the spec.
+        logPush(spec, /*force=*/true);
         server_->projects_.at(id_).outstanding.insert(cid);
         // Controller reactions to finished commands must never deadlock on
         // the project's own quota: plain submits bypass admission.
@@ -35,6 +49,9 @@ public:
         spec.projectId = id_;
         spec.projectServer = server_->id();
         const CommandId cid = spec.id;
+        // Rejected pushes are logged too: replay re-runs admission against
+        // the identical replayed state (and burns the same command id).
+        logPush(spec, /*force=*/false);
         const auto decision =
             server_->scheduler_.push(id_, std::move(spec), /*force=*/false);
         if (!decision.admitted)
@@ -49,6 +66,15 @@ public:
     }
 
 private:
+    void logPush(const CommandSpec& spec, bool force) {
+        if (!server_->wal_) return;
+        auto& w = server_->walWriter();
+        w.write(std::uint64_t(id_));
+        w.write(std::uint8_t(force ? 1 : 0));
+        spec.serialize(w);
+        server_->walAppend(WalRecordType::Push, w);
+    }
+
     Server* server_;
     ProjectId id_;
 };
@@ -67,6 +93,23 @@ Server::Server(net::OverlayNetwork& network, std::string name,
         });
     endpoint_.onDeliveryFailure(
         [this](const net::Message& failed) { handleDeliveryFailure(failed); });
+
+    StoreConfig storeCfg;
+    storeCfg.ramBytes = config_.durability.storeRamBytes;
+    storeCfg.dir = config_.durability.storeDir;
+    storeCfg.compress = config_.durability.compressSpill;
+    store_ = std::make_unique<SegmentStore>(storeCfg);
+    inputVault_.store = store_.get();
+    scheduler_.setVault(&inputVault_);
+    if (config_.durability.walEnabled) {
+        COP_REQUIRE(!config_.durability.walDir.empty(),
+                    "durability: walDir required when walEnabled");
+        WalConfig walCfg;
+        walCfg.dir = config_.durability.walDir;
+        walCfg.loop = &network.loop();
+        walCfg.flushDelay = config_.durability.walFlushDelay;
+        wal_ = std::make_unique<Wal>(walCfg);
+    }
 }
 
 Server::~Server() = default;
@@ -88,6 +131,17 @@ ProjectId Server::createProject(ProjectSpec spec,
     tenant.maxPendingBytes = spec.maxPendingBytes;
     tenant.admissionRetryAfter = spec.admissionRetryAfter;
     scheduler_.addTenant(id, tenant);
+    if (wal_) {
+        auto& w = walWriter();
+        w.write(std::uint64_t(id));
+        w.write(tenant.weight);
+        w.write(std::uint8_t(tenant.claimPolicy));
+        w.write(std::uint64_t(tenant.maxPendingCommands));
+        w.write(std::uint64_t(tenant.maxPendingBytes));
+        w.write(tenant.admissionRetryAfter);
+        w.write(spec.name);
+        walAppend(WalRecordType::TenantAdd, w);
+    }
     ProjectEntry entry;
     entry.name = std::move(spec.name);
     entry.controller = std::move(controller);
@@ -130,6 +184,9 @@ ServerMetrics Server::metricsSnapshot() const {
     m.server = stats_;
     m.scheduler = scheduler_.stats();
     m.wire = endpoint_.stats();
+    m.store = store_->stats();
+    if (wal_) m.wal = wal_->stats();
+    m.recoveries = recoveries_;
     m.tenants.reserve(projects_.size());
     for (const auto& [pid, entry] : projects_) {
         TenantMetrics t;
@@ -199,6 +256,21 @@ std::vector<CommandSpec> Server::claimFor(
         grantLease(cmd.id, request.worker);
         fresh.push_back(std::move(cmd));
     }
+    if (wal_) {
+        // The claim is logged by its *inputs* plus the expected outcome:
+        // replay re-runs the real DRR claim against the replayed shards,
+        // which reproduces every deficit/cursor/ring transition exactly —
+        // even for claims that assigned nothing — and the logged ids
+        // cross-check that the replayed schedule did not diverge.
+        auto& w = walWriter();
+        w.write(std::int32_t(request.worker));
+        w.write(std::int32_t(request.cores));
+        w.write(request.executables);
+        w.write(network_->loop().now() + leaseDuration());
+        w.write(std::uint64_t(fresh.size()));
+        for (const auto& c : fresh) w.write(std::uint64_t(c.id));
+        walAppend(WalRecordType::Claim, w);
+    }
     return fresh;
 }
 
@@ -211,6 +283,13 @@ void Server::handleWorkloadRequest(const WorkloadRequestPayload& request,
         auto& rec = workers_[request.worker];
         rec.lastHeartbeat = network_->loop().now();
         ensureSweepScheduled();
+        if (wal_) {
+            auto& w = walWriter();
+            w.write(std::int32_t(request.worker));
+            w.write(rec.lastHeartbeat);
+            w.write(std::uint8_t(0)); // liveness only, no payload update
+            walAppend(WalRecordType::WorkerSeen, w);
+        }
     }
 
     auto claimed = claimFor(request);
@@ -261,12 +340,22 @@ void Server::pruneParkedRequest(net::NodeId dead) {
     const auto parkedEnd = std::remove_if(
         parkedRequests_.begin(), parkedRequests_.end(),
         [dead](const WorkloadRequestPayload& p) { return p.worker == dead; });
-    stats_.parkedRequestsDropped +=
-        std::uint64_t(parkedRequests_.end() - parkedEnd);
+    const auto removed = std::uint64_t(parkedRequests_.end() - parkedEnd);
+    if (removed > 0 && wal_ && !recovering_) {
+        auto& w = walWriter();
+        w.write(std::int32_t(dead));
+        walAppend(WalRecordType::ParkDrop, w);
+    }
+    stats_.parkedRequestsDropped += removed;
     parkedRequests_.erase(parkedEnd, parkedRequests_.end());
 }
 
 void Server::parkRequest(WorkloadRequestPayload request) {
+    if (wal_ && !recovering_) {
+        auto& w = walWriter();
+        request.serialize(w);
+        walAppend(WalRecordType::Park, w);
+    }
     // One parked slot per worker: a re-sent request (retransmit that beat
     // its ack, or a poll after a timeout) replaces the stale one instead
     // of producing double assignments later.
@@ -319,11 +408,28 @@ void Server::serviceWaitingRequests() {
     }
     parkedRequests_ = std::move(stillParked);
     unparkCursor_ = start + 1;
+    if (wal_) {
+        // The pass reorders the park list (rotation) and drops answered
+        // slots; the record pins the surviving composition *and order* so
+        // replayed future passes rotate identically.
+        auto& w = walWriter();
+        w.write(std::uint64_t(unparkCursor_));
+        w.write(std::uint64_t(parkedRequests_.size()));
+        for (const auto& p : parkedRequests_) w.write(std::int32_t(p.worker));
+        walAppend(WalRecordType::ParkCursor, w);
+    }
 }
 
 void Server::handleCommandOutput(const CommandOutputPayload& payload) {
     // Drop any cached checkpoints: the command is over.
-    checkpointCache_.erase(payload.result.commandId);
+    if (checkpointMeta_.erase(payload.result.commandId) > 0) {
+        store_->erase(cacheKey(payload.result.commandId));
+        if (wal_) {
+            auto& w = walWriter();
+            w.write(std::uint64_t(payload.result.commandId));
+            walAppend(WalRecordType::CacheDrop, w);
+        }
+    }
 
     if (projects_.find(payload.result.projectId) != projects_.end()) {
         dispatchResult(payload.result);
@@ -340,6 +446,13 @@ void Server::handleCommandOutput(const CommandOutputPayload& payload) {
 }
 
 void Server::dispatchResult(CommandResult result) {
+    if (wal_) {
+        auto& w = walWriter();
+        w.write(std::uint64_t(result.commandId));
+        w.write(std::uint64_t(result.projectId));
+        w.write(std::uint8_t(result.success ? 1 : 0));
+        walAppend(WalRecordType::Complete, w);
+    }
     if (completedCommands_.count(result.commandId) > 0) {
         // A requeued copy of this command also ran to completion; the
         // first result won. Clear any in-flight record so the re-execution
@@ -370,6 +483,14 @@ void Server::handleHeartbeat(const HeartbeatPayload& hb) {
     rec.lastHeartbeat = network_->loop().now();
     rec.lastPayload = hb;
     ensureSweepScheduled();
+    if (wal_) {
+        auto& w = walWriter();
+        w.write(std::int32_t(hb.worker));
+        w.write(rec.lastHeartbeat);
+        w.write(std::uint8_t(1));
+        hb.serialize(w);
+        walAppend(WalRecordType::WorkerSeen, w);
+    }
 
     // Renew leases: locally for commands we host; renewals towards remote
     // project servers are buffered and flushed as one HeartbeatSummary
@@ -377,15 +498,24 @@ void Server::handleHeartbeat(const HeartbeatPayload& hb) {
     // never leave the closest server, paper §2.3 — and with aggregation,
     // neither does a per-heartbeat renewal message).
     std::map<net::NodeId, std::vector<CommandId>> remote;
+    std::vector<CommandId> local;
     for (std::size_t i = 0; i < hb.running.size(); ++i) {
         const net::NodeId ps = i < hb.projectServers.size()
                                    ? hb.projectServers[i]
                                    : net::kInvalidNode;
         if (ps == id()) {
             renewLease(hb.running[i], hb.worker);
+            local.push_back(hb.running[i]);
         } else if (ps != net::kInvalidNode) {
             remote[ps].push_back(hb.running[i]);
         }
+    }
+    if (!local.empty() && wal_) {
+        auto& w = walWriter();
+        w.write(std::int32_t(hb.worker));
+        w.write(network_->loop().now() + leaseDuration());
+        w.write(local);
+        walAppend(WalRecordType::Renew, w);
     }
     for (auto& [ps, commands] : remote)
         bufferLeaseRenewals(ps, hb.worker, std::move(commands));
@@ -431,33 +561,83 @@ void Server::flushHeartbeatSummaries() {
 
 void Server::handleHeartbeatSummary(const HeartbeatSummaryPayload& summary) {
     ++stats_.heartbeatSummariesReceived;
+    const double expires = network_->loop().now() + leaseDuration();
     std::size_t k = 0;
-    for (std::size_t i = 0; i < summary.workers.size(); ++i)
-        for (std::uint32_t j = 0; j < summary.counts[i]; ++j, ++k)
+    for (std::size_t i = 0; i < summary.workers.size(); ++i) {
+        std::vector<CommandId> ids;
+        for (std::uint32_t j = 0; j < summary.counts[i]; ++j, ++k) {
             renewLease(summary.commands[k], summary.workers[i]);
+            ids.push_back(summary.commands[k]);
+        }
+        if (!ids.empty() && wal_) {
+            auto& w = walWriter();
+            w.write(std::int32_t(summary.workers[i]));
+            w.write(expires);
+            w.write(ids);
+            walAppend(WalRecordType::Renew, w);
+        }
+    }
 }
 
 void Server::handleLeaseRenew(const LeaseRenewPayload& payload) {
     for (CommandId id : payload.commands)
         renewLease(id, payload.worker);
+    if (!payload.commands.empty() && wal_) {
+        auto& w = walWriter();
+        w.write(std::int32_t(payload.worker));
+        w.write(network_->loop().now() + leaseDuration());
+        w.write(payload.commands);
+        walAppend(WalRecordType::Renew, w);
+    }
 }
 
 void Server::handleCheckpoint(const CheckpointPayload& cp) {
     if (!config_.cacheCheckpoints) return;
     // If we host the project ourselves, feed the checkpoint straight into
-    // the in-flight record; otherwise cache it for failure handoff.
+    // the in-flight record; otherwise cache it for failure handoff. Either
+    // way the blob lands in the tiered store (via the queue's vault or
+    // under cacheKey()), so a cold cache spills to disk instead of RAM.
     if (projects_.find(cp.projectId) != projects_.end()) {
+        if (wal_) {
+            auto& w = walWriter();
+            w.write(std::uint64_t(cp.commandId));
+            w.writeBytes(util::encode(cp.blob).frame);
+            walAppend(WalRecordType::Checkpoint, w);
+        }
         scheduler_.updateCheckpoint(cp.commandId, cp.blob);
         return;
     }
-    checkpointCache_[cp.commandId] = cp;
+    checkpointMeta_[cp.commandId] =
+        CachedCheckpoint{cp.projectId, cp.projectServer};
+    store_->put(cacheKey(cp.commandId), cp.blob);
+    if (wal_) {
+        auto& w = walWriter();
+        w.write(std::uint64_t(cp.commandId));
+        w.write(std::uint64_t(cp.projectId));
+        w.write(std::int32_t(cp.projectServer));
+        w.writeBytes(util::encode(cp.blob).frame);
+        walAppend(WalRecordType::CacheAdd, w);
+    }
 }
 
 void Server::handleWorkerFailed(const WorkerFailedPayload& payload) {
     for (std::size_t i = 0; i < payload.commands.size(); ++i) {
-        if (i < payload.checkpoints.size() && !payload.checkpoints[i].empty())
+        if (i < payload.checkpoints.size() &&
+            !payload.checkpoints[i].empty()) {
+            if (wal_) {
+                auto& w = walWriter();
+                w.write(std::uint64_t(payload.commands[i]));
+                w.writeBytes(util::encode(payload.checkpoints[i]).frame);
+                walAppend(WalRecordType::Checkpoint, w);
+            }
             scheduler_.updateCheckpoint(payload.commands[i],
                                         payload.checkpoints[i]);
+        }
+    }
+    if (wal_) {
+        auto& w = walWriter();
+        w.write(std::int32_t(payload.worker));
+        walAppend(WalRecordType::RequeueWorker, w);
     }
     const auto requeued = scheduler_.requeueWorker(payload.worker);
     stats_.commandsRequeued += requeued.size();
@@ -520,6 +700,12 @@ void Server::handleDeliveryFailure(const net::Message& failed) {
         if (holder && *holder == failed.destination &&
             scheduler_.requeueCommand(cmd.id)) {
             releaseLease(cmd.id);
+            if (wal_) {
+                auto& w = walWriter();
+                w.write(std::uint64_t(cmd.id));
+                w.write(std::uint8_t(0)); // reason: delivery failure
+                walAppend(WalRecordType::Requeue, w);
+            }
             ++requeued;
         }
     }
@@ -552,6 +738,12 @@ void Server::sweepLeases() {
     for (auto it = leases_.begin(); it != leases_.end();) {
         if (it->second.expires <= now) {
             ++stats_.leasesExpired;
+            if (wal_) {
+                auto& w = walWriter();
+                w.write(std::uint64_t(it->first));
+                w.write(std::uint8_t(1)); // reason: lease expiry
+                walAppend(WalRecordType::Requeue, w);
+            }
             if (scheduler_.requeueCommand(it->first)) ++requeued;
             it = leases_.erase(it);
         } else {
@@ -579,48 +771,13 @@ void Server::sweepWorkers() {
         if (now - it->second.lastHeartbeat > deadline) {
             ++stats_.workersFailed;
             const net::NodeId dead = it->first;
-            const auto& hb = it->second.lastPayload;
-            // Group the dead worker's commands by project server and send
-            // each one a failure signal with our cached checkpoints.
-            std::map<net::NodeId, WorkerFailedPayload> perServer;
-            for (std::size_t i = 0; i < hb.running.size(); ++i) {
-                const net::NodeId ps = i < hb.projectServers.size()
-                                           ? hb.projectServers[i]
-                                           : net::kInvalidNode;
-                if (ps == net::kInvalidNode) continue;
-                auto& p = perServer[ps];
-                p.worker = dead;
-                p.commands.push_back(hb.running[i]);
-                auto cpIt = checkpointCache_.find(hb.running[i]);
-                // Shares the cached buffer into the payload — no copy.
-                p.checkpoints.push_back(cpIt != checkpointCache_.end()
-                                            ? cpIt->second.blob
-                                            : SharedBytes{});
+            if (wal_) {
+                auto& w = walWriter();
+                w.write(std::int32_t(dead));
+                walAppend(WalRecordType::WorkerGone, w);
             }
-            std::size_t requeuedFromDead = 0;
-            for (auto& [ps, payload] : perServer) {
-                if (ps == id()) {
-                    // We host the project: requeue directly.
-                    for (std::size_t i = 0; i < payload.commands.size(); ++i)
-                        if (!payload.checkpoints[i].empty())
-                            scheduler_.updateCheckpoint(payload.commands[i],
-                                                        payload.checkpoints[i]);
-                    const auto requeued = scheduler_.requeueWorker(dead);
-                    requeuedFromDead += requeued.size();
-                    stats_.commandsRequeued += requeued.size();
-                    for (CommandId cid : requeued) releaseLease(cid);
-                    if (!requeued.empty()) scheduleServiceWaiting();
-                } else {
-                    endpoint_.send(ps, payload);
-                }
-            }
-            // If the worker ran commands we host but never heartbeated them
-            // (edge case), requeue those too.
-            const auto extra = scheduler_.requeueWorker(dead);
-            requeuedFromDead += extra.size();
-            stats_.commandsRequeued += extra.size();
-            for (CommandId cid : extra) releaseLease(cid);
-            if (!extra.empty()) scheduleServiceWaiting();
+            const std::size_t requeuedFromDead =
+                applyWorkerDeath(dead, it->second);
             // Drop the dead worker's parked request — but only when the
             // scheduler still attributed in-flight commands to it: dying
             // mid-run is real evidence of death, and without the prune the
@@ -640,6 +797,464 @@ void Server::sweepWorkers() {
         }
     }
     if (!workers_.empty()) ensureSweepScheduled();
+}
+
+std::size_t Server::applyWorkerDeath(net::NodeId dead,
+                                     const WorkerRecord& rec) {
+    const auto& hb = rec.lastPayload;
+    // Group the dead worker's commands by project server and send each one
+    // a failure signal with our cached checkpoints.
+    std::map<net::NodeId, WorkerFailedPayload> perServer;
+    for (std::size_t i = 0; i < hb.running.size(); ++i) {
+        const net::NodeId ps = i < hb.projectServers.size()
+                                   ? hb.projectServers[i]
+                                   : net::kInvalidNode;
+        if (ps == net::kInvalidNode) continue;
+        auto& p = perServer[ps];
+        p.worker = dead;
+        p.commands.push_back(hb.running[i]);
+        // Shares the cached buffer into the payload — no copy while hot.
+        p.checkpoints.push_back(cachedCheckpointBlob(hb.running[i]));
+    }
+    std::size_t requeuedFromDead = 0;
+    for (auto& [ps, payload] : perServer) {
+        if (ps == id()) {
+            // We host the project: requeue directly.
+            for (std::size_t i = 0; i < payload.commands.size(); ++i)
+                if (!payload.checkpoints[i].empty())
+                    scheduler_.updateCheckpoint(payload.commands[i],
+                                                payload.checkpoints[i]);
+            const auto requeued = scheduler_.requeueWorker(dead);
+            requeuedFromDead += requeued.size();
+            stats_.commandsRequeued += requeued.size();
+            for (CommandId cid : requeued) releaseLease(cid);
+            if (!requeued.empty() && !recovering_) scheduleServiceWaiting();
+        } else if (!recovering_) {
+            // Replay never resends: the original signal either arrived (and
+            // its effects are the remote server's state) or its loss is the
+            // transport layer's fault model, not the WAL's.
+            endpoint_.send(ps, payload);
+        }
+    }
+    // If the worker ran commands we host but never heartbeated them
+    // (edge case), requeue those too.
+    const auto extra = scheduler_.requeueWorker(dead);
+    requeuedFromDead += extra.size();
+    stats_.commandsRequeued += extra.size();
+    for (CommandId cid : extra) releaseLease(cid);
+    if (!extra.empty() && !recovering_) scheduleServiceWaiting();
+    return requeuedFromDead;
+}
+
+SharedBytes Server::cachedCheckpointBlob(CommandId id) {
+    if (checkpointMeta_.count(id) == 0) return SharedBytes{};
+    auto blob = store_->get(cacheKey(id));
+    return blob ? *blob : SharedBytes{};
+}
+
+// --- Durability (DESIGN.md "Durability & tiered storage") ----------------
+
+void Server::InputVault::stash(CommandId id, SharedBytes blob) {
+    store->put(id, std::move(blob));
+}
+
+SharedBytes Server::InputVault::fetch(CommandId id) {
+    auto blob = store->get(id);
+    COP_ENSURE(blob.has_value(), "input vault: missing payload");
+    return *blob;
+}
+
+void Server::InputVault::drop(CommandId id) { store->erase(id); }
+
+bool Server::InputVault::holds(CommandId id) const {
+    return store->contains(id);
+}
+
+std::size_t Server::InputVault::sizeOf(CommandId id) const {
+    return store->sizeOf(id);
+}
+
+void Server::walAppend(WalRecordType type, const BinaryWriter& w) {
+    if (!wal_ || recovering_) return;
+    wal_->append(type, w.buffer());
+    maybeSnapshot();
+}
+
+void Server::maybeSnapshot() {
+    const auto every = config_.durability.snapshotEveryRecords;
+    if (every == 0 || snapshotScheduled_ || !wal_) return;
+    if (wal_->stats().recordsSinceSnapshot < every) return;
+    // Deferred to its own event-loop task: a snapshot taken mid-handler
+    // could land between a logged record and the mutation it describes.
+    snapshotScheduled_ = true;
+    network_->loop().schedule(0.0, [this] {
+        snapshotScheduled_ = false;
+        if (wal_ && wal_->stats().recordsSinceSnapshot >=
+                        config_.durability.snapshotEveryRecords)
+            wal_->writeSnapshot(snapshotState());
+    });
+}
+
+std::vector<std::uint8_t> Server::snapshotState() {
+    BinaryWriter w;
+    w.writeHeader("CPSS", 1);
+    w.write(std::uint64_t(commandCounter_));
+    w.write(std::uint64_t(nextProjectId_));
+    scheduler_.serialize(w);
+    w.write(std::uint64_t(completedCommands_.size()));
+    for (CommandId id : completedCommands_) w.write(std::uint64_t(id));
+    w.write(std::uint64_t(leases_.size()));
+    for (const auto& [id, lease] : leases_) {
+        w.write(std::uint64_t(id));
+        w.write(std::int32_t(lease.worker));
+        w.write(lease.expires);
+    }
+    w.write(std::uint64_t(workers_.size()));
+    for (const auto& [wid, rec] : workers_) {
+        w.write(std::int32_t(wid));
+        w.write(rec.lastHeartbeat);
+        rec.lastPayload.serialize(w);
+    }
+    w.write(std::uint64_t(parkedRequests_.size()));
+    for (const auto& p : parkedRequests_) p.serialize(w);
+    w.write(std::uint64_t(unparkCursor_));
+    w.write(std::uint64_t(checkpointMeta_.size()));
+    for (const auto& [id, meta] : checkpointMeta_) {
+        w.write(std::uint64_t(id));
+        w.write(std::uint64_t(meta.projectId));
+        w.write(std::int32_t(meta.projectServer));
+        w.writeBytes(cachedCheckpointBlob(id));
+    }
+    // ServerStats ride along so operator metrics stay continuous.
+    w.write(stats_.workloadRequests);
+    w.write(stats_.requestsForwarded);
+    w.write(stats_.commandsAssigned);
+    w.write(stats_.commandsCompleted);
+    w.write(stats_.commandsFailed);
+    w.write(stats_.workersFailed);
+    w.write(stats_.commandsRequeued);
+    w.write(stats_.heartbeatsReceived);
+    w.write(stats_.duplicateResultsDropped);
+    w.write(stats_.leasesExpired);
+    w.write(stats_.parkedRequestsDropped);
+    w.write(stats_.parkRejections);
+    w.write(stats_.clientRequestsShed);
+    w.write(stats_.heartbeatSummariesSent);
+    w.write(stats_.heartbeatSummariesReceived);
+    w.write(stats_.leaseRenewalsAggregated);
+    return w.takeBuffer();
+}
+
+void Server::restoreSnapshot(std::span<const std::uint8_t> bytes) {
+    BinaryReader r(bytes);
+    const auto version = r.readHeader("CPSS");
+    COP_IO_CHECK(version == 1, "snapshot: unsupported version");
+    commandCounter_ = r.read<std::uint64_t>();
+    nextProjectId_ = ProjectId(r.read<std::uint64_t>());
+    scheduler_.restore(r);
+    const auto completed = r.readCount(8);
+    for (std::uint64_t i = 0; i < completed; ++i)
+        COP_IO_CHECK(
+            completedCommands_.insert(r.read<std::uint64_t>()).second,
+            "snapshot: duplicate completed id");
+    const auto leases = r.readCount(20);
+    for (std::uint64_t i = 0; i < leases; ++i) {
+        const auto cid = CommandId(r.read<std::uint64_t>());
+        Lease lease;
+        lease.worker = net::NodeId(r.read<std::int32_t>());
+        lease.expires = r.read<double>();
+        COP_IO_CHECK(leases_.emplace(cid, lease).second,
+                     "snapshot: duplicate lease");
+    }
+    const auto workerCount = r.readCount(12);
+    for (std::uint64_t i = 0; i < workerCount; ++i) {
+        const auto wid = net::NodeId(r.read<std::int32_t>());
+        WorkerRecord rec;
+        rec.lastHeartbeat = r.read<double>();
+        rec.lastPayload = HeartbeatPayload::deserialize(r);
+        COP_IO_CHECK(workers_.emplace(wid, std::move(rec)).second,
+                     "snapshot: duplicate worker");
+    }
+    const auto parked = r.readCount(8);
+    for (std::uint64_t i = 0; i < parked; ++i)
+        parkedRequests_.push_back(WorkloadRequestPayload::deserialize(r));
+    unparkCursor_ = std::size_t(r.read<std::uint64_t>());
+    const auto cached = r.readCount(20);
+    for (std::uint64_t i = 0; i < cached; ++i) {
+        const auto cid = CommandId(r.read<std::uint64_t>());
+        CachedCheckpoint meta;
+        meta.projectId = ProjectId(r.read<std::uint64_t>());
+        meta.projectServer = net::NodeId(r.read<std::int32_t>());
+        COP_IO_CHECK(checkpointMeta_.emplace(cid, meta).second,
+                     "snapshot: duplicate cached checkpoint");
+        store_->put(cacheKey(cid), SharedBytes(r.readBytes()));
+    }
+    stats_.workloadRequests = r.read<std::uint64_t>();
+    stats_.requestsForwarded = r.read<std::uint64_t>();
+    stats_.commandsAssigned = r.read<std::uint64_t>();
+    stats_.commandsCompleted = r.read<std::uint64_t>();
+    stats_.commandsFailed = r.read<std::uint64_t>();
+    stats_.workersFailed = r.read<std::uint64_t>();
+    stats_.commandsRequeued = r.read<std::uint64_t>();
+    stats_.heartbeatsReceived = r.read<std::uint64_t>();
+    stats_.duplicateResultsDropped = r.read<std::uint64_t>();
+    stats_.leasesExpired = r.read<std::uint64_t>();
+    stats_.parkedRequestsDropped = r.read<std::uint64_t>();
+    stats_.parkRejections = r.read<std::uint64_t>();
+    stats_.clientRequestsShed = r.read<std::uint64_t>();
+    stats_.heartbeatSummariesSent = r.read<std::uint64_t>();
+    stats_.heartbeatSummariesReceived = r.read<std::uint64_t>();
+    stats_.leaseRenewalsAggregated = r.read<std::uint64_t>();
+    COP_IO_CHECK(r.atEnd(), "snapshot: trailing bytes");
+}
+
+void Server::applyWalRecord(WalRecordType type,
+                            std::span<const std::uint8_t> body) {
+    BinaryReader r(body);
+    switch (type) {
+    case WalRecordType::TenantAdd: {
+        const auto pid = ProjectId(r.read<std::uint64_t>());
+        TenantConfig cfg;
+        cfg.weight = r.read<double>();
+        const auto policy = r.read<std::uint8_t>();
+        COP_IO_CHECK(policy <= std::uint8_t(ClaimPolicy::LargestFit),
+                     "wal: bad claim policy");
+        cfg.claimPolicy = ClaimPolicy(policy);
+        cfg.maxPendingCommands = std::size_t(r.read<std::uint64_t>());
+        cfg.maxPendingBytes = std::size_t(r.read<std::uint64_t>());
+        cfg.admissionRetryAfter = r.read<double>();
+        const std::string name = r.readString();
+        (void)name; // provenance only; projects_ is the application layer
+        COP_IO_CHECK(cfg.weight > 0.0, "wal: bad tenant weight");
+        COP_IO_CHECK(!scheduler_.hasTenant(pid), "wal: duplicate tenant");
+        scheduler_.addTenant(pid, cfg);
+        nextProjectId_ = std::max(nextProjectId_, pid + 1);
+        break;
+    }
+    case WalRecordType::Push: {
+        const auto tenant = ProjectId(r.read<std::uint64_t>());
+        const auto force = r.read<std::uint8_t>();
+        CommandSpec spec = CommandSpec::deserialize(r);
+        COP_IO_CHECK(scheduler_.hasTenant(tenant),
+                     "wal: push for unknown tenant");
+        COP_IO_CHECK(spec.projectId == tenant, "wal: push tenant mismatch");
+        if ((spec.id >> 40) == std::uint64_t(id()) + 1)
+            commandCounter_ = std::max(
+                commandCounter_, spec.id & ((std::uint64_t(1) << 40) - 1));
+        scheduler_.push(tenant, std::move(spec), force != 0);
+        break;
+    }
+    case WalRecordType::Claim: {
+        const auto worker = net::NodeId(r.read<std::int32_t>());
+        const int cores = r.read<std::int32_t>();
+        const auto nexe = r.readCount(1);
+        std::vector<std::string> executables;
+        executables.reserve(std::size_t(nexe));
+        for (std::uint64_t i = 0; i < nexe; ++i)
+            executables.push_back(r.readString());
+        const double expires = r.read<double>();
+        const auto nids = r.readCount(8);
+        std::vector<CommandId> logged;
+        logged.reserve(std::size_t(nids));
+        for (std::uint64_t i = 0; i < nids; ++i)
+            logged.push_back(r.read<std::uint64_t>());
+        // Re-run the real DRR claim on the replayed shards; this rebuilds
+        // deficits/cursor/ring transitions exactly, then the logged ids
+        // cross-check the reproduced schedule.
+        auto claimed = scheduler_.claim(executables, cores, worker);
+        std::vector<CommandId> fresh;
+        for (auto& cmd : claimed) {
+            if (completedCommands_.count(cmd.id) > 0) {
+                scheduler_.complete(cmd.id);
+                leases_.erase(cmd.id);
+                continue;
+            }
+            leases_[cmd.id] = Lease{worker, expires};
+            fresh.push_back(cmd.id);
+        }
+        COP_IO_CHECK(fresh == logged,
+                     "wal: claim replay diverged from log");
+        stats_.commandsAssigned += fresh.size();
+        break;
+    }
+    case WalRecordType::Complete: {
+        const auto cid = CommandId(r.read<std::uint64_t>());
+        const auto pid = ProjectId(r.read<std::uint64_t>());
+        const bool success = r.read<std::uint8_t>() != 0;
+        (void)pid;
+        if (completedCommands_.count(cid) > 0) {
+            scheduler_.complete(cid);
+            leases_.erase(cid);
+            ++stats_.duplicateResultsDropped;
+            break;
+        }
+        scheduler_.complete(cid);
+        leases_.erase(cid);
+        if (success) {
+            completedCommands_.insert(cid);
+            ++stats_.commandsCompleted;
+        } else {
+            ++stats_.commandsFailed;
+        }
+        break;
+    }
+    case WalRecordType::Requeue: {
+        const auto cid = CommandId(r.read<std::uint64_t>());
+        const auto reason = r.read<std::uint8_t>();
+        COP_IO_CHECK(reason <= 1, "wal: bad requeue reason");
+        if (reason == 1) ++stats_.leasesExpired;
+        if (scheduler_.requeueCommand(cid)) ++stats_.commandsRequeued;
+        leases_.erase(cid);
+        break;
+    }
+    case WalRecordType::RequeueWorker: {
+        const auto worker = net::NodeId(r.read<std::int32_t>());
+        const auto requeued = scheduler_.requeueWorker(worker);
+        stats_.commandsRequeued += requeued.size();
+        for (CommandId cid : requeued) leases_.erase(cid);
+        break;
+    }
+    case WalRecordType::Checkpoint: {
+        const auto cid = CommandId(r.read<std::uint64_t>());
+        scheduler_.updateCheckpoint(
+            cid, SharedBytes(util::decode(r.readBytes(), kMaxWalBlobBytes)));
+        break;
+    }
+    case WalRecordType::Park: {
+        parkRequest(WorkloadRequestPayload::deserialize(r));
+        break;
+    }
+    case WalRecordType::ParkDrop: {
+        pruneParkedRequest(net::NodeId(r.read<std::int32_t>()));
+        break;
+    }
+    case WalRecordType::ParkCursor: {
+        const auto cursor = r.read<std::uint64_t>();
+        const auto n = r.readCount(4);
+        std::vector<WorkloadRequestPayload> next;
+        next.reserve(std::size_t(n));
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const auto worker = net::NodeId(r.read<std::int32_t>());
+            auto it = std::find_if(
+                parkedRequests_.begin(), parkedRequests_.end(),
+                [&](const WorkloadRequestPayload& p) {
+                    return p.worker == worker;
+                });
+            COP_IO_CHECK(it != parkedRequests_.end(),
+                         "wal: park cursor names unknown worker");
+            next.push_back(std::move(*it));
+            parkedRequests_.erase(it);
+        }
+        // Slots not named were assigned or answered NoWork in the pass.
+        parkedRequests_ = std::move(next);
+        unparkCursor_ = std::size_t(cursor);
+        break;
+    }
+    case WalRecordType::Renew: {
+        const auto worker = net::NodeId(r.read<std::int32_t>());
+        const double expires = r.read<double>();
+        const auto n = r.readCount(8);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const auto cid = CommandId(r.read<std::uint64_t>());
+            auto it = leases_.find(cid);
+            if (it != leases_.end() && it->second.worker == worker)
+                it->second.expires = expires;
+        }
+        break;
+    }
+    case WalRecordType::WorkerSeen: {
+        const auto worker = net::NodeId(r.read<std::int32_t>());
+        const double seen = r.read<double>();
+        const bool hasPayload = r.read<std::uint8_t>() != 0;
+        auto& rec = workers_[worker];
+        rec.lastHeartbeat = seen;
+        if (hasPayload) {
+            rec.lastPayload = HeartbeatPayload::deserialize(r);
+            ++stats_.heartbeatsReceived;
+        }
+        break;
+    }
+    case WalRecordType::WorkerGone: {
+        const auto worker = net::NodeId(r.read<std::int32_t>());
+        auto it = workers_.find(worker);
+        COP_IO_CHECK(it != workers_.end(), "wal: unknown worker gone");
+        ++stats_.workersFailed;
+        applyWorkerDeath(worker, it->second);
+        workers_.erase(it);
+        break;
+    }
+    case WalRecordType::CacheAdd: {
+        const auto cid = CommandId(r.read<std::uint64_t>());
+        CachedCheckpoint meta;
+        meta.projectId = ProjectId(r.read<std::uint64_t>());
+        meta.projectServer = net::NodeId(r.read<std::int32_t>());
+        checkpointMeta_[cid] = meta;
+        store_->put(cacheKey(cid),
+                    SharedBytes(util::decode(r.readBytes(), kMaxWalBlobBytes)));
+        break;
+    }
+    case WalRecordType::CacheDrop: {
+        const auto cid = CommandId(r.read<std::uint64_t>());
+        if (checkpointMeta_.erase(cid) > 0) store_->erase(cacheKey(cid));
+        break;
+    }
+    }
+    COP_IO_CHECK(r.atEnd(), "wal: trailing bytes in record");
+}
+
+std::uint64_t Server::recoverFromWal() {
+    COP_REQUIRE(wal_ != nullptr,
+                "recoverFromWal requires durability.walEnabled");
+    // Records appended this tick have not influenced any delivered message
+    // yet (the group-commit flush precedes every send's delivery), so
+    // flushing them here models exactly what a crash could not have lost.
+    wal_->flush();
+    // Wipe the plane: everything below is rebuilt strictly from disk.
+    scheduler_ = ShardedScheduler{};
+    scheduler_.setVault(&inputVault_);
+    store_->clear();
+    leases_.clear();
+    workers_.clear();
+    completedCommands_.clear();
+    parkedRequests_.clear();
+    unparkCursor_ = 0;
+    checkpointMeta_.clear();
+    summaryBuffers_.clear();
+    commandCounter_ = 0;
+    nextProjectId_ = 1;
+    stats_ = ServerStats{};
+    for (auto& [pid, entry] : projects_) entry.outstanding.clear();
+
+    const auto before = wal_->stats().replayedRecords;
+    recovering_ = true;
+    try {
+        const auto snap = wal_->loadSnapshot();
+        if (!snap.empty()) restoreSnapshot(snap);
+        wal_->replay([this](WalRecordType t,
+                            std::span<const std::uint8_t> b) {
+            applyWalRecord(t, b);
+        });
+    } catch (...) {
+        recovering_ = false;
+        throw;
+    }
+    recovering_ = false;
+
+    // outstanding == the plane's unfinished commands, by construction
+    // (inserted on submit/push, erased exactly when complete() retires).
+    scheduler_.forEachPending([&](ProjectId pid, const CommandSpec& s) {
+        auto it = projects_.find(pid);
+        if (it != projects_.end()) it->second.outstanding.insert(s.id);
+    });
+    scheduler_.forEachInFlight(
+        [&](ProjectId pid, const CommandSpec& s, net::NodeId) {
+            auto it = projects_.find(pid);
+            if (it != projects_.end()) it->second.outstanding.insert(s.id);
+        });
+    ++recoveries_;
+    if (!workers_.empty()) ensureSweepScheduled();
+    if (!leases_.empty()) ensureLeaseSweepScheduled();
+    return wal_->stats().replayedRecords - before;
 }
 
 } // namespace cop::core

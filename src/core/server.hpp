@@ -36,10 +36,37 @@
 #include "core/controller.hpp"
 #include "core/envelope.hpp"
 #include "core/scheduler.hpp"
+#include "core/segment_store.hpp"
+#include "core/wal.hpp"
 #include "core/wire.hpp"
 #include "net/overlay.hpp"
 
 namespace cop::core {
+
+/// Durable-state and tiered-storage knobs (DESIGN.md "Durability & tiered
+/// storage"). The defaults reproduce the pre-durability behaviour exactly:
+/// no WAL, an unbounded RAM tier that never spills.
+struct DurabilityConfig {
+    /// Group-commit WAL over the scheduler/lease plane. When enabled the
+    /// plane can be rebuilt bit-compatibly via Server::recoverFromWal().
+    bool walEnabled = false;
+    /// Directory for wal.log + snapshot.bin; required when walEnabled.
+    std::string walDir;
+    /// Group-commit window (sim seconds). 0 = flush at the end of the
+    /// current event tick — still one fdatasync per burst, and always
+    /// durable before any same-tick message is delivered.
+    double walFlushDelay = 0.0;
+    /// Auto-snapshot (and truncate the log) after this many records since
+    /// the last snapshot. 0 = snapshot only on demand.
+    std::uint64_t snapshotEveryRecords = 0;
+    /// RAM-tier cap of the tiered blob store holding command inputs and
+    /// the remote-checkpoint cache. 0 = unbounded (nothing spills).
+    std::size_t storeRamBytes = 0;
+    /// Cold-tier directory; empty = per-store temp dir, created lazily.
+    std::string storeDir;
+    /// Compress spilled blobs (delta/XOR pre-filter + LZ byte codec).
+    bool compressSpill = true;
+};
 
 struct ServerConfig {
     /// Expected worker heartbeat interval (paper default: 120 s).
@@ -81,6 +108,8 @@ struct ServerConfig {
     wire::RetryPolicy rpc;
     /// Transmit coalescing + ack piggybacking (enabled by default).
     wire::BatchPolicy batch;
+    /// WAL + tiered-store knobs (defaults: disabled/unbounded).
+    DurabilityConfig durability;
 };
 
 /// Scheduling contract of one hosted project (satellite of the tenant
@@ -143,6 +172,9 @@ struct ServerMetrics {
     ServerStats server;
     SchedulerStats scheduler; ///< aggregated over every shard
     wire::EndpointStats wire;
+    StoreStats store;         ///< tiered blob store (hits/misses/spills)
+    WalStats wal;             ///< zeroed when the WAL is disabled
+    std::uint64_t recoveries = 0; ///< recoverFromWal() invocations
     std::vector<TenantMetrics> tenants;
 };
 
@@ -195,6 +227,22 @@ public:
     wire::Endpoint& endpoint() { return endpoint_; }
     const ServerConfig& config() const { return config_; }
 
+    /// The tiered blob store backing command inputs and the remote
+    /// checkpoint cache (tests/benches introspect tier stats through it).
+    const SegmentStore& segmentStore() const { return *store_; }
+    /// The group-commit WAL, nullptr when durability.walEnabled is false.
+    const Wal* wal() const { return wal_.get(); }
+
+    /// Crash/restart path: discards the *entire* scheduling/lease plane —
+    /// scheduler shards, in-flight table, leases, park slots, worker
+    /// records, completed-id set, checkpoint cache, blob store — and
+    /// rebuilds it strictly from the on-disk snapshot + WAL, exactly as a
+    /// freshly exec'd process would. Controller/project objects are the
+    /// application layer and are left in place (they checkpoint through
+    /// their own command outputs). Returns the number of log records
+    /// replayed on top of the snapshot.
+    std::uint64_t recoverFromWal();
+
 private:
     class ContextImpl;
 
@@ -214,6 +262,30 @@ private:
         net::NodeId worker = net::kInvalidNode;
         double expires = 0.0;
     };
+
+    /// BlobVault adapter the queue shards use to park command inputs in
+    /// the tiered store. Input keys are the command id verbatim; the
+    /// checkpoint cache shares the store under bit-63-tagged keys
+    /// (cacheKey()), which command ids never set (server id << 40).
+    struct InputVault : BlobVault {
+        SegmentStore* store = nullptr;
+        void stash(CommandId id, SharedBytes blob) override;
+        SharedBytes fetch(CommandId id) override;
+        void drop(CommandId id) override;
+        bool holds(CommandId id) const override;
+        std::size_t sizeOf(CommandId id) const override;
+    };
+
+    /// Remote-checkpoint cache metadata; the blob itself lives in the
+    /// tiered store under cacheKey(id) so cold checkpoints spill to disk.
+    struct CachedCheckpoint {
+        ProjectId projectId = 0;
+        net::NodeId projectServer = net::kInvalidNode;
+    };
+
+    static std::uint64_t cacheKey(CommandId id) {
+        return id | (std::uint64_t(1) << 63);
+    }
 
     void handleEnvelope(const wire::Envelope& env, const net::Message& msg);
     void handleWorkloadRequest(const WorkloadRequestPayload& request,
@@ -269,6 +341,35 @@ private:
 
     CommandId nextCommandId();
 
+    /// Requeues everything a dead worker held: feeds cached checkpoints,
+    /// requeues across shards, drops leases, and (outside recovery)
+    /// signals remote project servers. Shared by sweepWorkers() and
+    /// WorkerGone replay so both walk the identical state transition.
+    std::size_t applyWorkerDeath(net::NodeId dead, const WorkerRecord& rec);
+    /// Cached checkpoint blob for a command, empty when absent.
+    SharedBytes cachedCheckpointBlob(CommandId id);
+
+    // --- Durability (DESIGN.md "Durability & tiered storage") ------------
+    /// Appends one typed record (no-op when the WAL is off or replaying).
+    void walAppend(WalRecordType type, const BinaryWriter& w);
+    /// Cleared scratch writer for record bodies: one record is built at a
+    /// time (append sites never nest), so reusing the buffer keeps the
+    /// per-record hot-path allocation-free.
+    BinaryWriter& walWriter() {
+        walScratch_.clear();
+        return walScratch_;
+    }
+    /// Schedules a snapshot+truncate once the record budget is exceeded.
+    void maybeSnapshot();
+    /// Serializes the whole durable plane (scheduler shards with payloads,
+    /// leases, workers, park slots, cache, counters) for writeSnapshot().
+    std::vector<std::uint8_t> snapshotState();
+    /// Inverse of snapshotState(); the stream is untrusted (IoError).
+    void restoreSnapshot(std::span<const std::uint8_t> bytes);
+    /// Applies one replayed record; bodies are untrusted (IoError).
+    void applyWalRecord(WalRecordType type,
+                        std::span<const std::uint8_t> body);
+
     net::OverlayNetwork* network_;
     net::Node node_;
     wire::Endpoint endpoint_;
@@ -277,8 +378,9 @@ private:
     std::vector<net::NodeId> peers_;
     std::map<ProjectId, ProjectEntry> projects_;
     std::map<net::NodeId, WorkerRecord> workers_;
-    /// commandId -> newest checkpoint blob seen from a local worker.
-    std::map<CommandId, CheckpointPayload> checkpointCache_;
+    /// commandId -> provenance of the newest checkpoint cached for a
+    /// *remote* project; the blob lives in store_ under cacheKey(id).
+    std::map<CommandId, CachedCheckpoint> checkpointMeta_;
     std::map<CommandId, Lease> leases_;
     std::set<CommandId> completedCommands_;
     ServerStats stats_;
@@ -297,6 +399,14 @@ private:
     bool leaseSweepScheduled_ = false;
     bool servicePending_ = false;
     bool summaryFlushScheduled_ = false;
+    // --- Durability ------------------------------------------------------
+    std::unique_ptr<SegmentStore> store_; ///< tiered blob store (always on)
+    InputVault inputVault_;               ///< queue-facing adapter
+    std::unique_ptr<Wal> wal_;            ///< nullptr when WAL disabled
+    bool recovering_ = false;  ///< suppresses walAppend during replay
+    bool snapshotScheduled_ = false;
+    std::uint64_t recoveries_ = 0;
+    BinaryWriter walScratch_;  ///< see walWriter()
 };
 
 } // namespace cop::core

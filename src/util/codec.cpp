@@ -1,0 +1,350 @@
+#include "util/codec.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace cop::util {
+
+namespace {
+
+// Frame layout (all little-endian, matching BinaryWriter):
+//   byte 0..3   magic "CPZ1"
+//   byte 4      CodecFilter
+//   byte 5      CodecMethod
+//   byte 6..13  u64 raw size
+//   byte 14..17 u32 crc32(raw)
+//   byte 18..   method-specific stream (Stored: raw bytes verbatim,
+//               Lz: token stream, see below)
+constexpr std::array<std::uint8_t, 4> kMagic = {'C', 'P', 'Z', '1'};
+constexpr std::size_t kHeaderSize = 18;
+
+// LZ stream: a sequence of tokens. Each token byte packs
+// (literalLen << 4) | matchLenCode like LZ4; 0xF nibbles extend with
+// 255-runs. After the literals comes a 2-byte little-endian match offset
+// (1..65535) and the extended match length; minimum match is 4 bytes.
+// The final token has matchLenCode 0 and no offset (literals only).
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kMaxHashBits = 14;
+
+std::uint32_t hash4(const std::uint8_t* p, int bits) {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - bits);
+}
+
+/// Hash table sized to the input: a fixed 2^14-entry table costs more to
+/// zero-fill than a small blob costs to compress (128 KiB of init for a
+/// 256-byte checkpoint), so small inputs get proportionally small tables.
+int hashBitsFor(std::size_t n) {
+    int bits = 6;
+    while ((std::size_t(1) << bits) < n && bits < kMaxHashBits) ++bits;
+    return bits;
+}
+
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table,
+// table[k][b] pre-folds byte b through k extra zero bytes, so eight input
+// bytes fold into the CRC with eight independent lookups per iteration
+// instead of eight serial ones. Same polynomial, bit-identical values.
+const std::array<std::array<std::uint32_t, 256>, 8>& crcTables() {
+    static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+        std::array<std::array<std::uint32_t, 256>, 8> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[0][i] = c;
+        }
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = t[0][i];
+            for (int k = 1; k < 8; ++k) {
+                c = t[0][c & 0xFF] ^ (c >> 8);
+                t[k][i] = c;
+            }
+        }
+        return t;
+    }();
+    return tables;
+}
+
+void applyFilter(CodecFilter filter, std::vector<std::uint8_t>& buf) {
+    const std::size_t stride =
+        filter == CodecFilter::DeltaXor24 ? 24 : 8;
+    if (buf.size() < stride) return;
+    // In-place backward pass so each word XORs against the *original*
+    // previous word.
+    for (std::size_t i = buf.size(); i-- > stride;)
+        buf[i] ^= buf[i - stride];
+}
+
+void undoFilter(CodecFilter filter, std::vector<std::uint8_t>& buf) {
+    const std::size_t stride =
+        filter == CodecFilter::DeltaXor24 ? 24 : 8;
+    if (buf.size() < stride) return;
+    for (std::size_t i = stride; i < buf.size(); ++i)
+        buf[i] ^= buf[i - stride];
+}
+
+void putVarRun(std::vector<std::uint8_t>& out, std::size_t n) {
+    while (n >= 255) {
+        out.push_back(255);
+        n -= 255;
+    }
+    out.push_back(std::uint8_t(n));
+}
+
+/// Match-finder head table, reused across calls: encode() runs ~20k
+/// times per second on the WAL checkpoint path, where a fresh
+/// allocation per call costs more than the compression itself.
+/// assign() both resizes and resets; encode never nests, so one
+/// per-thread table is safe.
+std::vector<std::int64_t>& headTable(int bits) {
+    thread_local std::vector<std::int64_t> table;
+    table.assign(std::size_t(1) << bits, -1);
+    return table;
+}
+
+/// Greedy LZ4-style compressor appending the token stream to `out`
+/// (starting at out.size()). Returns false — truncating `out` back to
+/// its starting size — when the result would not be smaller than the
+/// input (caller stores raw instead).
+bool lzCompress(std::span<const std::uint8_t> in,
+                std::vector<std::uint8_t>& out) {
+    const std::size_t start = out.size();
+    if (in.size() < kMinMatch + 1) return false;
+    out.reserve(start + in.size());
+    const int hashBits = hashBitsFor(in.size());
+    auto& head = headTable(hashBits);
+
+    const std::uint8_t* base = in.data();
+    std::size_t pos = 0;
+    std::size_t literalStart = 0;
+    const std::size_t matchLimit = in.size() - kMinMatch;
+
+    auto emit = [&](std::size_t litEnd, std::size_t matchLen,
+                    std::size_t offset) {
+        const std::size_t litLen = litEnd - literalStart;
+        const std::size_t mlCode = matchLen ? matchLen - kMinMatch + 1 : 0;
+        out.push_back(std::uint8_t(
+            (litLen >= 15 ? 15u : std::uint32_t(litLen)) << 4 |
+            (mlCode >= 15 ? 15u : std::uint32_t(mlCode))));
+        if (litLen >= 15) putVarRun(out, litLen - 15);
+        out.insert(out.end(), base + literalStart, base + litEnd);
+        if (matchLen) {
+            out.push_back(std::uint8_t(offset & 0xFF));
+            out.push_back(std::uint8_t(offset >> 8));
+            if (mlCode >= 15) putVarRun(out, mlCode - 15);
+        }
+    };
+
+    while (pos <= matchLimit) {
+        const std::uint32_t h = hash4(base + pos, hashBits);
+        const std::int64_t cand = head[h];
+        head[h] = std::int64_t(pos);
+        if (cand >= 0 && pos - std::size_t(cand) <= kMaxOffset &&
+            std::memcmp(base + cand, base + pos, kMinMatch) == 0) {
+            std::size_t len = kMinMatch;
+            while (pos + len < in.size() &&
+                   base[cand + len] == base[pos + len])
+                ++len;
+            emit(pos, len, pos - std::size_t(cand));
+            // Seed the table sparsely inside the match (every 8th byte):
+            // full coverage costs encode speed for little extra ratio on
+            // the delta-filtered buffers this codec targets.
+            for (std::size_t i = pos + 1; i + kMinMatch <= pos + len;
+                 i += 8)
+                head[hash4(base + i, hashBits)] = std::int64_t(i);
+            pos += len;
+            literalStart = pos;
+            if (out.size() - start >= in.size()) {
+                out.resize(start);
+                return false;
+            }
+        } else {
+            ++pos;
+        }
+    }
+    emit(in.size(), 0, 0);
+    if (out.size() - start >= in.size()) {
+        out.resize(start);
+        return false;
+    }
+    return true;
+}
+
+std::size_t readVarRun(std::span<const std::uint8_t> in, std::size_t& p,
+                       std::size_t limit) {
+    std::size_t n = 0;
+    while (true) {
+        COP_IO_CHECK(p < in.size(), "codec: truncated length run");
+        const std::uint8_t b = in[p++];
+        n += b;
+        COP_IO_CHECK(n <= limit, "codec: hostile length run");
+        if (b != 255) return n;
+    }
+}
+
+void lzDecompress(std::span<const std::uint8_t> in,
+                  std::vector<std::uint8_t>& out, std::size_t rawSize) {
+    std::size_t p = 0;
+    // Loop until the terminator token (matchLenCode 0), not until rawSize
+    // bytes are out: a match may land exactly on rawSize and the
+    // terminator still follows it.
+    while (true) {
+        COP_IO_CHECK(p < in.size(), "codec: truncated token");
+        const std::uint8_t token = in[p++];
+        std::size_t litLen = token >> 4;
+        if (litLen == 15) litLen += readVarRun(in, p, rawSize);
+        COP_IO_CHECK(litLen <= in.size() - p,
+                   "codec: literal run past end of stream");
+        COP_IO_CHECK(out.size() + litLen <= rawSize,
+                   "codec: literal run past raw size");
+        out.insert(out.end(), in.begin() + long(p),
+                   in.begin() + long(p + litLen));
+        p += litLen;
+        std::size_t mlCode = token & 0xF;
+        if (mlCode == 0) {
+            COP_IO_CHECK(out.size() == rawSize,
+                       "codec: stream ended before raw size");
+            break;
+        }
+        COP_IO_CHECK(p + 2 <= in.size(), "codec: truncated offset");
+        const std::size_t offset =
+            std::size_t(in[p]) | std::size_t(in[p + 1]) << 8;
+        p += 2;
+        COP_IO_CHECK(offset >= 1 && offset <= out.size(),
+                   "codec: back-reference outside decoded prefix");
+        if (mlCode == 15) mlCode += readVarRun(in, p, rawSize);
+        const std::size_t matchLen = mlCode + kMinMatch - 1;
+        COP_IO_CHECK(out.size() + matchLen <= rawSize,
+                   "codec: match past raw size");
+        // Byte-at-a-time: overlapping matches (offset < len) replicate.
+        for (std::size_t i = 0; i < matchLen; ++i)
+            out.push_back(out[out.size() - offset]);
+    }
+    COP_IO_CHECK(p == in.size(),
+               "codec: trailing bytes after LZ stream");
+}
+
+struct Header {
+    CodecFilter filter;
+    CodecMethod method;
+    std::uint64_t rawSize;
+    std::uint32_t crc;
+};
+
+Header parseHeader(std::span<const std::uint8_t> frame,
+                   std::size_t maxRawBytes) {
+    COP_IO_CHECK(frame.size() >= kHeaderSize,
+               "codec: frame shorter than header");
+    COP_IO_CHECK(std::memcmp(frame.data(), kMagic.data(), 4) == 0,
+               "codec: bad frame magic");
+    Header h{};
+    COP_IO_CHECK(frame[4] <= std::uint8_t(CodecFilter::DeltaXor24),
+               "codec: unknown filter id");
+    COP_IO_CHECK(frame[5] <= std::uint8_t(CodecMethod::Lz),
+               "codec: unknown method id");
+    h.filter = CodecFilter(frame[4]);
+    h.method = CodecMethod(frame[5]);
+    std::memcpy(&h.rawSize, frame.data() + 6, 8);
+    std::memcpy(&h.crc, frame.data() + 14, 4);
+    COP_IO_CHECK(h.rawSize <= maxRawBytes,
+               "codec: frame raw size exceeds cap");
+    return h;
+}
+
+} // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                    std::uint32_t seed) {
+    const auto& t = crcTables();
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    const std::uint8_t* p = bytes.data();
+    std::size_t n = bytes.size();
+    while (n >= 8) {
+        std::uint32_t lo;
+        std::uint32_t hi;
+        std::memcpy(&lo, p, 4);
+        std::memcpy(&hi, p + 4, 4);
+        lo ^= c;
+        c = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^
+            t[5][(lo >> 16) & 0xFF] ^ t[4][lo >> 24] ^
+            t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+            t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+        p += 8;
+        n -= 8;
+    }
+    while (n-- > 0)
+        c = t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+EncodeResult encode(std::span<const std::uint8_t> raw, CodecFilter filter,
+                    bool autoFilter) {
+    if (filter == CodecFilter::None && autoFilter && raw.size() >= 64) {
+        if (raw.size() % 24 == 0)
+            filter = CodecFilter::DeltaXor24;
+        else if (raw.size() % 8 == 0)
+            filter = CodecFilter::DeltaXor8;
+    }
+
+    EncodeResult res;
+    res.filter = filter;
+
+    // Assemble the header in place, then append the LZ stream directly
+    // after it — no separate body buffer. The filtered working copy is
+    // per-thread scratch for the same reason as the head table.
+    res.frame.reserve(kHeaderSize + raw.size());
+    res.frame.insert(res.frame.end(), kMagic.begin(), kMagic.end());
+    res.frame.push_back(std::uint8_t(res.filter));
+    res.frame.push_back(std::uint8_t(CodecMethod::Lz));
+    const std::uint64_t rawSize = raw.size();
+    const std::uint32_t crc = crc32(raw);
+    res.frame.resize(kHeaderSize);
+    std::memcpy(res.frame.data() + 6, &rawSize, 8);
+    std::memcpy(res.frame.data() + 14, &crc, 4);
+
+    thread_local std::vector<std::uint8_t> work;
+    work.assign(raw.begin(), raw.end());
+    if (filter != CodecFilter::None) applyFilter(filter, work);
+
+    if (lzCompress(work, res.frame)) {
+        res.method = CodecMethod::Lz;
+    } else {
+        // Stored frames keep the *unfiltered* bytes so decode of a
+        // Stored frame is a straight copy.
+        res.method = CodecMethod::Stored;
+        res.filter = CodecFilter::None;
+        res.frame[4] = std::uint8_t(CodecFilter::None);
+        res.frame[5] = std::uint8_t(CodecMethod::Stored);
+        res.frame.insert(res.frame.end(), raw.begin(), raw.end());
+    }
+    return res;
+}
+
+std::vector<std::uint8_t> decode(std::span<const std::uint8_t> frame,
+                                 std::size_t maxRawBytes) {
+    const Header h = parseHeader(frame, maxRawBytes);
+    const auto body = frame.subspan(kHeaderSize);
+    std::vector<std::uint8_t> out;
+    out.reserve(std::size_t(h.rawSize));
+    if (h.method == CodecMethod::Stored) {
+        COP_IO_CHECK(body.size() == h.rawSize,
+                   "codec: stored frame size mismatch");
+        out.assign(body.begin(), body.end());
+    } else {
+        lzDecompress(body, out, std::size_t(h.rawSize));
+        if (h.filter != CodecFilter::None) undoFilter(h.filter, out);
+    }
+    COP_IO_CHECK(crc32(out) == h.crc, "codec: CRC mismatch");
+    return out;
+}
+
+std::size_t frameRawSize(std::span<const std::uint8_t> frame,
+                         std::size_t maxRawBytes) {
+    return std::size_t(parseHeader(frame, maxRawBytes).rawSize);
+}
+
+} // namespace cop::util

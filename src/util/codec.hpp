@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file codec.hpp
+/// Block compression for the tiered trajectory store and the WAL: an
+/// LZ4-style byte codec (greedy hash-chain match finder, literal/match
+/// token stream, 16-bit back-references) behind a self-describing frame
+/// with a CRC32 over the raw bytes, plus an optional XOR/delta pre-filter
+/// tuned for f64 position triplets (checkpoint/trajectory blobs are
+/// overwhelmingly slowly-varying doubles, so XOR-ing consecutive lanes
+/// exposes runs of zero bytes the byte codec then folds away).
+///
+/// decode() treats its input as hostile: every length is bounds-checked
+/// against the remaining bytes and a caller-supplied cap before any
+/// allocation, back-references must point inside the already-decoded
+/// prefix, trailing bytes after the encoded stream are rejected, and the
+/// CRC of the reconstructed buffer must match the frame header. Malformed
+/// input throws IoError; it must never crash, over-allocate, or read out
+/// of bounds (fuzzed via fuzz/wal_fuzz.cpp).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cop::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum on
+/// every codec frame and WAL record.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                    std::uint32_t seed = 0);
+
+/// Pre-filter applied before byte compression. Values are the on-disk
+/// frame bytes — append-only.
+enum class CodecFilter : std::uint8_t {
+    None = 0,     ///< bytes compressed as-is
+    DeltaXor8 = 1,  ///< lane-wise XOR with the previous 8-byte word
+    DeltaXor24 = 2, ///< XOR with the word one f64 triplet (24 bytes) back
+};
+
+/// Compression method actually used for a frame. encode() falls back to
+/// Stored when the LZ pass does not shrink the payload, so pathological
+/// (incompressible) input costs only the frame header.
+enum class CodecMethod : std::uint8_t {
+    Stored = 0,
+    Lz = 1,
+};
+
+struct EncodeResult {
+    std::vector<std::uint8_t> frame;
+    CodecMethod method = CodecMethod::Stored;
+    CodecFilter filter = CodecFilter::None;
+};
+
+/// Compresses `raw` into a self-describing frame. `filter` selects the
+/// pre-filter; CodecFilter::None with `autoFilter` true (the default)
+/// picks DeltaXor24 for buffers that look like f64 triplet streams
+/// (size divisible by 24), DeltaXor8 for other 8-byte-aligned sizes, and
+/// no filter otherwise.
+EncodeResult encode(std::span<const std::uint8_t> raw,
+                    CodecFilter filter = CodecFilter::None,
+                    bool autoFilter = true);
+
+/// Decodes a frame produced by encode(). `maxRawBytes` caps the
+/// allocation a hostile header can demand. Throws IoError on any
+/// malformed input (bad magic, oversized raw length, truncated stream,
+/// out-of-range back-reference, CRC mismatch, trailing bytes).
+std::vector<std::uint8_t> decode(std::span<const std::uint8_t> frame,
+                                 std::size_t maxRawBytes);
+
+/// Raw (decoded) size a frame claims, bounds-checked against
+/// `maxRawBytes` — lets callers size tiers without decoding. Throws
+/// IoError on bad magic/truncation/oversize.
+std::size_t frameRawSize(std::span<const std::uint8_t> frame,
+                         std::size_t maxRawBytes);
+
+} // namespace cop::util

@@ -72,3 +72,11 @@ namespace detail {
             ::cop::detail::throwEnsureFailed(#expr, __FILE__, __LINE__,      \
                                              (msg));                         \
     } while (0)
+
+/// Untrusted-input / I/O check: throws cop::IoError. Used on decode and
+/// recovery paths where a failure means hostile or corrupt bytes (or a
+/// failed syscall), not a bug in this library.
+#define COP_IO_CHECK(expr, msg)                                              \
+    do {                                                                     \
+        if (!(expr)) throw ::cop::IoError(msg);                              \
+    } while (0)

@@ -25,6 +25,10 @@ public:
     std::vector<std::uint8_t> takeBuffer() { return std::move(buf_); }
     std::size_t size() const { return buf_.size(); }
 
+    /// Drops the contents but keeps the capacity — reusing one writer
+    /// across many small encodes skips the per-encode allocation.
+    void clear() { buf_.clear(); }
+
     /// Prehint for the bytes about to be appended; with an exact hint
     /// (payload encodedSize()) encoding never reallocates.
     void reserve(std::size_t bytes) { buf_.reserve(buf_.size() + bytes); }

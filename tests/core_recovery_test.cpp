@@ -1,0 +1,285 @@
+// Crash-recovery chaos: kill and resurrect the project server mid-study
+// from its WAL and verify the rebuilt plane is *schedule-transparent* —
+// the surviving run is trace-hash-identical to one that never crashed.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "core/backends.hpp"
+#include "core/bar_controller.hpp"
+#include "core/copernicus.hpp"
+#include "core/msm_controller.hpp"
+#include "mdlib/units.hpp"
+#include "util/random.hpp"
+
+namespace cop::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    fs::path path;
+    explicit TempDir(const std::string& tag) {
+        path = fs::temp_directory_path() /
+               ("cop_recovery_" + tag + "_" +
+                std::to_string(Rng(std::uint64_t(::getpid())).next()));
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+ExecutableRegistry bothRegistries() {
+    ExecutableRegistry reg;
+    reg.add("mdrun", makeMdrunExecutable(linearDurationModel(0.05)));
+    reg.add("fe_sample", makeFeSampleExecutable(linearDurationModel(0.001)));
+    return reg;
+}
+
+MsmControllerParams msmParams(std::uint64_t seed) {
+    MsmControllerParams p;
+    p.model = md::hairpinGoModel();
+    p.startingConformations = md::makeUnfoldedConformations(p.model, 2, seed);
+    p.tasksPerStart = 2;
+    p.segmentSteps = 1000;
+    p.maxGenerations = 2;
+    p.pipeline.numClusters = 15;
+    p.pipeline.snapshotStride = 2;
+    p.pipeline.medoidSweeps = 1;
+    p.simulation.integrator.kind = md::IntegratorKind::LangevinBAOAB;
+    p.simulation.integrator.temperature = 0.5;
+    p.simulation.integrator.friction = 0.5;
+    p.simulation.sampleInterval = 25;
+    p.seed = seed;
+    return p;
+}
+
+BarControllerParams barParams(std::uint64_t seed) {
+    BarControllerParams p;
+    p.samplesPerCommand = 500;
+    p.targetError = 0.05;
+    p.seed = seed;
+    return p;
+}
+
+struct RunOutcome {
+    bool done = false;
+    std::uint64_t traceHash = 0;
+    double msmMinRmsd = 0.0;
+    std::size_t msmGenerations = 0;
+    double barDeltaF = 0.0;
+    double barError = 0.0;
+    int barRounds = 0;
+    std::uint64_t commandsCompleted = 0;
+    std::uint64_t deadLetters = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t walRecords = 0;
+    std::uint64_t storeSpills = 0;
+};
+
+enum class Crash { None, Transparent, FullLoss };
+
+/// One MSM + one BAR study against a WAL-enabled server. `crash` wipes the
+/// whole scheduler/lease/cache plane mid-study (and for FullLoss also the
+/// endpoint's volatile wire state) and rebuilds it from snapshot + log.
+RunOutcome runStudy(std::uint64_t seed, Crash crash,
+                    const std::string& walDir, double crashAt = 111.377) {
+    Deployment dep(seed);
+    ServerConfig sc;
+    sc.durability.walEnabled = true;
+    sc.durability.walDir = walDir;
+    sc.durability.snapshotEveryRecords = 150;
+    sc.durability.storeRamBytes = 32 * 1024; // force tiering mid-study
+    auto& server = dep.addServer("s0", sc);
+    for (int i = 0; i < 3; ++i)
+        dep.addWorker("w" + std::to_string(i), server, WorkerConfig{},
+                      bothRegistries(), links::intraCluster());
+
+    auto msmCtrl = std::make_unique<MsmController>(msmParams(seed));
+    auto* msm = msmCtrl.get();
+    server.createProject("msm", std::move(msmCtrl));
+    auto barCtrl = std::make_unique<BarController>(barParams(seed));
+    auto* bar = barCtrl.get();
+    server.createProject("bar", std::move(barCtrl));
+
+    if (crash != Crash::None) {
+        dep.loop().schedule(crashAt, [&server, crash, &dep] {
+            if (crash == Crash::FullLoss) server.endpoint().reset();
+            server.recoverFromWal();
+            if (crash == Crash::FullLoss) {
+                // A restart brings capacity with it; the fresh worker also
+                // backstops assignments that died in the killed process's
+                // transmit queues.
+                dep.addWorker("respawn", server, WorkerConfig{},
+                              bothRegistries(), links::intraCluster());
+            }
+        });
+    }
+
+    RunOutcome out;
+    out.done = dep.runUntilDone(1e9);
+    out.traceHash = dep.network().traceHash();
+    out.msmMinRmsd = msm->minRmsdAngstrom();
+    out.msmGenerations = msm->history().size();
+    if (bar->estimate().has_value()) {
+        out.barDeltaF = bar->estimate()->totalDeltaF;
+        out.barError = bar->estimate()->totalError;
+    }
+    out.barRounds = bar->rounds();
+    const auto m = server.metricsSnapshot();
+    out.commandsCompleted = m.server.commandsCompleted;
+    out.deadLetters = m.wire.deliveriesFailed;
+    for (const auto& w : dep.workers())
+        out.deadLetters += w->wireStats().deliveriesFailed;
+    out.recoveries = m.recoveries;
+    out.walRecords = m.wal.records;
+    out.storeSpills = m.store.spills;
+    return out;
+}
+
+/// The tentpole guarantee, five seeds: a mid-study kill + WAL resurrection
+/// is invisible — byte-identical event trace and study outputs.
+TEST(Recovery, KillResurrectIsScheduleTransparent) {
+    for (std::uint64_t seed : {101u, 102u, 103u, 104u, 105u}) {
+        TempDir base(std::to_string(seed) + "_base");
+        TempDir crash(std::to_string(seed) + "_crash");
+        const auto a = runStudy(seed, Crash::None, base.path.string());
+        const auto b = runStudy(seed, Crash::Transparent,
+                                crash.path.string());
+        ASSERT_TRUE(a.done) << "seed " << seed;
+        ASSERT_TRUE(b.done) << "seed " << seed;
+        EXPECT_EQ(a.traceHash, b.traceHash) << "seed " << seed;
+        EXPECT_EQ(a.msmMinRmsd, b.msmMinRmsd) << "seed " << seed;
+        EXPECT_EQ(a.msmGenerations, b.msmGenerations) << "seed " << seed;
+        EXPECT_EQ(a.barDeltaF, b.barDeltaF) << "seed " << seed;
+        EXPECT_EQ(a.barError, b.barError) << "seed " << seed;
+        EXPECT_EQ(a.barRounds, b.barRounds) << "seed " << seed;
+        EXPECT_EQ(a.commandsCompleted, b.commandsCompleted)
+            << "seed " << seed;
+        EXPECT_EQ(a.deadLetters, 0u) << "seed " << seed;
+        EXPECT_EQ(b.deadLetters, 0u) << "seed " << seed;
+        EXPECT_EQ(a.recoveries, 0u);
+        EXPECT_EQ(b.recoveries, 1u) << "seed " << seed;
+        EXPECT_GT(b.walRecords, 0u);
+        // The tiered store actually tiered (the cap was chosen to force
+        // spills with these studies' checkpoint volume).
+        EXPECT_GT(b.storeSpills, 0u) << "seed " << seed;
+    }
+}
+
+/// Harsher variant: the crash also wipes the endpoint's volatile wire
+/// state (retransmit table, queued envelopes, dedup window) — messages in
+/// flight at the kill die. The studies must still complete with zero dead
+/// letters; the trace legitimately diverges.
+TEST(Recovery, SurvivesFullProcessLoss) {
+    for (std::uint64_t seed : {201u, 202u}) {
+        TempDir tmp(std::to_string(seed) + "_loss");
+        const auto r = runStudy(seed, Crash::FullLoss, tmp.path.string());
+        ASSERT_TRUE(r.done) << "seed " << seed;
+        EXPECT_EQ(r.deadLetters, 0u) << "seed " << seed;
+        EXPECT_EQ(r.recoveries, 1u) << "seed " << seed;
+        EXPECT_GT(r.commandsCompleted, 0u);
+    }
+}
+
+/// Repeated resurrection: several crashes in one study still converge.
+TEST(Recovery, SurvivesRepeatedCrashes) {
+    const std::uint64_t seed = 301;
+    TempDir tmp("repeat");
+    Deployment dep(seed);
+    ServerConfig sc;
+    sc.durability.walEnabled = true;
+    sc.durability.walDir = tmp.path.string();
+    sc.durability.snapshotEveryRecords = 100;
+    auto& server = dep.addServer("s0", sc);
+    for (int i = 0; i < 2; ++i)
+        dep.addWorker("w" + std::to_string(i), server, WorkerConfig{},
+                      bothRegistries(), links::intraCluster());
+    // The MSM study runs for hundreds of sim-seconds — all three crash
+    // points land mid-flight (a BAR-only study would finish first).
+    auto msmCtrl = std::make_unique<MsmController>(msmParams(seed));
+    auto* msm = msmCtrl.get();
+    server.createProject("msm", std::move(msmCtrl));
+    for (double t : {23.13, 61.77, 107.03})
+        dep.loop().schedule(t, [&server] { server.recoverFromWal(); });
+    ASSERT_TRUE(dep.runUntilDone(1e9));
+    EXPECT_EQ(server.metricsSnapshot().recoveries, 3u);
+    EXPECT_EQ(msm->history().size(), 2u);
+}
+
+/// The WAL-disabled default is unchanged seed behavior: no log, no store
+/// spills unless a cap is set, and metrics report zeroes.
+TEST(Recovery, WalDisabledByDefault) {
+    Deployment dep(7);
+    auto& server = dep.addServer("s0");
+    dep.addWorker("w0", server, WorkerConfig{}, bothRegistries(),
+                  links::intraCluster());
+    auto barCtrl = std::make_unique<BarController>(barParams(7));
+    server.createProject("bar", std::move(barCtrl));
+    ASSERT_TRUE(dep.runUntilDone(1e9));
+    const auto m = server.metricsSnapshot();
+    EXPECT_EQ(m.wal.records, 0u);
+    EXPECT_EQ(m.store.spills, 0u);
+    EXPECT_EQ(m.recoveries, 0u);
+    EXPECT_EQ(server.wal(), nullptr);
+}
+
+/// Satellite 1: the checkpoint cache is LRU-bounded through the segment
+/// store — worker churn streams checkpoints through a tiny RAM tier, the
+/// cache's hot footprint stays under the cap, and the hit/miss/spill
+/// counters surface through metricsSnapshot().
+TEST(Recovery, CheckpointCacheIsBoundedByStoreCap) {
+    TempDir tmp("cache");
+    Deployment dep(11);
+    ServerConfig sc;
+    sc.heartbeatInterval = 30.0;
+    sc.durability.walEnabled = true;
+    sc.durability.walDir = tmp.path.string();
+    sc.durability.storeRamBytes = 16 * 1024;
+    auto& server = dep.addServer("s0", sc);
+
+    MsmControllerParams mp = msmParams(11);
+    mp.maxGenerations = 1;
+    mp.segmentSteps = 2000; // 400 s per command at 0.2 s/step
+    ExecutableRegistry slowReg;
+    slowReg.add("mdrun", makeMdrunExecutable(linearDurationModel(0.2)));
+    auto ctrl = std::make_unique<MsmController>(mp);
+    server.createProject("churn", std::move(ctrl));
+
+    WorkerConfig wc;
+    wc.heartbeatInterval = 30.0;
+    for (int w = 0; w < 3; ++w) {
+        ExecutableRegistry reg;
+        reg.add("mdrun", makeMdrunExecutable(linearDurationModel(0.2)));
+        auto& worker = dep.addWorker("w" + std::to_string(w), server, wc,
+                                     std::move(reg),
+                                     links::intraCluster());
+        worker.failAfter(150.0 * (1.0 + 0.3 * w));
+    }
+    bool done = false;
+    for (int wave = 0; wave < 40 && !done; ++wave) {
+        done = dep.runUntilDone(dep.loop().now() + 400.0);
+        if (!done) {
+            ExecutableRegistry reg;
+            reg.add("mdrun",
+                    makeMdrunExecutable(linearDurationModel(0.2)));
+            auto& w = dep.addWorker("wave" + std::to_string(wave), server,
+                                    wc, std::move(reg),
+                                    links::intraCluster());
+            if (wave < 6) w.failAfter(150.0);
+        }
+    }
+    ASSERT_TRUE(done);
+    const auto m = server.metricsSnapshot();
+    EXPECT_GT(m.server.workersFailed, 0u);
+    // Checkpoints streamed through the cache; the RAM tier never grew
+    // past the cap and the overflow went cold.
+    EXPECT_GT(m.store.puts, 0u);
+    EXPECT_LE(m.store.ramBytesUsed, sc.durability.storeRamBytes);
+    EXPECT_GT(m.store.spills, 0u);
+    EXPECT_GT(m.store.hits + m.store.misses, 0u);
+}
+
+} // namespace
+} // namespace cop::core

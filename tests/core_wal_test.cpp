@@ -1,0 +1,298 @@
+// Group-commit WAL: append/replay round-trips, flush batching, snapshot
+// rotation, and torn-tail vs mid-log-corruption semantics.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "core/wal.hpp"
+#include "net/event_loop.hpp"
+#include "util/codec.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cop::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+    fs::path path;
+    TempDir() {
+        path = fs::temp_directory_path() /
+               ("cop_wal_test_" +
+                std::to_string(Rng(std::uint64_t(::getpid())).next()));
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+};
+
+std::vector<std::uint8_t> body(std::initializer_list<std::uint8_t> b) {
+    return std::vector<std::uint8_t>(b);
+}
+
+using Record = std::pair<WalRecordType, std::vector<std::uint8_t>>;
+
+std::vector<Record> replayAll(Wal& wal) {
+    std::vector<Record> out;
+    wal.replay([&](WalRecordType t, std::span<const std::uint8_t> b) {
+        out.emplace_back(t, std::vector<std::uint8_t>(b.begin(), b.end()));
+    });
+    return out;
+}
+
+TEST(Wal, AppendFlushReplayRoundTrip) {
+    TempDir tmp;
+    net::EventLoop loop;
+    WalConfig cfg;
+    cfg.dir = tmp.path.string();
+    cfg.loop = &loop;
+    {
+        Wal wal(cfg);
+        wal.append(WalRecordType::Push, body({1, 2, 3}));
+        wal.append(WalRecordType::Claim, body({}));
+        wal.append(WalRecordType::Complete, body({0xFF}));
+        wal.flush();
+    }
+    Wal wal(cfg); // fresh object, same directory
+    const auto records = replayAll(wal);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].first, WalRecordType::Push);
+    EXPECT_EQ(records[0].second, body({1, 2, 3}));
+    EXPECT_EQ(records[1].first, WalRecordType::Claim);
+    EXPECT_TRUE(records[1].second.empty());
+    EXPECT_EQ(records[2].first, WalRecordType::Complete);
+    EXPECT_EQ(wal.stats().replayedRecords, 3u);
+}
+
+TEST(Wal, GroupCommitBatchesSameTickAppendsIntoOneSync) {
+    TempDir tmp;
+    net::EventLoop loop;
+    WalConfig cfg;
+    cfg.dir = tmp.path.string();
+    cfg.loop = &loop;
+    Wal wal(cfg);
+    // A burst of appends in one tick: the zero-delay flush timer turns
+    // them into a single write+fdatasync.
+    for (int i = 0; i < 100; ++i)
+        wal.append(WalRecordType::Push, body({std::uint8_t(i)}));
+    EXPECT_EQ(wal.stats().flushes, 0u); // still buffered
+    loop.runUntil(1.0);                 // the armed flush fires
+    EXPECT_EQ(wal.stats().records, 100u);
+    EXPECT_EQ(wal.stats().flushes, 1u);
+    EXPECT_EQ(wal.stats().syncs, 1u);
+    EXPECT_EQ(wal.stats().bufferedBytes, 0u);
+}
+
+TEST(Wal, ExplicitFlushIsImmediate) {
+    TempDir tmp;
+    net::EventLoop loop;
+    WalConfig cfg;
+    cfg.dir = tmp.path.string();
+    cfg.loop = &loop;
+    Wal wal(cfg);
+    wal.append(WalRecordType::Renew, body({9}));
+    wal.flush();
+    EXPECT_EQ(wal.stats().flushes, 1u);
+    Wal reader(cfg);
+    EXPECT_EQ(replayAll(reader).size(), 1u);
+}
+
+TEST(Wal, SnapshotTruncatesLogAndLoadsBack) {
+    TempDir tmp;
+    net::EventLoop loop;
+    WalConfig cfg;
+    cfg.dir = tmp.path.string();
+    cfg.loop = &loop;
+    {
+        Wal wal(cfg);
+        wal.append(WalRecordType::Push, body({1}));
+        wal.flush();
+        const std::vector<std::uint8_t> state = {42, 43, 44};
+        wal.writeSnapshot(state);
+        EXPECT_EQ(wal.stats().snapshots, 1u);
+        EXPECT_EQ(wal.stats().recordsSinceSnapshot, 0u);
+        // Records after the snapshot stay in the (truncated) log.
+        wal.append(WalRecordType::Complete, body({2}));
+        wal.flush();
+    }
+    Wal wal(cfg);
+    EXPECT_EQ(wal.loadSnapshot(), (std::vector<std::uint8_t>{42, 43, 44}));
+    const auto records = replayAll(wal);
+    ASSERT_EQ(records.size(), 1u); // only the post-snapshot record
+    EXPECT_EQ(records[0].first, WalRecordType::Complete);
+}
+
+TEST(Wal, LoadSnapshotEmptyWhenNeverWritten) {
+    TempDir tmp;
+    net::EventLoop loop;
+    WalConfig cfg;
+    cfg.dir = tmp.path.string();
+    cfg.loop = &loop;
+    Wal wal(cfg);
+    EXPECT_TRUE(wal.loadSnapshot().empty());
+}
+
+TEST(Wal, PreallocatedZeroTailIsNotCorruption) {
+    TempDir tmp;
+    net::EventLoop loop;
+    WalConfig cfg;
+    cfg.dir = tmp.path.string();
+    cfg.loop = &loop;
+    {
+        Wal wal(cfg);
+        wal.append(WalRecordType::Push, body({1, 2, 3, 4}));
+        wal.flush();
+    }
+    // A crash between flush and close leaves the fallocate()d tail in
+    // place: zeros after the last record. Replay must treat that as the
+    // end of the log, not as torn bytes or corruption.
+    const auto logPath = tmp.path / "wal.log";
+    fs::resize_file(logPath, fs::file_size(logPath) + 4096);
+    Wal wal(cfg);
+    EXPECT_EQ(replayAll(wal).size(), 1u);
+    EXPECT_EQ(wal.stats().corruptTailBytes, 0u);
+}
+
+TEST(Wal, AppendAfterTornTailOverwritesIt) {
+    TempDir tmp;
+    net::EventLoop loop;
+    WalConfig cfg;
+    cfg.dir = tmp.path.string();
+    cfg.loop = &loop;
+    std::uintmax_t oneRecord = 0;
+    {
+        Wal wal(cfg);
+        wal.append(WalRecordType::Push, body({1, 2, 3, 4}));
+        wal.flush();
+        oneRecord = fs::file_size(tmp.path / "wal.log");
+        wal.append(WalRecordType::Claim, body({5, 6, 7, 8}));
+        wal.flush();
+    }
+    // Tear the second record, then resume appending: the new record must
+    // land where the valid prefix ended, with no torn residue after it
+    // that a later replay could mistake for mid-log corruption.
+    const auto logPath = tmp.path / "wal.log";
+    fs::resize_file(logPath, fs::file_size(logPath) - 3);
+    {
+        Wal wal(cfg);
+        wal.append(WalRecordType::Complete, body({9}));
+        wal.flush();
+        EXPECT_GE(fs::file_size(logPath), oneRecord);
+    }
+    Wal wal(cfg);
+    const auto records = replayAll(wal);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].first, WalRecordType::Push);
+    EXPECT_EQ(records[1].first, WalRecordType::Complete);
+    EXPECT_EQ(records[1].second, body({9}));
+    EXPECT_EQ(wal.stats().corruptTailBytes, 0u);
+}
+
+TEST(Wal, ToleratesTornTailButThrowsOnMidLogCorruption) {
+    TempDir tmp;
+    net::EventLoop loop;
+    WalConfig cfg;
+    cfg.dir = tmp.path.string();
+    cfg.loop = &loop;
+    {
+        Wal wal(cfg);
+        wal.append(WalRecordType::Push, body({1, 2, 3, 4}));
+        wal.append(WalRecordType::Claim, body({5, 6, 7, 8}));
+        wal.flush();
+    }
+    const auto logPath = tmp.path / "wal.log";
+    const auto fullSize = fs::file_size(logPath);
+
+    // Torn tail: truncate into the second record — replay keeps the first
+    // record and reports the torn bytes.
+    fs::resize_file(logPath, fullSize - 3);
+    {
+        Wal wal(cfg);
+        EXPECT_EQ(replayAll(wal).size(), 1u);
+        EXPECT_GT(wal.stats().corruptTailBytes, 0u);
+    }
+    // Mid-log corruption: flip a byte inside the FIRST record while the
+    // second still follows — a crash cannot produce this, so it throws.
+    {
+        std::fstream f(logPath,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(9); // inside record 1's body
+        char c;
+        f.seekg(9);
+        f.get(c);
+        f.seekp(9);
+        f.put(char(c ^ 0x55));
+    }
+    fs::resize_file(logPath, fullSize);
+    {
+        Wal wal(cfg);
+        EXPECT_THROW(replayAll(wal), cop::IoError);
+    }
+}
+
+TEST(Wal, ParseLogRejectsOversizedAndBadTypeRecords) {
+    // Framing: [u32 len][u32 crc][u8 type + body]
+    auto frame = [](std::uint8_t type, std::vector<std::uint8_t> b) {
+        std::vector<std::uint8_t> body;
+        body.push_back(type);
+        body.insert(body.end(), b.begin(), b.end());
+        const std::uint32_t len = std::uint32_t(body.size());
+        const std::uint32_t crc = cop::util::crc32(body);
+        std::vector<std::uint8_t> out;
+        for (int i = 0; i < 4; ++i) out.push_back((len >> (8 * i)) & 0xFF);
+        for (int i = 0; i < 4; ++i) out.push_back((crc >> (8 * i)) & 0xFF);
+        out.insert(out.end(), body.begin(), body.end());
+        return out;
+    };
+    const auto good = frame(std::uint8_t(WalRecordType::Push), {1});
+    std::size_t torn = 0;
+    std::size_t n = 0;
+    Wal::parseLog(good,
+                  [&](WalRecordType, std::span<const std::uint8_t>) {
+                      ++n;
+                  },
+                  1 << 20, &torn);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(torn, 0u);
+
+    // A type tag past kWalRecordTypeMax is corruption, not a new version.
+    auto badType = frame(kWalRecordTypeMax + 1, {1});
+    badType.insert(badType.end(), good.begin(), good.end());
+    EXPECT_THROW(
+        Wal::parseLog(badType,
+                      [](WalRecordType, std::span<const std::uint8_t>) {},
+                      1 << 20, &torn),
+        cop::IoError);
+
+    // A length over the cap is refused before any allocation.
+    auto huge = frame(std::uint8_t(WalRecordType::Push), {1});
+    huge[0] = 0xFF;
+    huge[1] = 0xFF;
+    huge[2] = 0xFF;
+    huge[3] = 0x7F;
+    huge.insert(huge.end(), good.begin(), good.end());
+    EXPECT_THROW(
+        Wal::parseLog(huge,
+                      [](WalRecordType, std::span<const std::uint8_t>) {},
+                      1 << 20, &torn),
+        cop::IoError);
+}
+
+TEST(Wal, EarlyFlushOnBufferBound) {
+    TempDir tmp;
+    net::EventLoop loop;
+    WalConfig cfg;
+    cfg.dir = tmp.path.string();
+    cfg.loop = &loop;
+    cfg.flushBytes = 64; // tiny bound: bursts flush inline
+    Wal wal(cfg);
+    std::vector<std::uint8_t> big(100, 7);
+    wal.append(WalRecordType::Checkpoint, big);
+    EXPECT_GE(wal.stats().flushes, 1u); // crossed the bound, no timer wait
+}
+
+} // namespace
+} // namespace cop::core

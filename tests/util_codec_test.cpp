@@ -1,0 +1,121 @@
+// Frame codec for the tiered store and WAL: round-trips, the XOR/delta
+// pre-filter, stored fallback, and hostile-input rejection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "util/codec.hpp"
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace cop::util {
+namespace {
+
+std::vector<std::uint8_t> randomBytes(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> out(n);
+    for (auto& b : out) b = std::uint8_t(rng.next());
+    return out;
+}
+
+/// Bytes shaped like a simulation checkpoint: slowly-varying f64 position
+/// triplets — the workload the DeltaXor24 pre-filter exists for.
+std::vector<std::uint8_t> trajectoryLikeBytes(std::size_t atoms,
+                                              std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> vals;
+    vals.reserve(atoms * 3);
+    double base = 1.0;
+    for (std::size_t i = 0; i < atoms * 3; ++i) {
+        base += 1e-4 * (rng.uniform() - 0.5);
+        vals.push_back(base);
+    }
+    std::vector<std::uint8_t> out(vals.size() * sizeof(double));
+    std::memcpy(out.data(), vals.data(), out.size());
+    return out;
+}
+
+TEST(Codec, RoundTripsArbitrarySizes) {
+    for (std::size_t n : {std::size_t(0), std::size_t(1), std::size_t(7),
+                          std::size_t(64), std::size_t(1000),
+                          std::size_t(65536)}) {
+        const auto raw = randomBytes(n, 100 + n);
+        const auto enc = encode(raw);
+        EXPECT_EQ(decode(enc.frame, n + 1), raw) << "size " << n;
+    }
+}
+
+TEST(Codec, CompressesRepetitiveInput) {
+    std::vector<std::uint8_t> raw(100000, 0);
+    for (std::size_t i = 0; i < raw.size(); ++i) raw[i] = i % 16;
+    const auto enc = encode(raw);
+    EXPECT_EQ(enc.method, CodecMethod::Lz);
+    EXPECT_LT(enc.frame.size(), raw.size() / 4);
+    EXPECT_EQ(decode(enc.frame, raw.size()), raw);
+}
+
+TEST(Codec, DeltaFilterHelpsTrajectoryBytes) {
+    const auto raw = trajectoryLikeBytes(500, 7);
+    ASSERT_EQ(raw.size() % 24, 0u);
+    const auto filtered = encode(raw); // autoFilter picks DeltaXor24
+    EXPECT_EQ(filtered.filter, CodecFilter::DeltaXor24);
+    const auto unfiltered = encode(raw, CodecFilter::None, false);
+    // The filter is the point: without it the doubles barely compress.
+    EXPECT_LT(filtered.frame.size(), unfiltered.frame.size());
+    EXPECT_EQ(decode(filtered.frame, raw.size()), raw);
+    EXPECT_EQ(decode(unfiltered.frame, raw.size()), raw);
+}
+
+TEST(Codec, StoredFallbackOnIncompressibleInput) {
+    const auto raw = randomBytes(4096, 3); // random: LZ cannot shrink it
+    const auto enc = encode(raw, CodecFilter::None, false);
+    EXPECT_EQ(enc.method, CodecMethod::Stored);
+    EXPECT_LT(enc.frame.size(), raw.size() + 64); // header-only overhead
+    EXPECT_EQ(decode(enc.frame, raw.size()), raw);
+}
+
+TEST(Codec, FrameRawSizeMatchesWithoutDecoding) {
+    const auto raw = randomBytes(1234, 9);
+    const auto enc = encode(raw);
+    EXPECT_EQ(frameRawSize(enc.frame, 1u << 20), raw.size());
+    EXPECT_THROW(frameRawSize(enc.frame, 100), cop::IoError); // over cap
+}
+
+TEST(Codec, RejectsHostileFrames) {
+    const auto raw = randomBytes(256, 5);
+    const auto enc = encode(raw);
+    const std::size_t cap = 1u << 20;
+
+    // Truncations at every prefix must throw, never crash or misdecode.
+    for (std::size_t cut = 0; cut < enc.frame.size(); ++cut) {
+        std::vector<std::uint8_t> trunc(enc.frame.begin(),
+                                        enc.frame.begin() + cut);
+        EXPECT_THROW(decode(trunc, cap), cop::IoError) << "cut " << cut;
+    }
+    // Trailing garbage is rejected (no silent partial decode).
+    auto trailing = enc.frame;
+    trailing.push_back(0xAB);
+    EXPECT_THROW(decode(trailing, cap), cop::IoError);
+    // A flipped payload byte fails the CRC.
+    auto corrupt = enc.frame;
+    corrupt.back() ^= 0xFF;
+    EXPECT_THROW(decode(corrupt, cap), cop::IoError);
+    // A raw-size past the allocation cap is refused before allocating.
+    EXPECT_THROW(decode(enc.frame, raw.size() - 1), cop::IoError);
+    // Bad magic.
+    auto badMagic = enc.frame;
+    badMagic[0] ^= 0xFF;
+    EXPECT_THROW(decode(badMagic, cap), cop::IoError);
+}
+
+TEST(Codec, Crc32MatchesKnownVector) {
+    // "123456789" -> 0xCBF43926 is the canonical CRC-32 check value.
+    const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8',
+                                '9'};
+    EXPECT_EQ(crc32(msg), 0xCBF43926u);
+}
+
+} // namespace
+} // namespace cop::util

@@ -51,7 +51,7 @@ if [[ "$build_type" != "Release" && $allow_debug -ne 1 ]]; then
 fi
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_md micro_msm micro_sched \
-  macro_overlay macro_tenancy
+  micro_store macro_overlay macro_tenancy
 
 simd_isa=$("$BUILD_DIR"/bench/micro_md --print-simd-isa)
 echo "build type: $build_type, detected SIMD ISA: $simd_isa"
@@ -81,8 +81,16 @@ echo "build type: $build_type, detected SIMD ISA: $simd_isa"
   --benchmark_out_format=json \
   "${extra[@]+"${extra[@]}"}"
 
+# Data-plane microbenchmarks: tiered-store bounded-RSS experiment (1M
+# commands vs the RAM cap), codec ratio/throughput on a real checkpoint,
+# and WAL append/replay throughput. Writes BENCH_micro_store.json itself
+# and exits nonzero if any gate (bounded RSS, ratio > 1, lossless replay)
+# fails.
+"$BUILD_DIR"/bench/micro_store
+
 # Macro overlay-throughput harness (closed-loop command mill + sparse
-# trickle, batched vs unbatched). Writes BENCH_macro_overlay.json itself.
+# trickle, batched vs unbatched, plus the WAL-on/off A/B tax leg).
+# Writes BENCH_macro_overlay.json itself.
 "$BUILD_DIR"/bench/macro_overlay
 
 # Multi-tenant scheduling-plane study (10k workers x 100 projects,
@@ -100,8 +108,8 @@ import json, os
 stamp = {"cop_build_type": os.environ["COP_BUILD_TYPE"],
          "cop_simd_isa_detected": os.environ["COP_SIMD_ISA"]}
 for path in ("BENCH_micro_md.json", "BENCH_micro_msm.json",
-             "BENCH_micro_sched.json", "BENCH_macro_overlay.json",
-             "BENCH_macro_tenancy.json"):
+             "BENCH_micro_sched.json", "BENCH_micro_store.json",
+             "BENCH_macro_overlay.json", "BENCH_macro_tenancy.json"):
     try:
         with open(path) as f:
             d = json.load(f)
@@ -117,7 +125,7 @@ for path in ("BENCH_micro_md.json", "BENCH_micro_msm.json",
 EOF
 fi
 
-echo "Wrote BENCH_micro_md.json, BENCH_micro_msm.json, BENCH_micro_sched.json, BENCH_macro_overlay.json and BENCH_macro_tenancy.json"
+echo "Wrote BENCH_micro_md.json, BENCH_micro_msm.json, BENCH_micro_sched.json, BENCH_micro_store.json, BENCH_macro_overlay.json and BENCH_macro_tenancy.json"
 
 # Headline for the SIMD kernel tier: runtime-dispatched widest ISA vs the
 # width-1 SoA baseline at N=10000 (single thread, uncharged + charged).
@@ -187,6 +195,37 @@ print(f"overlay hot: {on['wall_commands_per_sec']:.0f} cps batched vs "
 sp = d["sparse"]
 print(f"overlay sparse: ack p99 {sp['batched']['ack_latency_p99_s']:.4f}s batched vs "
       f"{sp['unbatched']['ack_latency_p99_s']:.4f}s unbatched")
+EOF
+fi
+
+# Headline for the data plane: bounded RSS under 1M commands, codec ratio
+# on a real checkpoint, and the WAL-on/off hot-path tax (gate >= 0.95).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF' || true
+import json
+with open("BENCH_micro_store.json") as f:
+    d = json.load(f)
+s, c, w = d["store"], d["codec"], d["wal"]
+print(f"store: {s['commands']} commands, {s['raw_total_mb']:.0f} MB raw under a "
+      f"{s['ram_cap_mb']:.0f} MB cap -> RSS delta {s['rss_delta_mb']:.0f} MB "
+      f"(bounded: {s['rss_bounded']})")
+print(f"codec: {c['compression_ratio']:.2f}x on a real checkpoint, "
+      f"{c['encode_mb_per_sec']:.0f}/{c['decode_mb_per_sec']:.0f} MB/s enc/dec")
+print(f"wal: {w['appends_per_sec']:.0f} appends/s, "
+      f"{w['records_per_sync']:.0f} records/fdatasync, "
+      f"{w['replays_per_sec']:.0f} replays/s")
+with open("BENCH_macro_overlay.json") as f:
+    o = json.load(f)
+ab = o.get("wal_ab", {})
+if ab:
+    print(f"wal tax (overlay hot): {ab['wal_tax_cps_ratio']:.4f}x cps "
+          f"(gate >= {ab['wal_tax_gate']})")
+with open("BENCH_macro_tenancy.json") as f:
+    t = json.load(f)
+ab = t.get("wal_ab", {})
+if ab:
+    print(f"wal tax (tenancy): {ab['wal_tax_cps_ratio']:.4f}x cps "
+          f"(gate >= {ab['wal_tax_gate']})")
 EOF
 fi
 
