@@ -54,9 +54,21 @@ bool isBulkDataMessage(MessageType t) {
     case MessageType::CheckpointData:
     case MessageType::ProjectData:
         return true;
-    default:
+    case MessageType::WorkerAnnounce:
+    case MessageType::WorkloadRequest:
+    case MessageType::Heartbeat:
+    case MessageType::CommandFailed:
+    case MessageType::WorkerFailed:
+    case MessageType::NoWorkAvailable:
+    case MessageType::ClientRequest:
+    case MessageType::ClientResponse:
+    case MessageType::Ack:
+    case MessageType::LeaseRenew:
+    case MessageType::Batch:
+    case MessageType::HeartbeatSummary:
         return false;
     }
+    return false;
 }
 
 KeyPair KeyPair::generate(std::uint64_t seed) {

@@ -1,0 +1,16 @@
+// Fixture: blocking syscalls on the event-loop plane with no allow-list
+// entry — copernicus-blocking must fire three times.
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+
+namespace fixture {
+
+void pumpOnce(int fd) {
+    char buf[16];
+    (void)::read(fd, buf, sizeof(buf));
+    fdatasync(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+} // namespace fixture

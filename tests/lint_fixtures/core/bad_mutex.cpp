@@ -1,0 +1,21 @@
+// Fixture: every std:: synchronization primitive below must fire
+// copernicus-bare-mutex (this file is outside the exempt prefix).
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class Registry {
+public:
+    void put(int v) {
+        std::lock_guard<std::mutex> g(m_);
+        value_ = v;
+    }
+
+private:
+    std::mutex m_;
+    std::condition_variable cv_;
+    int value_ = 0;
+};
+
+} // namespace fixture

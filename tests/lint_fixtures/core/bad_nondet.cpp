@@ -1,0 +1,35 @@
+// Fixture: nondeterminism sources inside the replay-critical plane.
+// Each body below must fire copernicus-nondeterminism exactly once.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Sampler {
+    std::unordered_map<int, int> histogram_;
+
+    int roll() { return rand() % 6; }
+
+    unsigned seed() {
+        std::random_device rd;
+        return rd();
+    }
+
+    long stamp() {
+        return std::chrono::system_clock::now().time_since_epoch().count();
+    }
+
+    const char* home() { return std::getenv("HOME"); }
+
+    int total() {
+        int t = 0;
+        for (const auto& [k, v] : histogram_) t += v;
+        return t;
+    }
+
+    int first() { return histogram_.begin()->second; }
+};
+
+} // namespace fixture

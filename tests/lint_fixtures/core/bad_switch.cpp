@@ -1,0 +1,16 @@
+// Fixture: non-exhaustive dispatch over a tracked tag enum, with a
+// default: arm — copernicus-switch-enum must fire twice.
+#include "../fruit.hpp"
+
+namespace fixture {
+
+int priceBad(Fruit f) {
+    switch (f) {
+    case Fruit::Apple:
+        return 1;
+    default:
+        return 0;
+    }
+}
+
+} // namespace fixture

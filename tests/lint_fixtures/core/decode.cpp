@@ -1,0 +1,42 @@
+// Fixture: untrusted length prefixes. The three *Bad bodies must fire
+// copernicus-untrusted-length; the counted and guarded ones must not.
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace fixture {
+
+constexpr std::uint32_t kMaxFrame = 1u << 20;
+
+struct Reader {
+    template <typename T> T read();
+    std::uint64_t readCount(std::size_t elemSize);
+};
+
+void decodeBad(Reader& r, std::vector<std::uint8_t>& out) {
+    auto n = r.read<std::uint32_t>();
+    out.resize(n);
+}
+
+void decodeInlineBad(Reader& r, std::vector<std::uint8_t>& out) {
+    out.resize(r.read<std::uint32_t>());
+}
+
+void decodeNewBad(Reader& r) {
+    auto n = r.read<std::uint64_t>();
+    auto* p = new std::uint8_t[n];
+    delete[] p;
+}
+
+void decodeCounted(Reader& r, std::vector<std::uint8_t>& out) {
+    auto n = r.readCount(1);
+    out.resize(n);
+}
+
+void decodeGuarded(Reader& r, std::vector<std::uint8_t>& out) {
+    auto n = r.read<std::uint32_t>();
+    if (n > kMaxFrame) throw std::length_error("oversized frame");
+    out.resize(n);
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: deterministic counterparts — nothing here may fire. Ordered
+// iteration is always fine; unordered iteration is fine when annotated.
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Counter {
+    std::map<int, int> ordered_;
+    std::unordered_map<int, int> scratch_;
+
+    int sum() {
+        int t = 0;
+        for (const auto& [k, v] : ordered_) t += v;
+        // order-insensitive: pure commutative sum, no bytes emitted
+        for (const auto& [k, v] : scratch_) t += v;
+        return t;
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: exhaustive dispatch, no default: — must stay clean. The
+// post-switch return handles an out-of-range byte.
+#include "../fruit.hpp"
+
+namespace fixture {
+
+int priceGood(Fruit f) {
+    switch (f) {
+    case Fruit::Apple:
+        return 1;
+    case Fruit::Banana:
+        return 2;
+    case Fruit::Cherry:
+        return 3;
+    }
+    return 0;
+}
+
+} // namespace fixture

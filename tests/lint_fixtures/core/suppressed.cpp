@@ -1,0 +1,29 @@
+// Fixture: suppression grammar. Reasoned NOLINTs silence their findings;
+// the reasonless and typo'd ones surface copernicus-nolint instead.
+#include <random>
+
+namespace fixture {
+
+unsigned seedOk() {
+    std::random_device rd;  // NOLINT(copernicus-nondeterminism): demo banner entropy, never replayed
+    return rd();
+}
+
+unsigned seedNextLineOk() {
+    // NOLINTNEXTLINE(copernicus-nondeterminism): demo banner entropy, never replayed
+    std::random_device rd;
+    return rd();
+}
+
+unsigned seedNoReason() {
+    std::random_device rd;  // NOLINT(copernicus-nondeterminism)
+    return rd();
+}
+
+unsigned seedTypo() {
+    // NOLINTNEXTLINE(copernicus-nondet): check name typo never matches
+    std::random_device rd;
+    return rd();
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: flush is allow-listed (blocking-allow core/wal_like.cpp
+// flush); probe is not and must fire copernicus-blocking.
+#include <unistd.h>
+
+namespace fixture {
+
+struct WalLike {
+    int fd = -1;
+
+    void flush() { fdatasync(fd); }
+
+    void probe() { fsync(fd); }
+};
+
+} // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: identical primitives under the mutex-exempt prefix — the
+// wrapper layer itself is allowed to name them. Must stay clean.
+#include <mutex>
+
+namespace fixture {
+
+class Wrapper {
+public:
+    void put(int v) {
+        std::lock_guard<std::mutex> g(m_);
+        value_ = v;
+    }
+
+private:
+    std::mutex m_;
+    int value_ = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+#pragma once
+#include <cstdint>
+
+namespace fixture {
+
+enum class Fruit : std::uint8_t {
+    Apple = 0,
+    Banana = 1,
+    Cherry = 2,
+};
+
+} // namespace fixture

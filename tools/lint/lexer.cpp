@@ -1,0 +1,333 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace coplint {
+
+namespace {
+
+/// Cursor over the source with transparent backslash-newline splicing.
+/// Raw strings opt out via the raw() accessors.
+class Cursor {
+public:
+    Cursor(std::string_view src) : src_(src) { skipSplice(); }
+
+    bool atEnd() const { return i_ >= src_.size(); }
+    int line() const { return line_; }
+
+    /// Current character after splice processing.
+    char peek() const { return i_ < src_.size() ? src_[i_] : '\0'; }
+
+    /// Lookahead k spliced characters past the current one.
+    char peekAhead(std::size_t k) const {
+        std::size_t i = i_;
+        int dummy = line_;
+        for (std::size_t n = 0; n < k; ++n) {
+            if (i >= src_.size()) return '\0';
+            advanceFrom(i, dummy);
+        }
+        return i < src_.size() ? src_[i] : '\0';
+    }
+
+    char get() {
+        const char c = peek();
+        if (!atEnd()) advanceFrom(i_, line_);
+        skipSplice();
+        return c;
+    }
+
+    /// Raw (splice-blind) accessors for raw string bodies.
+    char rawPeek() const { return i_ < src_.size() ? src_[i_] : '\0'; }
+    char rawGet() {
+        if (atEnd()) return '\0';
+        const char c = src_[i_++];
+        if (c == '\n') ++line_;
+        return c;
+    }
+    /// Re-enables splice skipping after a raw section.
+    void resyncSplice() { skipSplice(); }
+
+private:
+    /// Advances i past one character, consuming any splice that follows
+    /// it so that peek() never sees a backslash-newline pair.
+    void advanceFrom(std::size_t& i, int& line) const {
+        if (src_[i] == '\n') ++line;
+        ++i;
+        skipSpliceAt(i, line);
+    }
+
+    void skipSplice() { skipSpliceAt(i_, line_); }
+
+    void skipSpliceAt(std::size_t& i, int& line) const {
+        while (i < src_.size() && src_[i] == '\\') {
+            std::size_t j = i + 1;
+            if (j < src_.size() && src_[j] == '\r') ++j;
+            if (j < src_.size() && src_[j] == '\n') {
+                i = j + 1;
+                ++line;
+            } else {
+                break;
+            }
+        }
+    }
+
+    std::string_view src_;
+    std::size_t i_ = 0;
+    int line_ = 1;
+};
+
+bool isIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Encoding prefixes that may glue onto a string/char literal.
+bool isLiteralPrefix(const std::string& id, bool& raw) {
+    raw = false;
+    if (id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR") {
+        raw = true;
+        return true;
+    }
+    return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+const char* const kPunct3[] = {"<<=", ">>=", "...", "->*"};
+const char* const kPunct2[] = {"::", "->", "<<", ">>", "<=", ">=", "==",
+                               "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                               "%=", "&=", "|=", "^=", "++", "--", "##"};
+
+} // namespace
+
+LexedFile lex(std::string_view source, std::string path) {
+    LexedFile out;
+    out.path = std::move(path);
+    Cursor c(source);
+    bool atLineStart = true; // only whitespace seen since last newline
+
+    auto push = [&](TokKind k, std::string text, int line) {
+        out.tokens.push_back(Token{k, std::move(text), line});
+    };
+
+    // Scans a normal (non-raw) string or char literal body; the opening
+    // quote has been consumed. Returns interior text.
+    auto scanQuoted = [&](char quote) {
+        std::string text;
+        while (!c.atEnd()) {
+            const char ch = c.get();
+            if (ch == '\\') {
+                if (!c.atEnd()) {
+                    text += '\\';
+                    text += c.get();
+                }
+                continue;
+            }
+            if (ch == quote || ch == '\n') break; // newline: unterminated
+            text += ch;
+        }
+        return text;
+    };
+
+    // Scans a raw string body: delim( ... )delim" — the R and opening
+    // quote have been consumed.
+    auto scanRaw = [&]() {
+        std::string delim;
+        while (!c.atEnd() && c.rawPeek() != '(' && c.rawPeek() != '"' &&
+               c.rawPeek() != '\n' && delim.size() < 16)
+            delim += c.rawGet();
+        if (c.rawPeek() == '(') c.rawGet();
+        const std::string closer = ")" + delim + "\"";
+        std::string text;
+        while (!c.atEnd()) {
+            if (c.rawPeek() == ')' &&
+                source.size() > 0) { // candidate closer: compare literally
+                // Check the closer without consuming on mismatch.
+                std::string tail;
+                Cursor probe = c; // cheap copy; Cursor is a small value
+                bool matched = true;
+                for (char want : closer) {
+                    if (probe.rawPeek() != want) {
+                        matched = false;
+                        break;
+                    }
+                    tail += probe.rawGet();
+                }
+                if (matched) {
+                    for (std::size_t k = 0; k < closer.size(); ++k)
+                        c.rawGet();
+                    break;
+                }
+            }
+            text += c.rawGet();
+        }
+        c.resyncSplice();
+        return text;
+    };
+
+    while (!c.atEnd()) {
+        const char ch = c.peek();
+        const int line = c.line();
+
+        if (ch == '\n') {
+            c.get();
+            atLineStart = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+            c.get();
+            continue;
+        }
+
+        // Comments.
+        if (ch == '/' && c.peekAhead(1) == '/') {
+            c.get();
+            c.get();
+            std::string text;
+            // The spliced cursor makes a backslash-continued line comment
+            // consume its continuation lines naturally.
+            while (!c.atEnd() && c.peek() != '\n') text += c.get();
+            out.comments.push_back(Comment{text, line, c.line(), false});
+            continue;
+        }
+        if (ch == '/' && c.peekAhead(1) == '*') {
+            c.get();
+            c.get();
+            std::string text;
+            while (!c.atEnd()) {
+                if (c.peek() == '*' && c.peekAhead(1) == '/') {
+                    c.get();
+                    c.get();
+                    break;
+                }
+                text += c.get();
+            }
+            out.comments.push_back(Comment{text, line, c.line(), true});
+            continue;
+        }
+
+        // Preprocessor directive: '#' first on its (logical) line.
+        if (ch == '#' && atLineStart) {
+            std::string text;
+            while (!c.atEnd() && c.peek() != '\n') {
+                // Comments may appear inside a directive line.
+                if (c.peek() == '/' && c.peekAhead(1) == '/') break;
+                if (c.peek() == '/' && c.peekAhead(1) == '*') {
+                    c.get();
+                    c.get();
+                    while (!c.atEnd()) {
+                        if (c.peek() == '*' && c.peekAhead(1) == '/') {
+                            c.get();
+                            c.get();
+                            break;
+                        }
+                        c.get();
+                    }
+                    text += ' ';
+                    continue;
+                }
+                text += c.get();
+            }
+            push(TokKind::Preprocessor, text, line);
+            atLineStart = false;
+            continue;
+        }
+        atLineStart = false;
+
+        // Identifier (possibly a literal prefix).
+        if (isIdentStart(ch)) {
+            std::string id;
+            while (!c.atEnd() && isIdentChar(c.peek())) id += c.get();
+            bool raw = false;
+            if (isLiteralPrefix(id, raw) &&
+                (c.peek() == '"' || (!raw && c.peek() == '\''))) {
+                const char quote = c.peek();
+                c.get();
+                if (raw)
+                    push(TokKind::String, scanRaw(), line);
+                else if (quote == '"')
+                    push(TokKind::String, scanQuoted('"'), line);
+                else
+                    push(TokKind::CharLit, scanQuoted('\''), line);
+                continue;
+            }
+            push(TokKind::Identifier, std::move(id), line);
+            continue;
+        }
+
+        // Plain string / char literals.
+        if (ch == '"') {
+            c.get();
+            push(TokKind::String, scanQuoted('"'), line);
+            continue;
+        }
+        if (ch == '\'') {
+            c.get();
+            push(TokKind::CharLit, scanQuoted('\''), line);
+            continue;
+        }
+
+        // Numbers (pp-number: digits, idents, quotes-as-separators, and
+        // exponent signs glue together).
+        if (std::isdigit(static_cast<unsigned char>(ch)) ||
+            (ch == '.' &&
+             std::isdigit(static_cast<unsigned char>(c.peekAhead(1))))) {
+            std::string num;
+            num += c.get();
+            while (!c.atEnd()) {
+                const char n = c.peek();
+                if (isIdentChar(n) || n == '.') {
+                    num += c.get();
+                    continue;
+                }
+                if (n == '\'' && isIdentChar(c.peekAhead(1))) {
+                    c.get(); // digit separator, drop it
+                    continue;
+                }
+                if ((n == '+' || n == '-') && !num.empty()) {
+                    const char last = num.back();
+                    if (last == 'e' || last == 'E' || last == 'p' ||
+                        last == 'P') {
+                        num += c.get();
+                        continue;
+                    }
+                }
+                break;
+            }
+            push(TokKind::Number, std::move(num), line);
+            continue;
+        }
+
+        // Punctuators, maximal munch.
+        {
+            const char a = ch, b = c.peekAhead(1), d = c.peekAhead(2);
+            std::string three{a, b, d};
+            bool done = false;
+            for (const char* p : kPunct3)
+                if (three == p) {
+                    c.get();
+                    c.get();
+                    c.get();
+                    push(TokKind::Punct, p, line);
+                    done = true;
+                    break;
+                }
+            if (done) continue;
+            std::string two{a, b};
+            for (const char* p : kPunct2)
+                if (two == p) {
+                    c.get();
+                    c.get();
+                    push(TokKind::Punct, p, line);
+                    done = true;
+                    break;
+                }
+            if (done) continue;
+            c.get();
+            push(TokKind::Punct, std::string(1, a), line);
+        }
+    }
+    return out;
+}
+
+} // namespace coplint

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file lexer.hpp
+/// Token-level C++ lexer for copernicus_lint. Not a parser: it produces a
+/// flat token stream plus a comment side-channel, which is exactly the
+/// altitude the repo-invariant checks need (qualified-name patterns, brace
+/// and paren matching, NOLINT suppression comments). The lexer handles the
+/// lexical constructs that break naive grep-based gates:
+///
+///  - line comments (including backslash-continued ones) and block
+///    comments (which do NOT nest in C++ — `/* /* */` ends at the first
+///    `*/`);
+///  - string and character literals with escapes, and encoding prefixes
+///    (u8"", L"", u'', ...);
+///  - raw string literals `R"delim(...)delim"` in all prefix forms, with
+///    no escape or splice processing inside;
+///  - preprocessor directives (one token per logical directive line,
+///    honoring backslash-newline continuations);
+///  - universal backslash-newline splices everywhere except raw strings.
+///
+/// There is deliberately no libclang dependency: the build environment
+/// carries only the base toolchain, and the checks below need token
+/// fidelity, not semantic analysis.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coplint {
+
+enum class TokKind {
+    Identifier,   ///< identifiers and keywords (no distinction made)
+    Number,       ///< integer / floating literals, pp-numbers
+    String,       ///< string literal (any prefix, incl. raw); text excludes quotes
+    CharLit,      ///< character literal; text excludes quotes
+    Punct,        ///< operator / punctuator, maximal munch
+    Preprocessor, ///< one whole directive line (spliced); text starts at '#'
+};
+
+struct Token {
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 0; ///< 1-based line of the token's first character
+};
+
+struct Comment {
+    std::string text; ///< interior text (delimiters stripped)
+    int firstLine = 0;
+    int lastLine = 0; ///< == firstLine for line comments without splices
+    bool block = false;
+};
+
+struct LexedFile {
+    std::string path; ///< repo-relative, forward slashes
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/// Lexes `source` into tokens + comments. Never throws on malformed input
+/// (an unterminated literal is closed at end of file): the linter must
+/// degrade gracefully on code the compiler would reject anyway.
+LexedFile lex(std::string_view source, std::string path);
+
+} // namespace coplint
